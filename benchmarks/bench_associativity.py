@@ -1,0 +1,71 @@
+"""Set-associativity transfer (§VIII) — Smith's model vs exact simulation.
+
+The paper argues the fully-associative HOTL results transfer to real
+set-associative caches, citing Smith's statistical model.  This bench
+checks the claim in-repo: for suite programs and several cache
+geometries, the model (driven by fully-associative stack distances)
+tracks the exact set-associative simulator, and the conversion barely
+moves the miss ratio at sane associativities (>= 4 ways).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.associativity import smith_set_assoc_miss_ratio
+from repro.cachesim.lru import lru_miss_ratio
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.workloads.spec import make_program
+
+CB = 512
+GEOMETRIES = [(32, 4), (16, 8), (64, 2)]  # n_sets x ways, capacity 128
+PROGRAMS = ("mcf", "tonto", "wrf", "povray")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {n: make_program(n, CB, length_scale=0.1).take(40_000) for n in PROGRAMS}
+
+
+def bench_smith_model_vs_simulation(traces, benchmark):
+    def run():
+        rows = []
+        for name, tr in traces.items():
+            for n_sets, ways in GEOMETRIES:
+                model = smith_set_assoc_miss_ratio(tr, n_sets, ways)
+                cache = SetAssociativeCache(n_sets, ways)
+                cache.run(tr)
+                rows.append((name, n_sets, ways, model, cache.misses / len(tr)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'program':10s} {'geometry':>9s} {'model':>8s} {'exact':>8s} {'err':>7s}")
+    worst = 0.0
+    for name, s, w, model, exact in rows:
+        err = abs(model - exact)
+        worst = max(worst, err)
+        print(f"{name:10s} {s:4d}x{w:<4d} {model:8.4f} {exact:8.4f} {err:7.4f}")
+    assert worst < 0.06, f"Smith model off by {worst:.3f}"
+
+
+def bench_associativity_gap_to_fully_assoc(traces, benchmark):
+    """How much does finite associativity cost vs fully-associative LRU?
+    (the §VIII transfer argument: little, at >= 4 ways)."""
+
+    def run():
+        out = {}
+        for name, tr in traces.items():
+            fa = lru_miss_ratio(tr, 128)
+            by_ways = {}
+            for n_sets, ways in ((128, 1), (32, 4), (8, 16)):
+                by_ways[ways] = smith_set_assoc_miss_ratio(tr, n_sets, ways)
+            out[name] = (fa, by_ways)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'program':10s} {'fully-assoc':>12s} {'1-way':>8s} {'4-way':>8s} {'16-way':>8s}")
+    for name, (fa, by_ways) in out.items():
+        print(f"{name:10s} {fa:12.4f} {by_ways[1]:8.4f} {by_ways[4]:8.4f} "
+              f"{by_ways[16]:8.4f}")
+        # associativity converges towards fully-associative behaviour
+        assert abs(by_ways[16] - fa) <= abs(by_ways[1] - fa) + 0.02
+        assert abs(by_ways[4] - fa) < 0.08

@@ -1,0 +1,74 @@
+"""Figure 5 — per-program miss ratios across co-run groups, five schemes.
+
+Paper reference: 8 panels (of 16), one per program, sorted by decreasing
+equal-partition miss ratio.  Key observations reproduced and asserted:
+
+* each program's Equal miss ratio is constant; the other schemes vary
+  with the peer group;
+* baseline optimization is at least as good as its baseline, per program;
+* high-miss programs tend to gain from sharing, low-miss ones to lose
+  (with exceptions) — the paper's gainer/loser structure;
+* Optimal helps and hurts individual programs (unfairness, §VII-B).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure5
+
+
+def bench_figure5(study, benchmark):
+    panels = benchmark.pedantic(figure5, args=(study,), rounds=1, iterations=1)
+
+    print(f"\n{'program':12s} {'equal mr':>9s} {'natural(avg)':>12s} "
+          f"{'optimal(avg)':>12s} {'gains':>7s}")
+    for p in panels:
+        nat = float(np.mean(p.series["natural"]))
+        opt = float(np.mean(p.series["optimal"]))
+        print(f"{p.name:12s} {p.equal_mr:9.4f} {nat:12.4f} {opt:12.4f} "
+              f"{p.gain_fraction:6.1%}")
+
+    # panels sorted by decreasing Equal miss ratio (paper's layout)
+    eq = [p.equal_mr for p in panels]
+    assert eq == sorted(eq, reverse=True)
+
+    for p in panels:
+        # Equal is peer-independent: constant across groups
+        assert np.allclose(p.series["equal"], p.equal_mr)
+        # baseline optimization never hurts an individual vs its baseline
+        assert np.all(p.series["equal_baseline"] <= p.series["equal"] + 1e-9)
+
+    # gainer/loser division by miss ratio, "the tendency is not strict"
+    # (§VII-B): high-miss programs gain far more often than low-miss ones,
+    # with exceptions on both sides
+    top = [p.gain_fraction for p in panels[:8]]
+    bottom = [p.gain_fraction for p in panels[-8:]]
+    assert np.mean(top) > np.mean(bottom) + 0.2, (top, bottom)
+    assert max(top) > 0.9  # some high-miss programs almost always gain
+    assert all(p.gain_fraction < 0.1 for p in panels[-3:])  # smallest lose
+
+    # unfairness of Optimal: it makes some programs worse than Natural in
+    # some groups, and better in others (both directions occur)
+    worse = better = 0
+    for p in panels:
+        diff = p.series["optimal"] - p.series["natural"]
+        worse += int(np.sum(diff > 1e-9))
+        better += int(np.sum(diff < -1e-9))
+    assert worse > 0 and better > 0
+
+
+def bench_figure5_harmonizing_effect(study, benchmark):
+    """'Sharing has a harmonizing effect to narrow the difference between
+    program miss ratios' — the spread of per-program miss ratios within a
+    group is smaller under Natural than under Equal."""
+
+    def spreads():
+        s_eq = study.scheme_index("equal")
+        s_nat = study.scheme_index("natural")
+        eq_spread = study.program_mr[:, :, s_eq].std(axis=1)
+        nat_spread = study.program_mr[:, :, s_nat].std(axis=1)
+        return float(eq_spread.mean()), float(nat_spread.mean())
+
+    eq_spread, nat_spread = benchmark(spreads)
+    print(f"\nmean within-group miss-ratio std: equal={eq_spread:.4f} "
+          f"natural={nat_spread:.4f}")
+    assert nat_spread < eq_spread

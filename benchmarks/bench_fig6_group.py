@@ -1,0 +1,59 @@
+"""Figure 6 — group miss ratio of the five partitioning methods.
+
+Paper reference: all 1820 groups on the x-axis sorted by Optimal's group
+miss ratio; five curves (Natural, Equal, Natural baseline, Equal
+baseline, Optimal).  The visual facts asserted here:
+
+* Optimal is the lowest curve everywhere (vs grid schemes) and within
+  sub-unit granularity of Natural;
+* each baseline curve lies between its baseline and Optimal;
+* the Equal curve sits clearly above the Natural curve on average.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure6
+
+
+def bench_figure6(study, benchmark):
+    series = benchmark.pedantic(figure6, args=(study,), rounds=1, iterations=1)
+    opt = series["optimal"]
+    deciles = np.linspace(0, len(opt) - 1, 11).astype(int)
+
+    print(f"\n{'pctile':>7s}" + "".join(f" {s:>17s}" for s in series))
+    for i, d in enumerate(deciles):
+        print(f"{i * 10:6d}%" + "".join(f" {series[s][d]:17.4f}" for s in series))
+
+    assert np.all(np.diff(opt) >= 0)  # sorted by construction
+    for s in ("equal", "equal_baseline", "natural_baseline"):
+        assert np.all(opt <= series[s] + 1e-12), s
+    assert np.all(opt <= series["natural"] + 0.01)  # sub-unit slack only
+
+    # baseline curves are sandwiched between baseline and optimal; the
+    # natural baseline is granted sub-unit slack because its thresholds
+    # come from the unit-rounded natural partition (a rounding at a cliff
+    # can cost a visible sliver in a few groups)
+    assert np.all(series["equal_baseline"] <= series["equal"] + 1e-9)
+    nb_gap = series["natural_baseline"] - series["natural"]
+    assert float(np.quantile(nb_gap, 0.95)) <= 0.01
+    assert float(nb_gap.max()) <= 0.05
+
+    # equal wastes more than free-for-all on average (the paper's Fig. 6
+    # gap between the top two curves)
+    assert series["equal"].mean() > series["natural"].mean()
+
+
+def bench_figure6_area_between_curves(study, benchmark):
+    """Aggregate curve separations (the figure's 'gaps', as numbers)."""
+
+    def gaps():
+        series = figure6(study)
+        opt = series["optimal"]
+        return {s: float(np.mean(v - opt)) for s, v in series.items() if s != "optimal"}
+
+    out = benchmark(gaps)
+    print("\nmean gap above the Optimal curve:")
+    for s, g in sorted(out.items(), key=lambda kv: -kv[1]):
+        print(f"  {s:18s} {g:+.4f}")
+    assert out["equal"] >= out["equal_baseline"] >= 0 - 1e-9
+    assert out["natural"] >= out["natural_baseline"] >= -0.005

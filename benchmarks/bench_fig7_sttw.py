@@ -1,0 +1,66 @@
+"""Figure 7 — Optimal vs the classic STTW solution, group by group.
+
+Paper reference: STTW equals Optimal when every member's miss-ratio curve
+is convex, and degrades badly otherwise — at least 10% worse in 34% of
+groups, and *worse than free-for-all sharing* in many of those (STTW's
+average gap, 33.68%, exceeds Natural's 26.35%).
+
+Asserted shape: a convex-only subset where STTW ties Optimal; a
+substantial failure fraction overall; and groups where STTW loses to
+Natural.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure7, sttw_failure_stats
+
+
+def bench_figure7(study, benchmark):
+    series = benchmark.pedantic(figure7, args=(study,), rounds=1, iterations=1)
+    stats = sttw_failure_stats(study)
+
+    opt, sttw = series["optimal"], series["sttw"]
+    deciles = np.linspace(0, len(opt) - 1, 11).astype(int)
+    print(f"\n{'pctile':>7s} {'optimal':>10s} {'sttw':>10s}")
+    for i, d in enumerate(deciles):
+        print(f"{i * 10:6d}% {opt[d]:10.4f} {sttw[d]:10.4f}")
+    print(f"\nSTTW >=10% worse than Optimal : {stats.worse_than_optimal_10pct:.1%} of groups")
+    print(f"STTW >=20% worse than Optimal : {stats.worse_than_optimal_20pct:.1%}")
+    print(f"STTW worse than Natural       : {stats.worse_than_natural:.1%}")
+    print(f"average STTW gap              : {stats.avg_gap_pct:.1f}%")
+
+    assert np.all(sttw >= opt - 1e-12)  # greedy never beats the DP
+    # the paper's headline: convexity failures are common (>= ~1/3)
+    assert stats.worse_than_optimal_10pct >= 0.25
+    # and STTW can be worse than doing nothing (free-for-all)
+    assert stats.worse_than_natural > 0.05
+
+
+def bench_sttw_ties_optimal_on_convex_groups(study, benchmark):
+    """Where all four members have convex unit-grid curves, STTW ~ Optimal."""
+
+    def convex_gap():
+        viol = study.convexity_violations
+        opt = study.series("optimal")
+        sttw = study.series("sttw")
+        convex_rows = [
+            g for g, members in enumerate(study.groups.tolist())
+            if all(viol[i] <= 2 for i in members)  # near-convex members only
+        ]
+        nonconvex_rows = [
+            g for g in range(study.groups.shape[0]) if g not in set(convex_rows)
+        ]
+        def mean_gap(rows):
+            if not rows:
+                return None
+            rows = np.asarray(rows)
+            return float(np.mean(sttw[rows] / np.maximum(opt[rows], 1e-9) - 1))
+        return mean_gap(convex_rows), mean_gap(nonconvex_rows), len(convex_rows)
+
+    convex_gap_val, nonconvex_gap_val, n_convex = benchmark(convex_gap)
+    print(f"\nfully-convex groups: {n_convex}; mean STTW gap {convex_gap_val}")
+    print(f"non-convex groups  : mean STTW gap {nonconvex_gap_val}")
+    if convex_gap_val is not None and nonconvex_gap_val is not None:
+        assert convex_gap_val <= nonconvex_gap_val + 1e-9
+    if convex_gap_val is not None:
+        assert convex_gap_val < 0.05  # near-tie when Stone's assumption holds

@@ -1,0 +1,102 @@
+"""Ground-truth check of the study's conclusions (§VII-C, taken further).
+
+Every §VII number is model-derived.  This bench replays sampled co-run
+groups through the exact trace simulators under each scheme's chosen
+allocation and verifies that the *conclusions* survive: simulated Optimal
+beats simulated Equal, tracks its predicted value, and the free-for-all
+measurement matches the natural-partition prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.composition.corun import predict_corun
+from repro.core.baselines import equal_allocation
+from repro.core.dp import optimal_partition
+from repro.experiments.ground_truth import ordering_agreement, simulate_schemes
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads.spec import SPEC_NAMES, make_program
+
+CB = 512
+GROUPS = [
+    ("lbm", "mcf", "namd", "soplex"),
+    ("sphinx3", "zeusmp", "hmmer", "povray"),
+    ("omnetpp", "wrf", "tonto", "sjeng"),
+    ("mcf", "perlbench", "bzip2", "dealII"),
+    ("lbm", "h264ref", "povray", "tonto"),
+]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    cache = {}
+
+    def trace(name):
+        if name not in cache:
+            cache[name] = make_program(name, CB, length_scale=0.15)
+        return cache[name]
+
+    out = []
+    for names in GROUPS:
+        traces = [trace(n) for n in names]
+        fps = [average_footprint(t) for t in traces]
+        mrcs = [MissRatioCurve.from_footprint(fp, CB) for fp in fps]
+        costs = [m.miss_counts() for m in mrcs]
+        weights = np.array([m.n_accesses for m in mrcs], dtype=np.float64)
+
+        def predicted_mr(alloc):
+            mrs = np.array(
+                [m.ratios[a] for m, a in zip(mrcs, alloc.tolist())]
+            )
+            return float(np.dot(mrs, weights) / weights.sum())
+
+        opt = optimal_partition(costs, CB).allocation
+        eq = equal_allocation(4, CB)
+        predicted = {
+            "optimal": predicted_mr(opt),
+            "equal": predicted_mr(eq),
+            "natural": predict_corun(fps, CB).group_miss_ratio,
+        }
+        out.append(
+            simulate_schemes(
+                traces, {"optimal": opt, "equal": eq, "natural": None}, CB, predicted
+            )
+        )
+    return out
+
+
+def bench_conclusions_survive_simulation(rows, benchmark):
+    def run():
+        return (
+            ordering_agreement(rows, "optimal", "equal", slack=1e-9),
+            ordering_agreement(rows, "optimal", "natural", slack=0.01),
+        )
+
+    opt_vs_eq, opt_vs_nat = benchmark(run)
+    print(f"\n{'group':42s} {'opt pred/sim':>14s} {'eq pred/sim':>14s} "
+          f"{'nat pred/sim':>14s}")
+    for row in rows:
+        name = "+".join(row.names)
+        print(f"{name:42s} "
+              f"{row.predicted['optimal']:.3f}/{row.simulated['optimal']:.3f}  "
+              f"{row.predicted['equal']:.3f}/{row.simulated['equal']:.3f}  "
+              f"{row.predicted['natural']:.3f}/{row.simulated['natural']:.3f}")
+    print(f"\nsimulation confirms optimal <= equal   : {opt_vs_eq:.0%} of groups")
+    print(f"simulation confirms optimal <= natural : {opt_vs_nat:.0%} of groups")
+    assert opt_vs_eq == 1.0
+    assert opt_vs_nat >= 0.8
+
+
+def bench_model_error_in_simulation(rows, benchmark):
+    def run():
+        return {
+            s: float(np.mean([r.prediction_error(s) for r in rows]))
+            for s in ("optimal", "equal", "natural")
+        }
+
+    errors = benchmark(run)
+    print("\nmean |predicted - simulated| group miss ratio:")
+    for s, e in errors.items():
+        print(f"  {s:10s} {e:.4f}")
+    assert max(errors.values()) < 0.06

@@ -1,0 +1,60 @@
+"""§II Scenario 1 — sharing multiple caches (program-to-socket assignment).
+
+Eq. 1 counts the groupings (Stirling numbers); under the NPA each
+grouping's cost is predictable from solo profiles.  This bench solves the
+assignment exactly for suite programs on two sockets and measures the
+greedy heuristic's gap — the §IV scheduling story, mechanized.
+"""
+
+import pytest
+
+from repro.core.multicache import greedy_assignment, optimal_assignment
+from repro.core.searchspace import stirling2
+
+
+@pytest.fixture(scope="module")
+def six_fps(suite_profile):
+    idx = (12, 2, 4, 7, 11, 14)  # lbm, mcf, namd, povray, tonto, wrf
+    return [suite_profile.footprints[i] for i in idx]
+
+
+def bench_optimal_two_socket_assignment(six_fps, suite_profile, benchmark):
+    cache = suite_profile.config.cache_blocks
+
+    res = benchmark.pedantic(
+        optimal_assignment, args=(six_fps, 2, cache), rounds=1, iterations=1
+    )
+    names = [fp.name for fp in six_fps]
+    print(f"\nsearch space: S(6,1) + S(6,2) = "
+          f"{stirling2(6, 1) + stirling2(6, 2)} groupings")
+    print("optimal sockets:")
+    for g in res.groups:
+        print(f"  {{{', '.join(names[i] for i in g)}}}")
+    print(f"predicted total misses: {res.total_misses:.0f}")
+    assert res.n_caches_used == 2  # one socket would thrash
+
+    # the optimum beats both obvious hand assignments: everything on one
+    # socket, and the "split the streamers" heuristic
+    from repro.core.multicache import group_shared_cost
+
+    one_socket = group_shared_cost(six_fps, cache)
+    split_streamers = group_shared_cost(
+        [six_fps[0], six_fps[2], six_fps[3]], cache
+    ) + group_shared_cost([six_fps[1], six_fps[4], six_fps[5]], cache)
+    print(f"one socket: {one_socket:.0f}; split-streamers: {split_streamers:.0f}")
+    assert res.total_misses <= one_socket + 1e-6
+    assert res.total_misses <= split_streamers + 1e-6
+
+
+def bench_greedy_vs_optimal(six_fps, suite_profile, benchmark):
+    cache = suite_profile.config.cache_blocks
+    exact = optimal_assignment(six_fps, 2, cache)
+
+    greedy = benchmark.pedantic(
+        greedy_assignment, args=(six_fps, 2, cache), rounds=1, iterations=1
+    )
+    gap = greedy.total_misses / exact.total_misses - 1.0
+    print(f"\nexact {exact.total_misses:.0f} vs greedy {greedy.total_misses:.0f} "
+          f"(gap {gap:.1%})")
+    assert greedy.total_misses >= exact.total_misses - 1e-6
+    assert gap < 0.25

@@ -1,0 +1,52 @@
+"""Profile-only set-associative prediction (§VIII, closed loop).
+
+"The HOTL theory can derive the reuse distance, which can be used to
+statistically estimate the effect of associativity."  The chain built
+here: one footprint profile → implied stack-distance distribution →
+Smith's binomial set-mapping → predicted set-associative miss ratio —
+with **no trace replay anywhere on the prediction side** — validated
+against the exact set-associative simulator.
+"""
+
+import pytest
+
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.locality.derived import predicted_set_assoc_miss_ratio
+from repro.locality.footprint import average_footprint
+from repro.workloads.spec import make_program
+
+CB = 512
+GEOMETRIES = [(32, 4), (16, 8)]
+PROGRAMS = ("mcf", "tonto", "povray", "wrf")
+
+
+@pytest.fixture(scope="module")
+def data():
+    out = {}
+    for name in PROGRAMS:
+        tr = make_program(name, CB, length_scale=0.1).take(30_000)
+        out[name] = (tr, average_footprint(tr))
+    return out
+
+
+def bench_profile_only_prediction(data, benchmark):
+    def run():
+        rows = []
+        for name, (tr, fp) in data.items():
+            for n_sets, ways in GEOMETRIES:
+                pred = predicted_set_assoc_miss_ratio(fp, n_sets, ways)
+                cache = SetAssociativeCache(n_sets, ways)
+                cache.run(tr)
+                rows.append((name, n_sets, ways, pred, cache.misses / len(tr)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'program':10s} {'geometry':>9s} {'profile-only':>13s} "
+          f"{'exact sim':>10s} {'err':>7s}")
+    worst = 0.0
+    for name, s, w, pred, exact in rows:
+        err = abs(pred - exact)
+        worst = max(worst, err)
+        print(f"{name:10s} {s:4d}x{w:<4d} {pred:13.4f} {exact:10.4f} {err:7.4f}")
+    print(f"\nworst profile-only error: {worst:.4f}")
+    assert worst < 0.08

@@ -1,0 +1,54 @@
+"""QoS-capped optimization (§V-B's generality claim) — the frontier.
+
+For one co-run group, sweep a uniform per-program miss-ratio cap from
+loose to impossible: the DP trades throughput for the guarantee until the
+feasibility boundary, which the egalitarian-optimum search pins down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.qos import qos_frontier, tightest_feasible_cap
+
+
+@pytest.fixture(scope="module")
+def quad_mrcs(suite_profile):
+    idx = (2, 11, 14, 7)  # mcf, tonto, wrf, povray
+    return [suite_profile.mrcs[i] for i in idx]
+
+
+def bench_qos_frontier(quad_mrcs, suite_profile, benchmark):
+    n_units = suite_profile.config.n_units
+    caps = [1.0, 0.5, 0.3, 0.2, 0.15, 0.1, 0.05, 0.02]
+
+    points = benchmark.pedantic(
+        qos_frontier, args=(quad_mrcs, n_units, caps), rounds=1, iterations=1
+    )
+    print(f"\n{'cap':>6s} {'feasible':>9s} {'group mr':>9s}  allocation (units)")
+    for p in points:
+        alloc = p.allocation.tolist() if p.allocation is not None else "-"
+        print(f"{p.cap:6.2f} {p.feasible!s:>9s} "
+              f"{p.group_miss_ratio if p.feasible else float('nan'):9.4f}  {alloc}")
+
+    feas = [p for p in points if p.feasible]
+    infeas = [p for p in points if not p.feasible]
+    assert feas, "the loose end of the sweep must be feasible"
+    assert infeas, "the tight end must cross the feasibility boundary"
+    mrs = [p.group_miss_ratio for p in feas]
+    assert all(b >= a - 1e-9 for a, b in zip(mrs, mrs[1:]))
+    # every feasible point honors all caps
+    for p in feas:
+        for m, a in zip(quad_mrcs, p.allocation.tolist()):
+            assert m.ratios[a] <= p.cap + 1e-12
+
+
+def bench_egalitarian_optimum(quad_mrcs, suite_profile, benchmark):
+    n_units = suite_profile.config.n_units
+    cap = benchmark.pedantic(
+        tightest_feasible_cap, args=(quad_mrcs, n_units), rounds=1, iterations=1
+    )
+    print(f"\ntightest uniform miss-ratio cap any partition can meet: {cap:.4f}")
+    assert 0.0 < cap < 1.0
+    # consistency with the frontier
+    assert qos_frontier(quad_mrcs, n_units, [cap + 1e-3])[0].feasible
+    assert not qos_frontier(quad_mrcs, n_units, [max(cap - 2e-2, 0.0)])[0].feasible

@@ -1,0 +1,38 @@
+"""'Sampling is Unscientific' (§VII-B) — quantified.
+
+"It is almost guaranteed that differently sampled groups have few
+results in common ... the amount of gains and losses is consistently
+inconsistent and cannot be fully analyzed by sampling."
+
+The bench re-estimates Table I's headline averages from random subsets
+of the 1820 groups and reports how far they scatter — the exhaustive
+evaluation's justification, in numbers.
+"""
+
+from repro.experiments.sampling import subset_spread
+
+
+def bench_subset_scatter(study, benchmark):
+    def run():
+        return {
+            (method, size): subset_spread(
+                study, method, subset_size=size, n_subsets=300
+            )
+            for method in ("natural", "equal")
+            for size in (20, 50, 200)
+        }
+
+    spreads = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'method':>8s} {'subset':>7s} {'exhaustive':>11s} {'subset std':>11s} "
+          f"{'worst dev':>10s}")
+    for (method, size), sp in spreads.items():
+        print(f"{method:>8s} {size:7d} {sp.exhaustive_avg_pct:10.1f}% "
+              f"{sp.spread_pct:10.1f}% {sp.worst_deviation_pct:9.1f}%")
+
+    # small subsets mislead badly; growing the subset shrinks the scatter
+    for method in ("natural", "equal"):
+        s20 = spreads[(method, 20)]
+        s200 = spreads[(method, 200)]
+        assert s20.spread_pct > s200.spread_pct
+        # a 20-group sample can be off by a large fraction of the answer
+        assert s20.worst_deviation_pct > 0.25 * abs(s20.exhaustive_avg_pct)

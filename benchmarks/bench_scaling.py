@@ -1,0 +1,31 @@
+"""Group-size scaling (§VII-B) — contention and convexity failures grow with P.
+
+"The problem is exacerbated when more programs share the cache, since a
+larger group increases the chance of the violation of the [convexity]
+assumption by one or more members."
+"""
+
+from repro.experiments.scaling import group_size_study
+
+
+def bench_group_size_scaling(suite_profile, benchmark):
+    rows = benchmark.pedantic(
+        group_size_study,
+        args=(suite_profile,),
+        kwargs={"group_sizes": (2, 3, 4, 5, 6), "max_groups_per_size": 200},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{'P':>3s} {'groups':>7s} {'STTW >=10% worse':>17s} "
+          f"{'STTW avg gap':>13s} {'Equal avg gap':>14s}")
+    for r in rows:
+        print(f"{r.group_size:3d} {r.n_groups:7d} {r.sttw_fail_fraction:16.1%} "
+              f"{r.sttw_avg_gap:12.1%} {r.equal_avg_improvement:13.1%}")
+
+    fails = [r.sttw_fail_fraction for r in rows]
+    # the paper's claim: larger groups violate convexity more often —
+    # the failure fraction at P=6 clearly exceeds P=2
+    assert fails[-1] > fails[0]
+    # contention grows: Optimal's improvement over Equal rises with P
+    eq = [r.equal_avg_improvement for r in rows]
+    assert eq[-1] > eq[0]

@@ -1,0 +1,61 @@
+"""§II search-space sizes (Fig. 2 scenarios) — exact integer reproduction.
+
+Paper reference: for 4 programs and an 8 MB cache in 64 B units,
+S2 = 375,368,690,761,743 and S3 = 375,317,149,057,025 — partitioning-only
+covers 99.99% of the partition-sharing space.  At the evaluation's
+1024-unit grid, the per-group space is ~180 million partitionings.
+"""
+
+from repro.core.searchspace import (
+    paper_example,
+    partition_sharing_single_cache,
+    partitioning_only,
+    sharing_multiple_caches,
+)
+
+
+def bench_paper_example(benchmark):
+    ex = benchmark(paper_example)
+    print(f"\nS2 (partition-sharing, single cache) = {ex.s2:,}")
+    print(f"S3 (partitioning only)               = {ex.s3:,}")
+    print(f"coverage S3/S2                       = {ex.coverage:.6%}")
+    assert ex.s2 == 375_368_690_761_743  # the paper's exact digits
+    assert ex.s3 == 375_317_149_057_025
+    assert ex.coverage > 0.9998
+
+
+def bench_evaluation_grid_space(benchmark):
+    def run():
+        return {
+            "S1 (4 programs, 2 caches)": sharing_multiple_caches(4, 2),
+            "S2 (1024 units)": partition_sharing_single_cache(4, 1024),
+            "S3 (1024 units)": partitioning_only(4, 1024),
+        }
+
+    out = benchmark(run)
+    print()
+    for k, v in out.items():
+        print(f"{k:28s} = {v:,}")
+    # "(1026 choose 3) or ~180 million" per group (§VII-A)
+    assert 1.7e8 < out["S3 (1024 units)"] < 1.9e8
+    assert out["S1 (4 programs, 2 caches)"] == 7
+
+
+def bench_space_growth_table(benchmark):
+    """Coverage of the partition-sharing space by partitioning alone, as
+    granularity grows — the reduction's combinatorial motivation."""
+
+    def run():
+        rows = []
+        for c in (16, 64, 256, 1024, 4096, 16384):
+            s2 = partition_sharing_single_cache(4, c)
+            s3 = partitioning_only(4, c)
+            rows.append((c, s2, s3, s3 / s2))
+        return rows
+
+    rows = benchmark(run)
+    print(f"\n{'units':>8s} {'S2':>24s} {'S3':>24s} {'S3/S2':>10s}")
+    for c, s2, s3, cov in rows:
+        print(f"{c:8d} {s2:24,d} {s3:24,d} {cov:10.6f}")
+    coverages = [r[3] for r in rows]
+    assert all(b > a for a, b in zip(coverages, coverages[1:]))

@@ -1,0 +1,68 @@
+"""Table I — improvement of Optimal over the five other partitioning methods.
+
+Paper reference (ICPP'15, Table I):
+
+    Method            Max        Avg      Median   >=10%   >=20%
+    Equal             4746.43%   125.25%  26.48%   77.08%  57.80%
+    Equal baseline    2954.52%    97.75%  22.50%   70.27%  52.69%
+    Natural            266.78%    26.35%  14.51%   57.80%  45.16%
+    Natural baseline   266.78%    26.21%  14.29%   56.81%  45.10%
+    STTW               306.55%    33.68%   2.50%   34.39%  33.02%
+
+The absolute numbers depend on the (synthetic) workloads; the *shape*
+assertions below encode what must transfer: Optimal dominates everything;
+Equal is hurt far more than Natural; baseline optimization recovers much
+more from Equal than from Natural; STTW's convexity failures are common.
+"""
+
+import numpy as np
+
+from repro.experiments.table1 import format_table, improvement_table
+
+
+def bench_table1(study, benchmark):
+    rows = benchmark.pedantic(
+        improvement_table, args=(study,), rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows))
+    by = {r.method: r for r in rows}
+
+    # Optimal dominates: every improvement statistic is non-negative
+    for r in rows:
+        assert r.avg_pct >= -1e-6 and r.median_pct >= -1e-6, r.method
+
+    # Equal partitioning wastes far more than free-for-all sharing
+    assert by["equal"].avg_pct > by["natural"].avg_pct
+    assert by["equal"].median_pct > by["natural"].median_pct
+
+    # baseline optimization helps Equal much more than it helps Natural
+    eq_recovery = by["equal"].avg_pct - by["equal_baseline"].avg_pct
+    nat_recovery = by["natural"].avg_pct - by["natural_baseline"].avg_pct
+    assert eq_recovery > nat_recovery >= -1e-6, (eq_recovery, nat_recovery)
+
+    # a sizeable share of groups improves by >= 10% and >= 20% over both
+    assert by["equal"].at_least_10_pct > 50.0
+    assert by["natural"].at_least_10_pct > 30.0
+
+    # STTW is suboptimal in a substantial fraction of groups (>= the
+    # paper's 34%), because non-convex curves are in the suite
+    assert by["sttw"].at_least_10_pct > 20.0
+
+
+def bench_table1_per_group_improvements(study, benchmark):
+    """Distribution detail behind the table: percentile sweep per method."""
+
+    def percentiles():
+        out = {}
+        opt = study.series("optimal")
+        keep = opt >= 1e-6
+        for m in ("equal", "natural", "sttw"):
+            imp = study.series(m)[keep] / opt[keep] - 1.0
+            out[m] = np.percentile(imp, [25, 50, 75, 90, 99]) * 100
+        return out
+
+    result = benchmark.pedantic(percentiles, rounds=1, iterations=1)
+    print("\nimprovement percentiles (25/50/75/90/99):")
+    for m, p in result.items():
+        print(f"  over {m:8s}: " + "  ".join(f"{v:8.2f}%" for v in p))
+    assert result["equal"][1] >= result["natural"][1] * 0.5

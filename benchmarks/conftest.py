@@ -1,0 +1,46 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The heavyweight object is the exhaustive §VII study (16 programs, all 1820
+4-program groups, six schemes).  It is built once per session at the scale
+selected by ``REPRO_SCALE`` (default: 4096 blocks in 256 units; ``full``:
+the paper's 1024-unit grid) and shared by every figure/table bench.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.methodology import (
+    ExperimentConfig,
+    build_suite_profile,
+    run_study,
+)
+
+
+@pytest.fixture(scope="session")
+def study_config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def suite_profile(study_config):
+    t0 = time.time()
+    profile = build_suite_profile(study_config)
+    print(
+        f"\n[setup] profiled {len(profile.names)} programs "
+        f"({study_config.n_units} units of {study_config.unit_blocks} blocks) "
+        f"in {time.time() - t0:.1f}s"
+    )
+    return profile
+
+
+@pytest.fixture(scope="session")
+def study(suite_profile):
+    t0 = time.time()
+    result = run_study(suite_profile)
+    n = result.groups.shape[0]
+    dt = time.time() - t0
+    print(f"[setup] swept {n} co-run groups in {dt:.1f}s ({dt / n * 1e3:.1f} ms/group)")
+    return result

@@ -1,0 +1,80 @@
+"""Dynamic repartitioning: taking the fence down when you know why.
+
+The paper closes with Robert Frost: static partitioning is usually right —
+but its own Figure 1 shows the exception, programs whose working sets
+alternate in opposite phase.  The online answer is to *re-profile per
+epoch and move the walls*: the same DP, re-run as phases change.
+
+This example builds a phase-opposed pair at scale, compares
+
+* equal static walls,
+* the static optimal partition (one whole-trace DP),
+* epoch-based dynamic repartitioning (one DP per epoch),
+
+by exact trace simulation, and shows the dynamic plan recovering the
+capacity that any static wall must waste.
+
+Run:  python examples/dynamic_repartitioning.py
+"""
+
+import numpy as np
+
+from repro.core.dynamic import EpochPlan, plan_dynamic, plan_static, simulate_plan
+from repro.locality.phases import detect_phases
+from repro.workloads import cyclic, phased
+
+SEG = 600  # accesses per phase
+BIG, SMALL = 120, 10  # alternating working sets
+LOOPS = 8
+CACHE = BIG + SMALL + 8  # fits one big + one small set — never two bigs
+
+
+def build_pair():
+    a_parts, b_parts = [], []
+    for i in range(LOOPS):
+        a_parts.append(cyclic(SEG, BIG if i % 2 == 0 else SMALL))
+        b_parts.append(cyclic(SEG, SMALL if i % 2 == 0 else BIG))
+    return (
+        phased(a_parts, repeats=1, name="phase-a"),
+        phased(b_parts, repeats=1, name="phase-b"),
+    )
+
+
+def main() -> None:
+    a, b = build_pair()
+    print(f"Two programs, {LOOPS} phases of {SEG} accesses each; working sets "
+          f"alternate {BIG}/{SMALL} blocks in opposite phase.")
+    print(f"Cache: {CACHE} blocks — enough for one big + one small set.\n")
+
+    # the phase detector sees every boundary from the trace alone
+    boundaries = detect_phases(a, epoch_length=SEG, turnover_threshold=0.5)
+    print(f"Detected phase boundaries in program a: {boundaries}\n")
+
+    equal = EpochPlan(
+        np.tile([CACHE // 2, CACHE - CACHE // 2], (LOOPS, 1)), SEG
+    )
+    static = plan_static([a, b], CACHE, SEG)
+    dynamic = plan_dynamic([a, b], CACHE, SEG)
+
+    rows = [
+        ("equal static walls", simulate_plan([a, b], equal)),
+        ("optimal static walls", simulate_plan([a, b], static)),
+        ("dynamic repartitioning", simulate_plan([a, b], dynamic)),
+    ]
+    print(f"{'scheme':24s} {'capacity misses':>16s} {'miss ratio':>11s}")
+    for name, res in rows:
+        print(f"{name:24s} {res.total_misses():16d} "
+              f"{res.group_miss_ratio():11.4f}")
+
+    print("\nDynamic wall schedule (blocks per program, per phase):")
+    for e in range(dynamic.n_epochs):
+        print(f"  phase {e}: a={dynamic.allocations[e, 0]:3d}  "
+              f"b={dynamic.allocations[e, 1]:3d}")
+
+    saved = 1 - rows[2][1].total_misses() / max(rows[1][1].total_misses(), 1)
+    print(f"\nMoving the fence on phase boundaries removes {saved:.0%} of the "
+          f"misses the best static fence must take.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""LAMA-style key-value cache allocation with the partitioning DP.
+
+The paper's §IX cites LAMA (Hu et al., USENIX ATC'15): the *same*
+footprint theory and optimal-partitioning machinery, applied to Memcached
+— slab classes play the role of programs, and the server's memory plays
+the cache.  This example reproduces that application shape on synthetic
+key-access traces:
+
+* three slab classes (sessions, thumbnails, fragments) with different
+  popularity skews and object counts;
+* per-class miss-ratio curves from the class's key-access trace;
+* the DP allocates memory across classes, vs Memcached's default
+  (demand-proportional "calcification"-prone) split and an equal split;
+* evaluation by exact per-class LRU simulation.
+
+Run:  python examples/memcached_lama.py
+"""
+
+import numpy as np
+
+from repro.cachesim import lru_miss_counts
+from repro.core import miss_count_costs, optimal_partition
+from repro.locality import MissRatioCurve, average_footprint
+from repro.workloads import zipf
+
+TOTAL_MEMORY = 3000  # in objects (all classes hold same-size objects here)
+
+CLASSES = {
+    # name: (n_requests, key universe, zipf skew)
+    "sessions": (60_000, 4_000, 1.1),  # hot, skewed
+    "thumbs": (30_000, 6_000, 0.7),  # broad, mildly skewed
+    "fragments": (20_000, 2_000, 0.3),  # near-uniform churn
+}
+
+
+def main() -> None:
+    traces = {
+        name: zipf(n, m, alpha=a, seed=hash(name) % 2**31, name=name)
+        for name, (n, m, a) in CLASSES.items()
+    }
+
+    # per-class MRC from its own access trace (HOTL, one pass)
+    mrcs = [
+        MissRatioCurve.from_footprint(average_footprint(tr), TOTAL_MEMORY)
+        for tr in traces.values()
+    ]
+    names = list(traces)
+
+    # contenders
+    requests = np.array([len(t) for t in traces.values()], dtype=np.float64)
+    demand = np.floor(requests / requests.sum() * TOTAL_MEMORY).astype(int)
+    demand[0] += TOTAL_MEMORY - demand.sum()
+    equal = np.array([TOTAL_MEMORY // 3] * 3)
+    equal[0] += TOTAL_MEMORY - equal.sum()
+    lama = optimal_partition(miss_count_costs(mrcs), TOTAL_MEMORY).allocation
+
+    def measure(alloc):
+        misses = [
+            int(lru_miss_counts(tr, np.array([c]), include_cold=False)[0])
+            for tr, c in zip(traces.values(), alloc)
+        ]
+        return sum(misses), misses
+
+    print(f"{'policy':22s} {'allocation':>24s} {'misses':>9s} {'miss ratio':>11s}")
+    total_req = int(requests.sum())
+    results = {}
+    for policy, alloc in (
+        ("equal slabs", equal),
+        ("demand-proportional", demand),
+        ("LAMA (optimal DP)", lama),
+    ):
+        total, per = measure(alloc)
+        results[policy] = total
+        print(f"{policy:22s} {np.asarray(alloc)!s:>24s} {total:9d} "
+              f"{total / total_req:11.4f}")
+
+    assert results["LAMA (optimal DP)"] <= min(results.values()) + 1
+    saved = 1 - results["LAMA (optimal DP)"] / results["demand-proportional"]
+    print(f"\nMRC-driven allocation removes {saved:.0%} of the misses of the "
+          f"demand-proportional split —\nthe LAMA result, reproduced with this "
+          f"repository's footprint + DP machinery.")
+
+
+if __name__ == "__main__":
+    main()

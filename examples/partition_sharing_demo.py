@@ -1,0 +1,87 @@
+"""The paper's Figure 1, end to end: when partition-sharing wins.
+
+Four cores share a 6-block cache.  Cores 1-2 stream (they pollute any
+space they can reach), cores 3-4 alternate large/small working sets in
+*opposite phase* — exactly when one needs space, the other does not.
+
+The demo simulates, at trace level, every way of grouping the cores and
+walling the cache (with each core keeping at least one block), and shows
+the paper's punchline: the best scheme partitions the streamers off and
+lets cores 3-4 share — beating both strict partitioning and free-for-all.
+
+This is also the case where the Natural Partition Assumption *fails by
+construction* (synchronized phases, §VIII "Random Phase Interaction"), so
+no static partition can match it.
+
+Run:  python examples/partition_sharing_demo.py
+"""
+
+import itertools
+
+from repro.cachesim import simulate_partition_sharing
+from repro.workloads import FIGURE1_CACHE_SIZE, figure1_traces
+
+
+def total_misses(traces, grouping, sizes) -> int:
+    res = simulate_partition_sharing(traces, grouping, sizes)
+    return int((res.misses + res.cold_misses).sum())
+
+
+def all_groupings(items):
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for sub in all_groupings(rest):
+        for i in range(len(sub)):
+            yield sub[:i] + [[first] + sub[i]] + sub[i + 1 :]
+        yield [[first]] + sub
+
+
+def main() -> None:
+    traces = figure1_traces()
+    C = FIGURE1_CACHE_SIZE
+    for t in traces:
+        print(f"  {t.name:14s} -> {t.blocks.tolist()}")
+
+    print(f"\nExhaustive search, cache = {C} blocks, each core keeps >= 1:\n")
+    results = []
+    for grouping in all_groupings([0, 1, 2, 3]):
+        k = len(grouping)
+        for sizes in itertools.product(range(1, C + 1), repeat=k):
+            if sum(sizes) != C:
+                continue
+            # every member of a shared partition needs its one block too
+            if any(s < len(g) for g, s in zip(grouping, sizes)):
+                continue
+            results.append(
+                (total_misses(traces, grouping, sizes), grouping, sizes)
+            )
+    results.sort(key=lambda r: r[0])
+
+    ffa = next(r for r in results if len(r[1]) == 1)
+    strict = next(r for r in results if len(r[1]) == 4)
+    best = results[0]
+
+    def show(tag, row):
+        miss, grouping, sizes = row
+        desc = ", ".join(
+            f"{{{'+'.join(f'core{i + 1}' for i in g)}}}:{s}"
+            for g, s in zip(grouping, sizes)
+        )
+        print(f"  {tag:26s} {miss:3d} misses   {desc}")
+
+    show("best overall", best)
+    show("best strict partitioning", strict)
+    show("free-for-all sharing", ffa)
+
+    assert best[0] < strict[0] < ffa[0]
+    print(
+        "\nPartition-sharing wins: the streamers are fenced off and the "
+        "phase-opposed cores\nshare one partition that each uses when the "
+        "other does not (the Frost quote in action)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — Optimal Cache Partition-Sharing (ICPP 2015), reproduced in Python.
+
+The package implements the paper end to end:
+
+* :mod:`repro.workloads` — traces and synthetic program generators;
+* :mod:`repro.locality` — the Higher Order Theory of Locality (§III):
+  reuse times, average footprint, fill time, miss-ratio curves;
+* :mod:`repro.composition` — footprint composition and the Natural Cache
+  Partition (§IV, §V-A);
+* :mod:`repro.cachesim` — LRU / set-associative / shared / partitioned
+  cache simulators (the validation substrate, §VII-C);
+* :mod:`repro.core` — the contribution: optimal-partitioning DP (§V-B),
+  baseline fairness optimization (§VI), STTW, partition-sharing
+  enumeration and search-space combinatorics (§II);
+* :mod:`repro.experiments` — the full §VII evaluation (Table I,
+  Figures 5–7, NPA validation).
+
+Quickstart::
+
+    from repro import workloads, locality, core
+
+    traces = [workloads.make_program(n, 4096) for n in ("lbm", "mcf", "namd", "povray")]
+    fps = [locality.average_footprint(t) for t in traces]
+    mrcs = [locality.MissRatioCurve.from_footprint(fp, 4096).resample(16) for fp in fps]
+    result = core.optimal_partition(core.miss_count_costs(mrcs), budget=256)
+    print(result.allocation)
+"""
+
+from repro import cachesim, composition, core, experiments, locality, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cachesim",
+    "composition",
+    "core",
+    "experiments",
+    "locality",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Cache simulators: the measurement substrate (§VII-C ground truth)."""
+
+from repro.cachesim.associativity import (
+    set_assoc_miss_probability,
+    smith_set_assoc_miss_ratio,
+)
+from repro.cachesim.lru import LRUCache, lru_miss_counts, lru_miss_ratio
+from repro.cachesim.partitioned import PartitionedRunResult, simulate_partitioned
+from repro.cachesim.policies import (
+    ClockCache,
+    FIFOCache,
+    RandomCache,
+    TreePLRUCache,
+)
+from repro.cachesim.setassoc import SetAssociativeCache, set_assoc_miss_count
+from repro.cachesim.shared import (
+    SharedRunResult,
+    shared_occupancy,
+    simulate_partition_sharing,
+    simulate_shared,
+)
+from repro.cachesim.stack import COLD, distance_histogram, stack_distances
+
+__all__ = [
+    "set_assoc_miss_probability",
+    "smith_set_assoc_miss_ratio",
+    "LRUCache",
+    "lru_miss_counts",
+    "lru_miss_ratio",
+    "PartitionedRunResult",
+    "simulate_partitioned",
+    "ClockCache",
+    "FIFOCache",
+    "RandomCache",
+    "TreePLRUCache",
+    "SetAssociativeCache",
+    "set_assoc_miss_count",
+    "SharedRunResult",
+    "shared_occupancy",
+    "simulate_partition_sharing",
+    "simulate_shared",
+    "COLD",
+    "distance_histogram",
+    "stack_distances",
+]

@@ -1,0 +1,204 @@
+"""Non-LRU replacement policies (paper §VIII).
+
+"The replacement policy may be an approximation or improvement of LRU."
+The HOTL theory models true LRU; these simulators supply the
+approximations actually built in hardware so the approximation error can
+be measured in-repo:
+
+* :class:`TreePLRUCache` — the classic tree pseudo-LRU used by most
+  set-associative designs (ways must be a power of two);
+* :class:`FIFOCache` — replace the oldest-filled line (no recency update
+  on hit);
+* :class:`RandomCache` — replace a uniformly random line;
+* :class:`ClockCache` — the second-chance/CLOCK approximation of LRU.
+
+All share the per-set array layout of
+:class:`~repro.cachesim.setassoc.SetAssociativeCache` and its ``access`` /
+``run`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = ["TreePLRUCache", "FIFOCache", "RandomCache", "ClockCache"]
+
+
+class _SetCacheBase:
+    """Common storage and bookkeeping for per-set policies."""
+
+    def __init__(self, n_sets: int, ways: int):
+        if n_sets < 1 or ways < 1:
+            raise ValueError("n_sets and ways must be >= 1")
+        self.n_sets = int(n_sets)
+        self.ways = int(ways)
+        self._tags = np.full((n_sets, ways), -1, dtype=np.int64)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.n_sets * self.ways
+
+    def _set_index(self, block: int) -> int:
+        return block % self.n_sets
+
+    def access(self, block: int) -> bool:
+        s = self._set_index(block)
+        tags = self._tags[s]
+        hit_ways = np.flatnonzero(tags == block)
+        if hit_ways.size:
+            self.hits += 1
+            self._on_hit(s, int(hit_ways[0]))
+            return True
+        self.misses += 1
+        victim = self._pick_victim(s)
+        tags[victim] = block
+        self._on_fill(s, victim)
+        return False
+
+    def run(self, trace: Trace | np.ndarray) -> np.ndarray:
+        blocks = trace.blocks if isinstance(trace, Trace) else np.asarray(trace, np.int64)
+        out = np.empty(blocks.size, dtype=bool)
+        for i, b in enumerate(blocks.tolist()):
+            out[i] = self.access(b)
+        return out
+
+    # policy hooks ------------------------------------------------------
+    def _on_hit(self, s: int, way: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _on_fill(self, s: int, way: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _pick_victim(self, s: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+class TreePLRUCache(_SetCacheBase):
+    """Tree pseudo-LRU: one bit per internal node of a binary tree.
+
+    On a touch, the path bits are set to point *away* from the touched
+    way; the victim is found by following the bits.  ``ways`` must be a
+    power of two.
+    """
+
+    def __init__(self, n_sets: int, ways: int):
+        super().__init__(n_sets, ways)
+        if ways & (ways - 1):
+            raise ValueError("tree PLRU needs a power-of-two way count")
+        self._bits = np.zeros((n_sets, max(ways - 1, 1)), dtype=np.int8)
+
+    def _touch(self, s: int, way: int) -> None:
+        if self.ways == 1:
+            return
+        bits = self._bits[s]
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:  # touched left: point victim search right
+                bits[node] = 1
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        return
+
+    def _on_hit(self, s: int, way: int) -> None:
+        self._touch(s, way)
+
+    def _on_fill(self, s: int, way: int) -> None:
+        self._touch(s, way)
+
+    def _pick_victim(self, s: int) -> int:
+        if self.ways == 1:
+            return 0
+        # prefer an empty way before evicting
+        empty = np.flatnonzero(self._tags[s] == -1)
+        if empty.size:
+            return int(empty[0])
+        bits = self._bits[s]
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node] == 1:  # bit points right
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+class FIFOCache(_SetCacheBase):
+    """First-in first-out: a round-robin fill pointer per set."""
+
+    def __init__(self, n_sets: int, ways: int):
+        super().__init__(n_sets, ways)
+        self._next = np.zeros(n_sets, dtype=np.int64)
+
+    def _on_hit(self, s: int, way: int) -> None:
+        pass  # FIFO ignores recency
+
+    def _on_fill(self, s: int, way: int) -> None:
+        self._next[s] = (way + 1) % self.ways
+
+    def _pick_victim(self, s: int) -> int:
+        empty = np.flatnonzero(self._tags[s] == -1)
+        if empty.size:
+            return int(empty[0])
+        return int(self._next[s])
+
+
+class RandomCache(_SetCacheBase):
+    """Uniform random replacement."""
+
+    def __init__(self, n_sets: int, ways: int, *, seed: int = 0):
+        super().__init__(n_sets, ways)
+        self._rng = np.random.default_rng(seed)
+
+    def _on_hit(self, s: int, way: int) -> None:
+        pass
+
+    def _on_fill(self, s: int, way: int) -> None:
+        pass
+
+    def _pick_victim(self, s: int) -> int:
+        empty = np.flatnonzero(self._tags[s] == -1)
+        if empty.size:
+            return int(empty[0])
+        return int(self._rng.integers(self.ways))
+
+
+class ClockCache(_SetCacheBase):
+    """CLOCK / second-chance: a reference bit per line, swept by a hand."""
+
+    def __init__(self, n_sets: int, ways: int):
+        super().__init__(n_sets, ways)
+        self._ref = np.zeros((n_sets, ways), dtype=np.int8)
+        self._hand = np.zeros(n_sets, dtype=np.int64)
+
+    def _on_hit(self, s: int, way: int) -> None:
+        self._ref[s, way] = 1
+
+    def _on_fill(self, s: int, way: int) -> None:
+        self._ref[s, way] = 1
+
+    def _pick_victim(self, s: int) -> int:
+        empty = np.flatnonzero(self._tags[s] == -1)
+        if empty.size:
+            return int(empty[0])
+        ref = self._ref[s]
+        hand = int(self._hand[s])
+        while True:
+            if ref[hand] == 0:
+                self._hand[s] = (hand + 1) % self.ways
+                return hand
+            ref[hand] = 0
+            hand = (hand + 1) % self.ways

@@ -1,0 +1,217 @@
+"""Command-line front end: ``repro-cps``.
+
+Subcommands mirror the paper's workflow:
+
+* ``searchspace`` — print the §II solution-space sizes;
+* ``optimize``    — evaluate the six schemes for one co-run group;
+* ``study``       — the full §VII sweep (Table I + figure summaries);
+* ``validate``    — §VII-C NPA validation against the simulator;
+* ``figure1``     — the motivating partition-sharing example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_searchspace(args: argparse.Namespace) -> int:
+    from repro.core.searchspace import (
+        paper_example,
+        partition_sharing_single_cache,
+        partitioning_only,
+    )
+
+    ex = paper_example()
+    print("Paper §II worked example (4 programs, 8 MB cache, 64 B units):")
+    print(f"  S2 (partition-sharing) = {ex.s2:,}")
+    print(f"  S3 (partitioning only) = {ex.s3:,}")
+    print(f"  coverage               = {ex.coverage:.6%}")
+    c = args.units
+    print(f"\nAt {c} allocation units (npr=4):")
+    print(f"  S2 = {partition_sharing_single_cache(4, c):,}")
+    print(f"  S3 = {partitioning_only(4, c):,}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.schemes import SCHEMES, evaluate_group
+    from repro.locality.footprint import average_footprint
+    from repro.locality.mrc import MissRatioCurve
+    from repro.workloads.spec import make_program
+
+    names = args.programs.split(",")
+    cb, unit = args.cache_blocks, args.unit_blocks
+    n_units = cb // unit
+    traces = [make_program(n.strip(), cb) for n in names]
+    fps = [average_footprint(t) for t in traces]
+    mrcs = [MissRatioCurve.from_footprint(fp, cb).resample(unit, n_units) for fp in fps]
+    ev = evaluate_group(mrcs, fps, n_units, unit)
+    print(f"Group: {', '.join(names)}   cache {cb} blocks in {n_units} units")
+    header = f"{'scheme':18s} {'group mr':>9s}  allocations (units)"
+    print(header)
+    print("-" * len(header))
+    for s in SCHEMES:
+        o = ev.outcomes[s]
+        alloc = ", ".join(f"{a:.1f}" for a in np.atleast_1d(o.allocation))
+        print(f"{s:18s} {o.group_miss_ratio:9.4f}  [{alloc}]")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import gainer_fraction, sttw_failure_stats
+    from repro.experiments.methodology import (
+        ExperimentConfig,
+        build_suite_profile,
+        run_study,
+    )
+    from repro.experiments.table1 import format_table, improvement_table
+
+    cfg = ExperimentConfig.from_env()
+    print(
+        f"Running the exhaustive study: {cfg.n_groups} groups of "
+        f"{cfg.group_size}, {cfg.n_units} units of {cfg.unit_blocks} blocks"
+    )
+    t0 = time.time()
+    profile = build_suite_profile(cfg)
+    print(f"  profiled {len(profile.names)} programs in {time.time() - t0:.1f}s")
+    t0 = time.time()
+    result = run_study(profile, progress=True)
+    per_group = (time.time() - t0) / cfg.n_groups
+    print(f"  swept {cfg.n_groups} groups in {time.time() - t0:.1f}s "
+          f"({per_group * 1e3:.1f} ms/group)\n")
+    print("Table I — improvement of Optimal over each method:")
+    print(format_table(improvement_table(result)))
+    print("\nSTTW convexity failures:", sttw_failure_stats(result))
+    gf = gainer_fraction(result)
+    print("\nSharing gainers (fraction of groups where Natural < Equal):")
+    for name, frac in sorted(gf.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:12s} {frac:6.1%}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import validate_corun, validate_solo
+    from repro.workloads.spec import make_program
+
+    cb = args.cache_blocks
+    names = ["mcf", "tonto", "wrf", "povray"]
+    print("Solo HOTL-vs-LRU validation:")
+    for n in names:
+        tr = make_program(n, cb, length_scale=0.25)
+        sizes = [cb // 8, cb // 4, cb // 2]
+        v = validate_solo(tr, sizes)
+        print(f"  {n:10s} max |pred - meas| = {v.max_error:.4f}")
+    print("Pairwise co-run validation (NPA check):")
+    for a, b in [("mcf", "tonto"), ("wrf", "povray")]:
+        ta = make_program(a, cb, length_scale=0.25)
+        tb = make_program(b, cb, length_scale=0.25)
+        v = validate_corun([ta, tb], cb)
+        print(f"  {a}+{b}: max error = {v.max_error:.4f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.workloads.spec import make_program
+    from repro.workloads.stats import summarize_trace
+
+    for name in args.programs.split(","):
+        trace = make_program(name.strip(), args.cache_blocks)
+        stats = summarize_trace(trace)
+        print(stats.format())
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_study
+    from repro.experiments.methodology import (
+        ExperimentConfig,
+        build_suite_profile,
+        run_study,
+    )
+
+    cfg = ExperimentConfig.from_env()
+    print(f"Running the study ({cfg.n_groups} groups, {cfg.n_units} units)...")
+    t0 = time.time()
+    result = run_study(build_suite_profile(cfg))
+    print(f"  done in {time.time() - t0:.1f}s; writing CSVs to {args.out}")
+    for path in export_study(result, args.out):
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    import itertools
+
+    from repro.cachesim.shared import simulate_partition_sharing
+    from repro.workloads.generators import FIGURE1_CACHE_SIZE, figure1_traces
+
+    traces = figure1_traces()
+    C = FIGURE1_CACHE_SIZE
+
+    def misses(grouping, sizes):
+        r = simulate_partition_sharing(traces, grouping, sizes)
+        return int((r.misses + r.cold_misses).sum())
+
+    ffa = misses([[0, 1, 2, 3]], [C])
+    best_part = min(
+        (misses([[0], [1], [2], [3]], s), s)
+        for s in itertools.product(range(1, C + 1), repeat=4)
+        if sum(s) == C
+    )
+    ps = misses([[0], [1], [2, 3]], [1, 1, 4])
+    print(f"Figure 1 (cache of {C} blocks, every program keeps >= 1):")
+    print(f"  free-for-all sharing      : {ffa} misses")
+    print(f"  best strict partitioning  : {best_part[0]} misses {best_part[1]}")
+    print(f"  partition-sharing 1/1/{{3,4}}: {ps} misses")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cps",
+        description="Optimal Cache Partition-Sharing (ICPP 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("searchspace", help="§II solution-space sizes")
+    p.add_argument("--units", type=int, default=1024)
+    p.set_defaults(func=_cmd_searchspace)
+
+    p = sub.add_parser("optimize", help="six schemes for one co-run group")
+    p.add_argument("--programs", default="lbm,mcf,namd,soplex")
+    p.add_argument("--cache-blocks", type=int, default=4096)
+    p.add_argument("--unit-blocks", type=int, default=16)
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("study", help="the full §VII sweep (REPRO_SCALE=full for 1024 units)")
+    p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser("validate", help="§VII-C NPA validation")
+    p.add_argument("--cache-blocks", type=int, default=1024)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("figure1", help="the motivating example")
+    p.set_defaults(func=_cmd_figure1)
+
+    p = sub.add_parser("export", help="run the study and write table/figure CSVs")
+    p.add_argument("--out", default="results")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("profile", help="locality summary of catalog programs")
+    p.add_argument("--programs", default="lbm,mcf,povray")
+    p.add_argument("--cache-blocks", type=int, default=4096)
+    p.set_defaults(func=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Core contribution: optimal cache partition-sharing (paper §II, §V, §VI)."""
+
+from repro.core.baselines import (
+    baseline_partition,
+    equal_allocation,
+    equal_baseline_partition,
+    natural_baseline_partition,
+)
+from repro.core.dp import PartitionResult, brute_force_partition, optimal_partition
+from repro.core.dynamic import EpochPlan, plan_dynamic, plan_static, simulate_plan
+from repro.core.elastic import ElasticityPoint, elastic_partition, elasticity_sweep
+from repro.core.minplus import MinPlusFold, fold_curves, minplus_convolve
+from repro.core.multicache import (
+    Assignment,
+    greedy_assignment,
+    group_shared_cost,
+    optimal_assignment,
+)
+from repro.core.natural import natural_partition_units, round_to_units
+from repro.core.objectives import (
+    constrained_costs,
+    miss_count_costs,
+    qos_costs,
+    weighted_miss_costs,
+)
+from repro.core.partition_sharing import (
+    PartitionSharingResult,
+    group_cost_curve,
+    optimal_partition_sharing,
+    set_partitions,
+)
+from repro.core.schemes import SCHEMES, GroupEvaluation, SchemeOutcome, evaluate_group
+from repro.core.searchspace import (
+    PaperExample,
+    compositions,
+    paper_example,
+    partition_sharing_single_cache,
+    partitioning_only,
+    sharing_multiple_caches,
+    stirling2,
+)
+from repro.core.sttw import sttw_partition
+
+__all__ = [
+    "baseline_partition",
+    "equal_allocation",
+    "equal_baseline_partition",
+    "natural_baseline_partition",
+    "PartitionResult",
+    "brute_force_partition",
+    "optimal_partition",
+    "EpochPlan",
+    "plan_dynamic",
+    "plan_static",
+    "simulate_plan",
+    "ElasticityPoint",
+    "elastic_partition",
+    "elasticity_sweep",
+    "MinPlusFold",
+    "fold_curves",
+    "minplus_convolve",
+    "Assignment",
+    "greedy_assignment",
+    "group_shared_cost",
+    "optimal_assignment",
+    "natural_partition_units",
+    "round_to_units",
+    "constrained_costs",
+    "miss_count_costs",
+    "qos_costs",
+    "weighted_miss_costs",
+    "PartitionSharingResult",
+    "group_cost_curve",
+    "optimal_partition_sharing",
+    "set_partitions",
+    "SCHEMES",
+    "GroupEvaluation",
+    "SchemeOutcome",
+    "evaluate_group",
+    "PaperExample",
+    "compositions",
+    "paper_example",
+    "partition_sharing_single_cache",
+    "partitioning_only",
+    "sharing_multiple_caches",
+    "stirling2",
+    "sttw_partition",
+]

@@ -1,0 +1,101 @@
+"""Optimal cache partitioning by dynamic programming (paper §V-B, Eq. 15/16).
+
+Finds the allocation ``(c_1 .. c_P)`` with ``sum c_i = C`` minimizing the
+total cost ``sum_i cost_i(c_i)``.  Unlike STTW (1992) it needs **no
+convexity assumption** — the cost curves may be any functions, including
+``+inf`` entries for infeasible sizes (which is how the §VI baseline
+optimization is expressed).
+
+Complexity: O(P · C²) time, O(P · C) space — the numbers the paper quotes
+for 4 programs on a 1024-unit cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.minplus import MinPlusFold, fold_curves
+
+__all__ = ["PartitionResult", "optimal_partition", "brute_force_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """An optimal partition and its cost."""
+
+    allocation: np.ndarray
+    total_cost: float
+    fold: MinPlusFold
+
+    @property
+    def budget(self) -> int:
+        return int(self.allocation.sum())
+
+    def cost_curve(self) -> np.ndarray:
+        """Optimal combined cost for *every* budget ``0 .. C`` (free by-product)."""
+        return self.fold.total
+
+
+def optimal_partition(
+    costs: Sequence[np.ndarray], budget: int
+) -> PartitionResult:
+    """Solve Eq. 15: ``argmin sum_i cost_i(c_i)  s.t.  sum_i c_i = budget``.
+
+    Parameters
+    ----------
+    costs:
+        One cost curve per program over sizes ``0 .. C`` (all equal
+        length, ``C >= budget``).  Use :mod:`repro.core.objectives` to
+        build them from miss-ratio curves.
+    budget:
+        Total cache units to distribute.
+
+    Raises
+    ------
+    ValueError
+        If no feasible allocation exists at ``budget`` (possible only when
+        curves contain ``+inf`` constraints).
+    """
+    size = np.asarray(costs[0]).size
+    if any(np.asarray(c).size != size for c in costs):
+        raise ValueError("all cost curves must have equal length")
+    if not 0 <= budget < size:
+        raise ValueError(f"budget must be within the curves' grid [0, {size - 1}]")
+    fold = fold_curves(costs)
+    allocation = fold.allocate(budget)
+    return PartitionResult(
+        allocation=allocation, total_cost=fold.cost(budget), fold=fold
+    )
+
+
+def brute_force_partition(
+    costs: Sequence[np.ndarray], budget: int
+) -> tuple[np.ndarray, float]:
+    """Exhaustive search over all compositions of ``budget`` (testing only).
+
+    Enumerates the full stars-and-bars space (Eq. 3) — exponential in the
+    number of programs; the reference oracle for the DP.
+    """
+    n_prog = len(costs)
+    best_cost = np.inf
+    best = np.zeros(n_prog, dtype=np.int64)
+
+    def rec(i: int, remaining: int, partial: float, alloc: list[int]) -> None:
+        nonlocal best_cost, best
+        if i == n_prog - 1:
+            total = partial + float(costs[i][remaining])
+            if total < best_cost:
+                best_cost = total
+                best = np.array(alloc + [remaining], dtype=np.int64)
+            return
+        for c in range(remaining + 1):
+            term = float(costs[i][c])
+            if term == np.inf:
+                continue
+            rec(i + 1, remaining - c, partial + term, alloc + [c])
+
+    rec(0, budget, 0.0, [])
+    return best, best_cost

@@ -1,0 +1,105 @@
+"""Elastic baseline optimization (the paper's cited follow-up, RECU).
+
+§VI's baseline optimization is all-or-nothing: no program may do *any*
+worse than its baseline. The paper points at "elastic cache utility
+optimization" (Ye, Brock, Ding, Jin — NPC'15, the paper's reference [18])
+as the generalization: allow each program a bounded, tunable degradation
+below its baseline in exchange for group throughput.
+
+This module implements that spectrum on top of the same DP:
+
+* ``delta`` is the allowed *relative* miss-count increase over the
+  baseline (``delta = 0`` reproduces §VI exactly; ``delta = inf`` is the
+  unconstrained optimum);
+* :func:`elastic_partition` solves one point;
+* :func:`elasticity_sweep` traces the whole fairness-throughput frontier,
+  the trade-off curve the paper's summary alludes to ("the trade-off
+  between optimal partitioning and fair partitioning").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dp import PartitionResult, optimal_partition
+from repro.core.objectives import constrained_costs
+
+__all__ = ["elastic_partition", "ElasticityPoint", "elasticity_sweep"]
+
+
+def elastic_partition(
+    costs: Sequence[np.ndarray],
+    budget: int,
+    baseline_alloc: np.ndarray,
+    delta: float,
+) -> PartitionResult:
+    """Best allocation with per-program cost at most ``(1 + delta)`` × baseline.
+
+    ``delta = 0`` is exactly §VI's hard baseline; growing ``delta``
+    relaxes the fence until the unconstrained optimum is reached.  The
+    baseline allocation itself is always feasible, so a solution exists
+    for every ``delta >= 0``.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    baseline_alloc = np.asarray(baseline_alloc, dtype=np.int64)
+    if baseline_alloc.size != len(costs):
+        raise ValueError("baseline allocation must cover every program")
+    if baseline_alloc.min() < 0 or int(baseline_alloc.sum()) > budget:
+        raise ValueError("baseline allocation must be feasible within the budget")
+    thresholds = [
+        float(c[a]) * (1.0 + delta) for c, a in zip(costs, baseline_alloc.tolist())
+    ]
+    return optimal_partition(constrained_costs(costs, thresholds), budget)
+
+
+@dataclass(frozen=True)
+class ElasticityPoint:
+    """One point on the fairness-throughput frontier."""
+
+    delta: float
+    total_cost: float
+    allocation: np.ndarray
+    worst_program_increase: float  # realized max relative cost increase
+
+
+def elasticity_sweep(
+    costs: Sequence[np.ndarray],
+    budget: int,
+    baseline_alloc: np.ndarray,
+    deltas: Sequence[float],
+) -> list[ElasticityPoint]:
+    """Trace the frontier: group cost vs allowed per-program degradation.
+
+    The returned total costs are non-increasing in ``delta`` (a larger
+    fence can only help the group), and each point records the *realized*
+    worst-case individual degradation — typically far below the allowance.
+    """
+    baseline_alloc = np.asarray(baseline_alloc, dtype=np.int64)
+    base_costs = np.array(
+        [float(c[a]) for c, a in zip(costs, baseline_alloc.tolist())]
+    )
+    points = []
+    for delta in deltas:
+        res = elastic_partition(costs, budget, baseline_alloc, delta)
+        realized = np.array(
+            [float(c[a]) for c, a in zip(costs, res.allocation.tolist())]
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            increases = np.where(
+                base_costs > 0,
+                realized / np.where(base_costs > 0, base_costs, 1.0) - 1.0,
+                np.where(realized > 0, np.inf, 0.0),
+            )
+        points.append(
+            ElasticityPoint(
+                delta=float(delta),
+                total_cost=res.total_cost,
+                allocation=res.allocation,
+                worst_program_increase=float(np.max(increases)),
+            )
+        )
+    return points

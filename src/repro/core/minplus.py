@@ -1,0 +1,106 @@
+"""(min, +) convolution — the inner kernel of the partitioning DP (Eq. 16).
+
+Combining two programs' cost curves under a shared budget is exactly a
+min-plus convolution:
+
+    out[k] = min_{i = 0..k} a[i] + b[k - i]
+
+Folding all programs' curves this way *is* the paper's dynamic program;
+keeping the kernel separate lets the experiment driver share intermediate
+pair curves across the 1820 co-run groups (DESIGN.md §5 ablation).
+
+Costs are ``float64``; ``+inf`` marks infeasible sizes (used by the
+baseline-constrained optimization, §VI) and propagates correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["minplus_convolve", "MinPlusFold", "fold_curves"]
+
+
+def minplus_convolve(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Min-plus convolution of two cost curves of equal length ``C + 1``.
+
+    Returns ``(out, split)`` where ``split[k]`` is the budget given to
+    ``a`` in the optimal split of ``k`` (ties resolved to the smallest
+    ``a``-share, matching ``argmin``'s first-occurrence rule).
+
+    O(C²) work, vectorized per output cell row; the O(C) Python loop is
+    over output sizes only.
+    """
+    a = np.ascontiguousarray(a, dtype=np.float64)
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    if a.ndim != 1 or a.shape != b.shape:
+        raise ValueError("cost curves must be 1-D and of equal length")
+    n = a.size
+    out = np.empty(n, dtype=np.float64)
+    split = np.empty(n, dtype=np.int64)
+    # row k of the cost matrix is a[i] + b[k-i]; build all rows from one
+    # sliding-window view of reversed-b padded with +inf (i > k cells),
+    # processing in chunks to bound the O(C^2) scratch memory.
+    padded = np.concatenate([b[::-1], np.full(n - 1, np.inf)]) if n > 1 else b[::-1]
+    windows = np.lib.stride_tricks.sliding_window_view(padded, n)
+    chunk = max(1, (1 << 21) // max(n, 1))
+    for start in range(0, n, chunk):
+        ks = np.arange(start, min(start + chunk, n))
+        rows = windows[n - 1 - ks] + a[None, :]
+        idx = np.argmin(rows, axis=1)
+        split[ks] = idx
+        out[ks] = rows[np.arange(ks.size), idx]
+    return out, split
+
+
+@dataclass(frozen=True)
+class MinPlusFold:
+    """A left fold of P cost curves with full backtracking state.
+
+    ``total[k]`` is the optimal combined cost with budget ``k``;
+    :meth:`allocate` recovers the per-program budgets realizing it.
+    """
+
+    total: np.ndarray
+    splits: tuple[np.ndarray, ...]  # splits[j][k]: budget kept by curves 0..j at stage j
+
+    @property
+    def n_programs(self) -> int:
+        return len(self.splits) + 1
+
+    def cost(self, budget: int) -> float:
+        return float(self.total[budget])
+
+    def allocate(self, budget: int) -> np.ndarray:
+        """Optimal allocation ``(c_1..c_P)`` summing to ``budget`` (Eq. 15)."""
+        if not 0 <= budget < self.total.size:
+            raise ValueError(f"budget must be in [0, {self.total.size - 1}]")
+        if not np.isfinite(self.total[budget]):
+            raise ValueError(f"no feasible allocation at budget {budget}")
+        alloc = np.zeros(self.n_programs, dtype=np.int64)
+        k = int(budget)
+        for j in range(len(self.splits) - 1, -1, -1):
+            prefix_share = int(self.splits[j][k])
+            alloc[j + 1] = k - prefix_share
+            k = prefix_share
+        alloc[0] = k
+        return alloc
+
+
+def fold_curves(costs: Sequence[np.ndarray]) -> MinPlusFold:
+    """Fold P cost curves program-by-program (Eq. 16).
+
+    Stage ``j`` adds program ``j + 1`` to the running optimum of the first
+    ``j + 1`` programs — exactly the paper's recurrence; total time
+    O(P · C²), space O(P · C).
+    """
+    if not costs:
+        raise ValueError("need at least one cost curve")
+    running = np.ascontiguousarray(costs[0], dtype=np.float64)
+    splits: list[np.ndarray] = []
+    for curve in costs[1:]:
+        running, split = minplus_convolve(running, curve)
+        splits.append(split)
+    return MinPlusFold(total=running, splits=tuple(splits))

@@ -1,0 +1,57 @@
+"""Natural Cache Partition on the allocation-unit grid (paper §V-A).
+
+:func:`repro.composition.natural_partition` yields fractional block
+occupancies; the optimizers and the §VI natural baseline need an *integer
+unit* allocation that (a) sums exactly to the cache size and (b) stays as
+close as possible to the fractional ideal.  Largest-remainder rounding
+provides both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.composition.corun import natural_partition
+from repro.locality.footprint import FootprintCurve
+
+__all__ = ["round_to_units", "natural_partition_units"]
+
+
+def round_to_units(fractions: np.ndarray, total_units: int) -> np.ndarray:
+    """Largest-remainder rounding of non-negative shares to a fixed total.
+
+    ``fractions`` are real unit counts summing to ``<= total_units + eps``;
+    the result is integral, preserves the ordering of remainders, and sums
+    to ``min(total_units, floor-able mass)`` — exactly ``total_units`` when
+    the input sums to it.
+    """
+    frac = np.asarray(fractions, dtype=np.float64)
+    if np.any(frac < -1e-9):
+        raise ValueError("shares must be non-negative")
+    frac = np.clip(frac, 0.0, None)
+    base = np.floor(frac + 1e-9).astype(np.int64)
+    leftover = int(round(min(float(frac.sum()), float(total_units)))) - int(base.sum())
+    if leftover > 0:
+        order = np.argsort(-(frac - base), kind="stable")
+        base[order[:leftover]] += 1
+    return base
+
+
+def natural_partition_units(
+    footprints: Sequence[FootprintCurve],
+    cache_blocks: int,
+    unit_blocks: int,
+) -> np.ndarray:
+    """Integer-unit Natural Cache Partition summing to ``cache_blocks / unit_blocks``.
+
+    Computes the fractional NCP in blocks, converts to units, and rounds by
+    largest remainder.  When the group cannot fill the cache the unused
+    space is left unassigned (allocations sum to less than the total).
+    """
+    if cache_blocks % unit_blocks != 0:
+        raise ValueError("cache_blocks must be a multiple of unit_blocks")
+    occ_blocks = natural_partition(footprints, cache_blocks)
+    total_units = cache_blocks // unit_blocks
+    return round_to_units(occ_blocks / unit_blocks, total_units)

@@ -1,0 +1,95 @@
+"""Objective functions for the partitioning DP (paper §V-B).
+
+The DP minimizes any objective that is a *sum of per-program cost curves*
+over the allocation — the generality the paper claims over STTW.  This
+module builds the standard cost curves:
+
+* :func:`miss_count_costs` — throughput (Eq. 15: total misses);
+* :func:`weighted_miss_costs` — priority-weighted misses;
+* :func:`qos_costs` — hard per-program miss-ratio caps (+inf outside);
+* :func:`constrained_costs` — the baseline-fairness masking of §VI.
+
+``+inf`` entries mark infeasible sizes and flow through the min-plus
+kernel unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.locality.mrc import MissRatioCurve
+
+__all__ = [
+    "miss_count_costs",
+    "weighted_miss_costs",
+    "qos_costs",
+    "constrained_costs",
+]
+
+
+def _grid_check(mrcs: Sequence[MissRatioCurve]) -> int:
+    if not mrcs:
+        raise ValueError("need at least one curve")
+    size = mrcs[0].ratios.size
+    if any(m.ratios.size != size for m in mrcs):
+        raise ValueError("all curves must share one cache-size grid")
+    return size - 1
+
+
+def miss_count_costs(mrcs: Sequence[MissRatioCurve]) -> list[np.ndarray]:
+    """Per-program expected miss counts ``mc_i(c) = mr_i(c) * n_i`` (Eq. 15)."""
+    _grid_check(mrcs)
+    return [m.miss_counts() for m in mrcs]
+
+
+def weighted_miss_costs(
+    mrcs: Sequence[MissRatioCurve], weights: Sequence[float]
+) -> list[np.ndarray]:
+    """Priority-weighted miss counts: program ``i`` costs ``w_i * mc_i(c)``."""
+    _grid_check(mrcs)
+    if len(weights) != len(mrcs):
+        raise ValueError("one weight per program required")
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    return [wi * m.miss_counts() for wi, m in zip(w, mrcs)]
+
+
+def qos_costs(
+    mrcs: Sequence[MissRatioCurve], miss_ratio_caps: Sequence[float]
+) -> list[np.ndarray]:
+    """Miss counts with hard QoS caps: sizes where ``mr_i(c) > cap_i`` are banned.
+
+    Minimizing these curves yields the best throughput among allocations
+    meeting every program's service-level bound (the paper's QoS use case).
+    """
+    _grid_check(mrcs)
+    if len(miss_ratio_caps) != len(mrcs):
+        raise ValueError("one cap per program required")
+    out = []
+    for m, cap in zip(mrcs, miss_ratio_caps):
+        cost = m.miss_counts()
+        out.append(np.where(m.ratios <= cap + 1e-15, cost, np.inf))
+    return out
+
+
+def constrained_costs(
+    costs: Sequence[np.ndarray], thresholds: Sequence[float], *, rtol: float = 1e-9
+) -> list[np.ndarray]:
+    """Mask each cost curve to sizes meeting a per-program baseline (§VI).
+
+    Sizes with ``cost_i(c) > threshold_i`` become ``+inf``; the DP then
+    returns the best *fair* allocation — one in which no program does worse
+    than its baseline.  Works for non-monotonic curves too (the feasible
+    set may be non-contiguous).
+    """
+    if len(costs) != len(thresholds):
+        raise ValueError("one threshold per cost curve required")
+    out = []
+    for cost, thr in zip(costs, thresholds):
+        cost = np.asarray(cost, dtype=np.float64)
+        slack = thr + rtol * max(abs(thr), 1.0)
+        out.append(np.where(cost <= slack, cost, np.inf))
+    return out

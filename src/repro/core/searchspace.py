@@ -1,0 +1,102 @@
+"""Partition-sharing search-space combinatorics (paper §II, Eqs. 1–3).
+
+Exact integer counts of the three sub-problems' solution spaces:
+
+1. **Sharing, multiple caches** — ways to split ``npr`` programs over
+   ``nc`` non-empty shared caches: the Stirling number of the second kind
+   (Eq. 1).
+2. **Partition-sharing, single cache** — groupings × wall placements
+   (Eq. 2).
+3. **Partitioning only** — stars-and-bars compositions of the cache
+   (Eq. 3).
+
+Includes the paper's §II worked example (4 programs, an 8 MB cache in 64 B
+units): partitioning-only covers 99.99% of the partition-sharing space —
+the observation motivating the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import comb
+
+__all__ = [
+    "stirling2",
+    "sharing_multiple_caches",
+    "partition_sharing_single_cache",
+    "partitioning_only",
+    "PaperExample",
+    "paper_example",
+]
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind: partitions of ``n`` items into ``k`` non-empty groups."""
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be non-negative")
+    if n == k:
+        return 1
+    if k == 0 or k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def sharing_multiple_caches(npr: int, nc: int) -> int:
+    """Eq. 1: ways to share ``nc`` caches among ``npr`` programs (non-empty groups)."""
+    return stirling2(npr, nc)
+
+
+def compositions(total: int, parts: int) -> int:
+    """Weak compositions of ``total`` cache units into ``parts`` partitions.
+
+    The paper writes this ``C(total + parts - 1, parts - 1)`` — the
+    balls-in-bins count used by both Eq. 2 and Eq. 3.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    return comb(total + parts - 1, parts - 1)
+
+
+def partition_sharing_single_cache(npr: int, cache_units: int) -> int:
+    """Eq. 2: groupings × wall placements over all partition counts."""
+    return sum(
+        stirling2(npr, npa) * compositions(cache_units, npa)
+        for npa in range(1, npr + 1)
+    )
+
+
+def partitioning_only(npr: int, cache_units: int) -> int:
+    """Eq. 3: one dedicated partition per program (stars and bars)."""
+    return compositions(cache_units, npr)
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """The §II worked example: 4 programs, 8 MB cache, 64 B units."""
+
+    npr: int
+    cache_units: int
+    s2: int
+    s3: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the partition-sharing space covered by partitioning only."""
+        return self.s3 / self.s2
+
+
+def paper_example() -> PaperExample:
+    """Recompute the §II numbers: C = 8 MB / 64 B = 131072, npr = 4.
+
+    The paper prints S2 = 375,368,690,761,743 and
+    S3 = 375,317,149,057,025 — a 99.99% coverage.
+    """
+    npr, c = 4, 8 * 1024 * 1024 // 64
+    return PaperExample(
+        npr=npr,
+        cache_units=c,
+        s2=partition_sharing_single_cache(npr, c),
+        s3=partitioning_only(npr, c),
+    )

@@ -1,0 +1,99 @@
+"""The paper's §VII evaluation: methodology, Table I, Figures 5–7, validation."""
+
+from repro.experiments.figures import (
+    Figure5Program,
+    SttwFailureStats,
+    figure5,
+    figure6,
+    figure7,
+    gainer_fraction,
+    sttw_failure_stats,
+)
+from repro.experiments.convergence import (
+    ConvergenceResult,
+    compare_convergence,
+    convergence_time,
+    windowed_miss_ratio,
+)
+from repro.experiments.export import export_study
+from repro.experiments.ground_truth import (
+    GroundTruthRow,
+    ordering_agreement,
+    simulate_schemes,
+)
+from repro.experiments.qos import QoSPoint, qos_frontier, tightest_feasible_cap
+from repro.experiments.sampling import SubsetSpread, subset_spread
+from repro.experiments.io import (
+    load_footprint_ascii,
+    load_suite_npz,
+    save_footprint_ascii,
+    save_suite_npz,
+)
+from repro.experiments.methodology import (
+    STUDY_SCHEMES,
+    ExperimentConfig,
+    StudyResult,
+    SuiteProfile,
+    build_suite_profile,
+    run_study,
+)
+from repro.experiments.scaling import ScalingRow, group_size_study
+from repro.experiments.table1 import (
+    MR_FLOOR,
+    ImprovementRow,
+    format_table,
+    improvement_table,
+)
+from repro.experiments.validation import (
+    CorunValidation,
+    OccupancyValidation,
+    SoloValidation,
+    validate_corun,
+    validate_occupancy,
+    validate_solo,
+)
+
+__all__ = [
+    "Figure5Program",
+    "SttwFailureStats",
+    "figure5",
+    "figure6",
+    "figure7",
+    "gainer_fraction",
+    "sttw_failure_stats",
+    "ConvergenceResult",
+    "compare_convergence",
+    "convergence_time",
+    "windowed_miss_ratio",
+    "export_study",
+    "GroundTruthRow",
+    "ordering_agreement",
+    "simulate_schemes",
+    "QoSPoint",
+    "qos_frontier",
+    "tightest_feasible_cap",
+    "SubsetSpread",
+    "subset_spread",
+    "ScalingRow",
+    "group_size_study",
+    "load_footprint_ascii",
+    "load_suite_npz",
+    "save_footprint_ascii",
+    "save_suite_npz",
+    "STUDY_SCHEMES",
+    "ExperimentConfig",
+    "StudyResult",
+    "SuiteProfile",
+    "build_suite_profile",
+    "run_study",
+    "MR_FLOOR",
+    "ImprovementRow",
+    "format_table",
+    "improvement_table",
+    "CorunValidation",
+    "OccupancyValidation",
+    "SoloValidation",
+    "validate_corun",
+    "validate_occupancy",
+    "validate_solo",
+]

@@ -1,0 +1,101 @@
+"""CSV export of the study's tables and figure series.
+
+Regenerating a figure means producing its data file; this module writes
+the exact rows/series each paper artifact plots:
+
+* ``table1.csv``      — the Table I statistics;
+* ``figure5_<p>.csv`` — one file per program: its miss ratio per group
+  under the five schemes (the Fig. 5 panels);
+* ``figure6.csv``     — group miss ratios of five schemes, sorted by
+  Optimal (the Fig. 6 curves);
+* ``figure7.csv``     — Optimal vs STTW (the Fig. 7 curves);
+* ``gainers.csv``     — the §VII-B gainer/loser classification.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.figures import figure5, figure6, figure7, gainer_fraction
+from repro.experiments.methodology import StudyResult
+from repro.experiments.table1 import improvement_table
+
+__all__ = ["export_study"]
+
+
+def _write_rows(path: Path, header: list[str], rows) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_study(result: StudyResult, out_dir: str | Path) -> list[Path]:
+    """Write every table/figure data file; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    # Table I
+    path = out / "table1.csv"
+    _write_rows(
+        path,
+        ["method", "max_pct", "avg_pct", "median_pct", "ge10_pct", "ge20_pct"],
+        [
+            [r.method, f"{r.max_pct:.4f}", f"{r.avg_pct:.4f}", f"{r.median_pct:.4f}",
+             f"{r.at_least_10_pct:.4f}", f"{r.at_least_20_pct:.4f}"]
+            for r in improvement_table(result)
+        ],
+    )
+    written.append(path)
+
+    # Figure 5: one file per program panel
+    for panel in figure5(result):
+        path = out / f"figure5_{panel.name}.csv"
+        schemes = list(panel.series)
+        n = len(next(iter(panel.series.values())))
+        _write_rows(
+            path,
+            ["group"] + schemes,
+            [
+                [i] + [f"{panel.series[s][i]:.6f}" for s in schemes]
+                for i in range(n)
+            ],
+        )
+        written.append(path)
+
+    # Figure 6
+    series6 = figure6(result)
+    schemes6 = list(series6)
+    n6 = len(series6[schemes6[0]])
+    path = out / "figure6.csv"
+    _write_rows(
+        path,
+        ["rank"] + schemes6,
+        [[i] + [f"{series6[s][i]:.6f}" for s in schemes6] for i in range(n6)],
+    )
+    written.append(path)
+
+    # Figure 7
+    series7 = figure7(result)
+    path = out / "figure7.csv"
+    _write_rows(
+        path,
+        ["rank", "optimal", "sttw"],
+        [
+            [i, f"{series7['optimal'][i]:.6f}", f"{series7['sttw'][i]:.6f}"]
+            for i in range(len(series7["optimal"]))
+        ],
+    )
+    written.append(path)
+
+    # gainer/loser classification
+    path = out / "gainers.csv"
+    _write_rows(
+        path,
+        ["program", "gain_fraction"],
+        [[name, f"{frac:.4f}"] for name, frac in gainer_fraction(result).items()],
+    )
+    written.append(path)
+    return written

@@ -1,0 +1,130 @@
+"""Data series behind the paper's Figures 5, 6 and 7.
+
+Each function turns a :class:`~repro.experiments.methodology.StudyResult`
+into exactly the rows/series the corresponding figure plots, plus the
+derived observations the paper calls out in the text (gainer/loser
+classification, the harmonizing effect, STTW's failure rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.methodology import StudyResult
+
+__all__ = [
+    "Figure5Program",
+    "figure5",
+    "figure6",
+    "figure7",
+    "gainer_fraction",
+    "sttw_failure_stats",
+]
+
+FIGURE5_SCHEMES: tuple[str, ...] = (
+    "natural",
+    "equal",
+    "natural_baseline",
+    "equal_baseline",
+    "optimal",
+)
+
+
+@dataclass(frozen=True)
+class Figure5Program:
+    """One per-program panel of Figure 5.
+
+    ``series[scheme]`` is the program's individual miss ratio across every
+    co-run group containing it (the paper plots these 455 points per
+    scheme); ``equal_mr`` is the constant equal-partition miss ratio the
+    panels are sorted by.
+    """
+
+    name: str
+    equal_mr: float
+    series: dict[str, np.ndarray]
+
+    @property
+    def gain_fraction(self) -> float:
+        """Fraction of groups where sharing *materially* beats the equal
+        partition (at least 0.5% relative — ties and noise don't count)."""
+        nat, eq = self.series["natural"], self.series["equal"]
+        return float(np.mean(nat < eq * (1.0 - 0.005)))
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of groups where sharing materially hurts vs equal."""
+        nat, eq = self.series["natural"], self.series["equal"]
+        return float(np.mean(nat > eq * (1.0 + 0.005)))
+
+
+def figure5(result: StudyResult) -> list[Figure5Program]:
+    """Per-program miss ratios under five schemes, panels sorted by Equal mr.
+
+    Reproduces Figure 5's ordering: panels appear in decreasing
+    equal-partition miss ratio (the paper's front-of-page = high-miss).
+    """
+    programs = []
+    for name in result.profile.names:
+        series = {
+            s: result.program_series(name, s)
+            for s in FIGURE5_SCHEMES
+            if s in result.schemes
+        }
+        equal_mr = float(series["equal"][0]) if "equal" in series else np.nan
+        programs.append(Figure5Program(name=name, equal_mr=equal_mr, series=series))
+    programs.sort(key=lambda p: -p.equal_mr)
+    return programs
+
+
+def figure6(result: StudyResult) -> dict[str, np.ndarray]:
+    """Group miss ratio of the five partitioning methods, sorted by Optimal.
+
+    Returns one series per scheme, all ordered by increasing Optimal group
+    miss ratio (the figure's x-axis).
+    """
+    order = np.argsort(result.series("optimal"), kind="stable")
+    return {
+        s: result.series(s)[order] for s in FIGURE5_SCHEMES if s in result.schemes
+    }
+
+
+def figure7(result: StudyResult) -> dict[str, np.ndarray]:
+    """Optimal vs STTW group miss ratios, sorted by Optimal."""
+    order = np.argsort(result.series("optimal"), kind="stable")
+    return {s: result.series(s)[order] for s in ("optimal", "sttw")}
+
+
+def gainer_fraction(result: StudyResult) -> dict[str, float]:
+    """Per-program fraction of co-run groups gained by sharing (§VII-B).
+
+    A program is a *gainer* in a group when its shared-cache (natural)
+    miss ratio is below its equal-partition miss ratio.
+    """
+    return {p.name: p.gain_fraction for p in figure5(result)}
+
+
+@dataclass(frozen=True)
+class SttwFailureStats:
+    """The §VII-B STTW findings in numbers."""
+
+    worse_than_optimal_10pct: float  # fraction of groups >= 10% worse
+    worse_than_optimal_20pct: float
+    worse_than_natural: float  # fraction where STTW loses to free sharing
+    avg_gap_pct: float
+
+
+def sttw_failure_stats(result: StudyResult) -> SttwFailureStats:
+    """Quantify how often the convexity assumption bites (Fig. 7 narrative)."""
+    opt = np.maximum(result.series("optimal"), 1e-12)
+    sttw = result.series("sttw")
+    nat = result.series("natural")
+    gap = sttw / opt - 1.0
+    return SttwFailureStats(
+        worse_than_optimal_10pct=float(np.mean(gap >= 0.10)),
+        worse_than_optimal_20pct=float(np.mean(gap >= 0.20)),
+        worse_than_natural=float(np.mean(sttw > nat + 1e-12)),
+        avg_gap_pct=float(np.mean(gap)) * 100.0,
+    )

@@ -1,0 +1,87 @@
+"""Trace-level ground truth for the study's conclusions.
+
+The §VII evaluation is *model-level*: every number comes from footprints
+and the composition theory.  The paper justifies this with prior
+hardware validation (§VII-C); this module closes the loop in-repo by
+replaying sampled co-run groups through the exact simulators under the
+allocations each scheme chose, and checking that the *conclusions* (who
+wins) survive the move from model to simulation.
+
+For a group and a scheme's allocation:
+
+* partitioning schemes (equal/optimal/...) are simulated with
+  per-program LRU partitions;
+* the natural (free-for-all) scheme is simulated as one shared LRU over
+  the deterministic interleaving, truncated at first exhaustion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cachesim.partitioned import simulate_partitioned
+from repro.cachesim.shared import simulate_shared
+from repro.workloads.interleave import corun_limit
+from repro.workloads.trace import Trace
+
+__all__ = ["GroundTruthRow", "simulate_schemes", "ordering_agreement"]
+
+
+@dataclass(frozen=True)
+class GroundTruthRow:
+    """Model vs simulation for one group under several schemes."""
+
+    names: tuple[str, ...]
+    predicted: dict[str, float]  # scheme -> predicted group miss ratio
+    simulated: dict[str, float]  # scheme -> simulated group miss ratio
+
+    def prediction_error(self, scheme: str) -> float:
+        return abs(self.predicted[scheme] - self.simulated[scheme])
+
+    def ordering_preserved(self, better: str, worse: str, *, slack: float = 0.0) -> bool:
+        """Does the simulated ordering agree with the model's claim that
+        ``better`` is at most ``worse`` (within ``slack``)?"""
+        return self.simulated[better] <= self.simulated[worse] + slack
+
+
+def simulate_schemes(
+    traces: Sequence[Trace],
+    allocations_blocks: dict[str, np.ndarray],
+    cache_blocks: int,
+    predicted: dict[str, float],
+) -> GroundTruthRow:
+    """Replay one group under each scheme's allocation.
+
+    ``allocations_blocks`` maps scheme name to per-program block
+    allocations; the special key ``"natural"`` triggers a shared-cache
+    simulation instead.  Miss ratios exclude cold misses (the model's
+    steady-state convention).
+    """
+    simulated: dict[str, float] = {}
+    limit = corun_limit(traces)
+    for scheme, alloc in allocations_blocks.items():
+        if scheme == "natural":
+            res = simulate_shared(traces, cache_blocks, limit=limit)
+            simulated[scheme] = res.group_miss_ratio(include_cold=False)
+        else:
+            res = simulate_partitioned(traces, np.asarray(alloc, dtype=np.int64))
+            simulated[scheme] = res.group_miss_ratio()
+    return GroundTruthRow(
+        names=tuple(t.name for t in traces),
+        predicted=dict(predicted),
+        simulated=simulated,
+    )
+
+
+def ordering_agreement(
+    rows: Sequence[GroundTruthRow], better: str, worse: str, *, slack: float = 0.0
+) -> float:
+    """Fraction of groups whose simulation confirms ``better <= worse``."""
+    if not rows:
+        raise ValueError("need at least one row")
+    return float(
+        np.mean([row.ordering_preserved(better, worse, slack=slack) for row in rows])
+    )

@@ -1,0 +1,102 @@
+"""Footprint-profile persistence.
+
+The paper's optimizer "reads 4 footprints from 4 files" kept as ASCII
+(§VII-A, 242–375 KB per program) and notes binary would be smaller.  Both
+formats are provided:
+
+* ASCII — one ``window footprint`` pair per line with a small header, for
+  inspection and interchange;
+* NPZ — compressed binary for bulk suite storage.
+
+Stored curves round-trip exactly (ASCII to 17 significant digits).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.locality.footprint import FootprintCurve
+
+__all__ = [
+    "save_footprint_ascii",
+    "load_footprint_ascii",
+    "save_suite_npz",
+    "load_suite_npz",
+]
+
+_MAGIC = "# repro footprint v1"
+
+
+def save_footprint_ascii(fp: FootprintCurve, path: str | Path) -> None:
+    """Write one footprint curve in the paper's one-pair-per-line style."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"{_MAGIC}\n")
+        fh.write(f"# name {fp.name}\n")
+        fh.write(f"# n {fp.n}\n")
+        fh.write(f"# m {fp.m}\n")
+        fh.write(f"# access_rate {fp.access_rate:.17g}\n")
+        for w, v in enumerate(fp.values.tolist()):
+            fh.write(f"{w} {v:.17g}\n")
+
+
+def load_footprint_ascii(path: str | Path) -> FootprintCurve:
+    """Read a curve written by :func:`save_footprint_ascii`."""
+    path = Path(path)
+    meta: dict[str, str] = {}
+    values: list[float] = []
+    with path.open() as fh:
+        first = fh.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise ValueError(f"{path}: not a repro footprint file")
+        for line in fh:
+            if line.startswith("#"):
+                _, key, val = line.rstrip("\n").split(" ", 2)
+                meta[key] = val
+            else:
+                _, v = line.split()
+                values.append(float(v))
+    n = int(meta["n"])
+    if len(values) != n + 1:
+        raise ValueError(f"{path}: expected {n + 1} samples, found {len(values)}")
+    return FootprintCurve(
+        np.asarray(values, dtype=np.float64),
+        n=n,
+        m=int(meta["m"]),
+        access_rate=float(meta["access_rate"]),
+        name=meta.get("name", "trace"),
+    )
+
+
+def save_suite_npz(footprints: Sequence[FootprintCurve], path: str | Path) -> None:
+    """Store a whole suite of curves in one compressed NPZ archive."""
+    arrays: dict[str, np.ndarray] = {}
+    names = []
+    for i, fp in enumerate(footprints):
+        arrays[f"values_{i}"] = fp.values
+        arrays[f"meta_{i}"] = np.array([fp.n, fp.m, fp.access_rate], dtype=np.float64)
+        names.append(fp.name)
+    arrays["names"] = np.array(names)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_suite_npz(path: str | Path) -> list[FootprintCurve]:
+    """Load a suite stored by :func:`save_suite_npz` (order preserved)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        names = [str(x) for x in data["names"]]
+        out = []
+        for i, name in enumerate(names):
+            n, m, rate = data[f"meta_{i}"]
+            out.append(
+                FootprintCurve(
+                    data[f"values_{i}"],
+                    n=int(n),
+                    m=int(m),
+                    access_rate=float(rate),
+                    name=name,
+                )
+            )
+    return out

@@ -1,0 +1,322 @@
+"""The §VII-A evaluation methodology: exhaustive 4-program co-run study.
+
+The paper enumerates *all* C(16, 4) = 1820 four-program subsets of its
+16-program suite and models six cache-sharing solutions per group on an
+8 MB cache split into 1024 allocation units ("sampling is unscientific",
+§VII-B).  This module reproduces that pipeline:
+
+1. profile every program once (footprint → unit-grid miss-ratio curve);
+2. sweep every group, evaluating all six schemes;
+3. return a :class:`StudyResult` holding per-group and per-program miss
+   ratios — the raw data behind Table I and Figures 5–7.
+
+The unconstrained and equal-baseline DPs are accelerated by *pair-curve
+memoization*: the min-plus fold is associative, so the 120 two-program
+combined curves are shared across all 1820 groups (a ~3x saving measured
+by ``benchmarks/bench_cost.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.composition.corun import CorunSolver
+from repro.core.baselines import equal_allocation
+from repro.core.minplus import minplus_convolve
+from repro.core.natural import round_to_units
+from repro.core.objectives import constrained_costs
+from repro.core.sttw import sttw_partition
+from repro.locality.footprint import FootprintCurve, average_footprint
+from repro.locality.hotl import miss_ratio
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads.spec import SPEC_NAMES, make_suite
+
+__all__ = [
+    "STUDY_SCHEMES",
+    "ExperimentConfig",
+    "SuiteProfile",
+    "build_suite_profile",
+    "StudyResult",
+    "run_study",
+]
+
+STUDY_SCHEMES: tuple[str, ...] = (
+    "equal",
+    "natural",
+    "equal_baseline",
+    "natural_baseline",
+    "optimal",
+    "sttw",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and membership of the co-run study.
+
+    The paper's scale is ``cache_blocks=131072`` (8 MB of 64 B blocks) with
+    ``unit_blocks=128`` (8 KB units → 1024 units).  The default here keeps
+    the same 4-program × 16-program exhaustive structure at a laptop-friendly
+    grid; set ``REPRO_SCALE=full`` (see :func:`ExperimentConfig.from_env`)
+    for the paper's 1024-unit grid.
+    """
+
+    cache_blocks: int = 4096
+    unit_blocks: int = 16
+    group_size: int = 4
+    names: tuple[str, ...] = SPEC_NAMES
+    length_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cache_blocks % self.unit_blocks != 0:
+            raise ValueError("cache_blocks must be a multiple of unit_blocks")
+        if not 2 <= self.group_size <= len(self.names):
+            raise ValueError("group_size must be between 2 and the suite size")
+
+    @property
+    def n_units(self) -> int:
+        return self.cache_blocks // self.unit_blocks
+
+    @property
+    def n_groups(self) -> int:
+        from math import comb
+
+        return comb(len(self.names), self.group_size)
+
+    @classmethod
+    def from_env(cls) -> "ExperimentConfig":
+        """Default (fast) scale, or the paper's 1024-unit grid when ``REPRO_SCALE=full``."""
+        if os.environ.get("REPRO_SCALE", "").lower() == "full":
+            return cls(cache_blocks=16384, unit_blocks=16)
+        return cls()
+
+
+@dataclass(frozen=True)
+class SuiteProfile:
+    """Solo profiles of every program: the only measured inputs of the study."""
+
+    config: ExperimentConfig
+    footprints: tuple[FootprintCurve, ...]
+    mrcs: tuple[MissRatioCurve, ...]  # on the allocation-unit grid
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(fp.name for fp in self.footprints)
+
+
+def build_suite_profile(config: ExperimentConfig | None = None) -> SuiteProfile:
+    """Generate the suite traces and profile each program once."""
+    cfg = config if config is not None else ExperimentConfig()
+    traces = make_suite(cfg.cache_blocks, names=cfg.names, length_scale=cfg.length_scale)
+    footprints = tuple(average_footprint(t) for t in traces)
+    mrcs = tuple(
+        MissRatioCurve.from_footprint(fp, cfg.cache_blocks).resample(
+            cfg.unit_blocks, cfg.n_units
+        )
+        for fp in footprints
+    )
+    return SuiteProfile(config=cfg, footprints=footprints, mrcs=mrcs)
+
+
+@dataclass
+class StudyResult:
+    """Raw output of the exhaustive co-run sweep.
+
+    ``group_mr[g, s]`` — group miss ratio of group ``g`` under scheme ``s``;
+    ``program_mr[g, p, s]`` — member ``p``'s individual miss ratio;
+    ``allocations[g, p, s]`` — member ``p``'s allocation in units
+    (fractional for the natural scheme);
+    ``groups[g]`` — the member indices into ``profile.names``.
+    """
+
+    profile: SuiteProfile
+    schemes: tuple[str, ...]
+    groups: np.ndarray
+    group_mr: np.ndarray
+    program_mr: np.ndarray
+    allocations: np.ndarray
+    convexity_violations: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def scheme_index(self, scheme: str) -> int:
+        return self.schemes.index(scheme)
+
+    def series(self, scheme: str) -> np.ndarray:
+        return self.group_mr[:, self.scheme_index(scheme)]
+
+    def groups_containing(self, program: int | str) -> np.ndarray:
+        """Row indices of the groups that include the given program."""
+        if isinstance(program, str):
+            program = self.profile.names.index(program)
+        return np.flatnonzero((self.groups == program).any(axis=1))
+
+    def program_series(self, program: int | str, scheme: str) -> np.ndarray:
+        """One program's individual miss ratio across all its groups."""
+        if isinstance(program, str):
+            program = self.profile.names.index(program)
+        rows = self.groups_containing(program)
+        member = np.argmax(self.groups[rows] == program, axis=1)
+        return self.program_mr[rows, member, self.scheme_index(scheme)]
+
+
+def _pair_tables(
+    costs: Sequence[np.ndarray], pairs: Iterable[tuple[int, int]]
+) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
+    """Memoized two-program min-plus curves (value, split) for the sweep."""
+    return {
+        (i, j): minplus_convolve(costs[i], costs[j]) for i, j in pairs
+    }
+
+
+def _group_via_pairs(
+    pair_tables: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]],
+    members: tuple[int, int, int, int],
+    budget: int,
+) -> tuple[np.ndarray, float]:
+    """Optimal 4-way allocation using two pair curves and one final fold."""
+    a, b, c, d = members
+    val_ab, split_ab = pair_tables[(a, b)]
+    val_cd, split_cd = pair_tables[(c, d)]
+    total, split = minplus_convolve(val_ab, val_cd)
+    k_ab = int(split[budget])
+    k_cd = budget - k_ab
+    alloc = np.empty(4, dtype=np.int64)
+    alloc[0] = split_ab[k_ab]
+    alloc[1] = k_ab - alloc[0]
+    alloc[2] = split_cd[k_cd]
+    alloc[3] = k_cd - alloc[2]
+    return alloc, float(total[budget])
+
+
+def run_study(
+    profile: SuiteProfile,
+    *,
+    schemes: Sequence[str] = STUDY_SCHEMES,
+    groups: Sequence[tuple[int, ...]] | None = None,
+    progress: bool = False,
+) -> StudyResult:
+    """Sweep all co-run groups under every requested scheme.
+
+    ``groups`` defaults to *all* size-``group_size`` subsets of the suite
+    (the paper's exhaustive design).  Group miss ratios are weighted by
+    access counts; individual miss ratios come from each program's solo
+    curve at its allocation, per the Natural Partition Assumption.
+    """
+    cfg = profile.config
+    n_units = cfg.n_units
+    unit = cfg.unit_blocks
+    costs = [m.miss_counts() for m in profile.mrcs]
+    weights = np.array([m.n_accesses for m in profile.mrcs], dtype=np.float64)
+    all_groups = (
+        list(groups)
+        if groups is not None
+        else list(combinations(range(len(profile.names)), cfg.group_size))
+    )
+    if any(len(g) != cfg.group_size for g in all_groups):
+        raise ValueError("every group must match config.group_size")
+    n_g, P = len(all_groups), cfg.group_size
+    n_s = len(schemes)
+    group_mr = np.full((n_g, n_s), np.nan)
+    program_mr = np.full((n_g, P, n_s), np.nan)
+    allocations = np.full((n_g, P, n_s), np.nan)
+
+    need_pairs = P == 4 and ("optimal" in schemes or "equal_baseline" in schemes)
+    pair_opt = pair_eq = None
+    eq_costs: list[np.ndarray] = []
+    if "equal_baseline" in schemes:
+        eq_alloc = equal_allocation(P, n_units)
+        # per-program thresholds depend only on the (group-independent)
+        # equal share, so the masked curves memoize across groups too
+        thresholds = [float(c[eq_alloc[0]]) for c in costs]
+        eq_costs = constrained_costs(costs, thresholds)
+    if need_pairs:
+        pairs = list(combinations(range(len(costs)), 2))
+        if "optimal" in schemes:
+            pair_opt = _pair_tables(costs, pairs)
+        if "equal_baseline" in schemes:
+            pair_eq = _pair_tables(eq_costs, pairs)
+
+    natural_needed = "natural" in schemes or "natural_baseline" in schemes
+
+    for g, members in enumerate(all_groups):
+        members = tuple(members)
+        g_costs = [costs[i] for i in members]
+        g_weights = weights[list(members)]
+        g_mrcs = [profile.mrcs[i] for i in members]
+
+        solver: CorunSolver | None = None
+        natural_units: np.ndarray | None = None
+        if natural_needed:
+            g_fps = [profile.footprints[i] for i in members]
+            solver = CorunSolver(g_fps, max_cache=cfg.cache_blocks)
+
+        def record(s: int, alloc_units: np.ndarray, mrs: np.ndarray) -> None:
+            allocations[g, :, s] = alloc_units
+            program_mr[g, :, s] = mrs
+            group_mr[g, s] = float(np.dot(mrs, g_weights) / g_weights.sum())
+
+        def grid_mrs(alloc: np.ndarray) -> np.ndarray:
+            return np.array(
+                [m.ratios[a] for m, a in zip(g_mrcs, alloc.tolist())]
+            )
+
+        for s, scheme in enumerate(schemes):
+            if scheme == "equal":
+                alloc = equal_allocation(P, n_units)
+                record(s, alloc, grid_mrs(alloc))
+            elif scheme == "natural":
+                assert solver is not None
+                pred = solver.predict(cfg.cache_blocks)
+                record(s, pred.occupancies / unit, pred.miss_ratios)
+            elif scheme == "optimal":
+                if pair_opt is not None:
+                    alloc, _ = _group_via_pairs(pair_opt, members, n_units)
+                else:
+                    from repro.core.dp import optimal_partition
+
+                    alloc = optimal_partition(g_costs, n_units).allocation
+                record(s, alloc, grid_mrs(alloc))
+            elif scheme == "equal_baseline":
+                if pair_eq is not None:
+                    alloc, _ = _group_via_pairs(pair_eq, members, n_units)
+                else:
+                    from repro.core.baselines import equal_baseline_partition
+
+                    alloc = equal_baseline_partition(g_costs, n_units).allocation
+                record(s, alloc, grid_mrs(alloc))
+            elif scheme == "natural_baseline":
+                assert solver is not None
+                if natural_units is None:
+                    occ = solver.occupancies(cfg.cache_blocks)
+                    natural_units = round_to_units(occ / unit, n_units)
+                from repro.core.baselines import natural_baseline_partition
+
+                alloc = natural_baseline_partition(
+                    g_costs, n_units, natural_units
+                ).allocation
+                record(s, alloc, grid_mrs(alloc))
+            elif scheme == "sttw":
+                alloc = sttw_partition(g_costs, n_units)
+                record(s, alloc, grid_mrs(alloc))
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
+
+        if progress and (g + 1) % 200 == 0:  # pragma: no cover - console aid
+            print(f"  swept {g + 1}/{n_g} groups")
+
+    # census of *material* convexity violations (tolerance filters the
+    # sampling noise; what remains are real plateau-then-cliff structures)
+    violations = np.array([m.convexity_violations(tol=1e-3) for m in profile.mrcs])
+    return StudyResult(
+        profile=profile,
+        schemes=tuple(schemes),
+        groups=np.array(all_groups, dtype=np.int64),
+        group_mr=group_mr,
+        program_mr=program_mr,
+        allocations=allocations,
+        convexity_violations=violations,
+    )

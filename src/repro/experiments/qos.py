@@ -1,0 +1,93 @@
+"""QoS-constrained optimization (§V-B's "any objective function" claim).
+
+"[The algorithm] can optimize for any objective function, for example,
+fairness and quality of service (QoS) in addition to throughput."
+This module exercises the QoS form: each program may carry a hard
+miss-ratio cap; the DP finds the best throughput among allocations
+meeting every cap, or reports infeasibility.
+
+:func:`qos_frontier` sweeps a uniform cap over a group: as the cap
+tightens, more cache is pinned to capped programs, throughput degrades,
+and eventually no allocation satisfies everyone — mapping the whole
+feasibility/throughput frontier of one co-run group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dp import optimal_partition
+from repro.core.objectives import qos_costs
+from repro.locality.mrc import MissRatioCurve
+
+__all__ = ["QoSPoint", "qos_frontier", "tightest_feasible_cap"]
+
+
+@dataclass(frozen=True)
+class QoSPoint:
+    """One cap setting on the QoS frontier."""
+
+    cap: float
+    feasible: bool
+    group_miss_ratio: float  # NaN when infeasible
+    allocation: np.ndarray | None
+
+
+def _solve(mrcs: Sequence[MissRatioCurve], caps: Sequence[float], budget: int):
+    costs = qos_costs(mrcs, caps)
+    try:
+        res = optimal_partition(costs, budget)
+    except ValueError:
+        return None
+    return res
+
+
+def qos_frontier(
+    mrcs: Sequence[MissRatioCurve],
+    budget: int,
+    caps: Sequence[float],
+) -> list[QoSPoint]:
+    """Solve the QoS-capped optimum for each uniform cap value."""
+    weights = np.array([m.n_accesses for m in mrcs], dtype=np.float64)
+    points = []
+    for cap in caps:
+        res = _solve(mrcs, [cap] * len(mrcs), budget)
+        if res is None:
+            points.append(QoSPoint(float(cap), False, float("nan"), None))
+            continue
+        mrs = np.array([m.ratios[a] for m, a in zip(mrcs, res.allocation.tolist())])
+        points.append(
+            QoSPoint(
+                float(cap),
+                True,
+                float(np.dot(mrs, weights) / weights.sum()),
+                res.allocation,
+            )
+        )
+    return points
+
+
+def tightest_feasible_cap(
+    mrcs: Sequence[MissRatioCurve],
+    budget: int,
+    *,
+    tolerance: float = 1e-4,
+) -> float:
+    """Smallest uniform miss-ratio cap any partition can satisfy.
+
+    Binary search over the cap; the infimum is the best achievable
+    *max* individual miss ratio — the egalitarian optimum of the group.
+    """
+    lo, hi = 0.0, 1.0
+    if _solve(mrcs, [lo] * len(mrcs), budget) is not None:
+        return 0.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if _solve(mrcs, [mid] * len(mrcs), budget) is None:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,83 @@
+"""The §VII-B "Sampling is Unscientific" experiment.
+
+"The exhaustive evaluation is important, since a random subset from
+these 1,840 groups can mislead ... There is no sure way to choosing a
+representative subset unless we have evaluated the whole set."
+
+This module quantifies that warning: draw many random subsets of the
+co-run groups, recompute the headline statistics (average improvement of
+Optimal over Natural/Equal) on each subset, and report how far subsets
+stray from the exhaustive answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.methodology import StudyResult
+from repro.experiments.table1 import MR_FLOOR
+
+__all__ = ["SubsetSpread", "subset_spread"]
+
+
+@dataclass(frozen=True)
+class SubsetSpread:
+    """Distribution of a subset-estimated statistic vs the exhaustive value."""
+
+    method: str
+    subset_size: int
+    n_subsets: int
+    exhaustive_avg_pct: float
+    subset_avg_pcts: np.ndarray
+
+    @property
+    def spread_pct(self) -> float:
+        """Std of the subset estimates, in improvement percentage points."""
+        return float(np.std(self.subset_avg_pcts))
+
+    @property
+    def worst_deviation_pct(self) -> float:
+        return float(np.max(np.abs(self.subset_avg_pcts - self.exhaustive_avg_pct)))
+
+    @property
+    def relative_spread(self) -> float:
+        """Spread relative to the exhaustive value."""
+        return self.spread_pct / max(abs(self.exhaustive_avg_pct), 1e-9)
+
+
+def subset_spread(
+    result: StudyResult,
+    method: str,
+    *,
+    subset_size: int = 50,
+    n_subsets: int = 200,
+    rng: np.random.Generator | None = None,
+) -> SubsetSpread:
+    """Re-estimate Optimal's average improvement over ``method`` from
+    random group subsets and compare to the exhaustive study."""
+    if subset_size < 1 or n_subsets < 1:
+        raise ValueError("subset_size and n_subsets must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(13)
+    opt = result.series("optimal")
+    other = result.series(method)
+    keep = opt >= MR_FLOOR
+    imp = other[keep] / opt[keep] - 1.0
+    if subset_size > imp.size:
+        raise ValueError("subset_size exceeds the number of admissible groups")
+    exhaustive = float(np.mean(imp)) * 100.0
+    subset_means = np.array(
+        [
+            float(np.mean(imp[rng.choice(imp.size, size=subset_size, replace=False)]))
+            * 100.0
+            for _ in range(n_subsets)
+        ]
+    )
+    return SubsetSpread(
+        method=method,
+        subset_size=subset_size,
+        n_subsets=n_subsets,
+        exhaustive_avg_pct=exhaustive,
+        subset_avg_pcts=subset_means,
+    )

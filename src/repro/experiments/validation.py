@@ -1,0 +1,147 @@
+"""§VII-C validation: does the Natural Partition Assumption hold?
+
+The paper leans on prior hardware-counter studies (Xiang et al.'s 190
+program pairs) to argue the HOTL co-run prediction — and therefore the
+NPA — is accurate.  Without their hardware we validate the same way
+against our trace-driven simulator:
+
+* **miss-ratio validation** — for program pairs/groups, compare each
+  program's HOTL-predicted shared-cache miss ratio against the measured
+  miss ratio from the interleaved LRU simulation;
+* **occupancy validation** — compare the Natural Cache Partition against
+  the time-averaged per-program occupancy measured in the shared cache;
+* **solo validation** — compare the HOTL solo miss-ratio curve against
+  exact stack-distance simulation (HOTL's base case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cachesim.lru import lru_miss_counts
+from repro.cachesim.shared import shared_occupancy, simulate_shared
+from repro.composition.corun import predict_corun
+from repro.locality.footprint import average_footprint
+from repro.locality.hotl import miss_ratio
+from repro.workloads.interleave import corun_limit
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "CorunValidation",
+    "validate_corun",
+    "OccupancyValidation",
+    "validate_occupancy",
+    "SoloValidation",
+    "validate_solo",
+]
+
+
+@dataclass(frozen=True)
+class CorunValidation:
+    """Predicted vs measured shared-cache miss ratios for one group."""
+
+    names: tuple[str, ...]
+    cache_size: int
+    predicted: np.ndarray
+    measured: np.ndarray
+
+    @property
+    def absolute_errors(self) -> np.ndarray:
+        return np.abs(self.predicted - self.measured)
+
+    @property
+    def max_error(self) -> float:
+        return float(self.absolute_errors.max())
+
+
+def validate_corun(
+    traces: Sequence[Trace],
+    cache_size: int,
+    *,
+    mode: str = "proportional",
+    rng: np.random.Generator | None = None,
+) -> CorunValidation:
+    """One NPA check: HOTL prediction vs interleaved-LRU measurement.
+
+    Both sides exclude cold misses (the steady-state convention); the
+    measurement replays the same deterministic interleaving the
+    composition assumes.
+    """
+    footprints = [average_footprint(t) for t in traces]
+    pred = predict_corun(footprints, cache_size)
+    # measure only while every program is still running (see corun_limit)
+    sim = simulate_shared(
+        traces, cache_size, mode=mode, rng=rng, limit=corun_limit(traces)
+    )
+    return CorunValidation(
+        names=tuple(t.name for t in traces),
+        cache_size=cache_size,
+        predicted=pred.miss_ratios,
+        measured=sim.miss_ratios(include_cold=False),
+    )
+
+
+@dataclass(frozen=True)
+class OccupancyValidation:
+    """Natural-partition prediction vs measured steady-state occupancy."""
+
+    names: tuple[str, ...]
+    cache_size: int
+    predicted: np.ndarray
+    measured: np.ndarray
+
+    @property
+    def max_relative_error(self) -> float:
+        scale = max(float(self.cache_size), 1.0)
+        return float(np.max(np.abs(self.predicted - self.measured)) / scale)
+
+
+def validate_occupancy(
+    traces: Sequence[Trace],
+    cache_size: int,
+    *,
+    sample_every: int = 256,
+) -> OccupancyValidation:
+    """Check Fig. 4's claim: stretched footprints predict cache occupancy."""
+    footprints = [average_footprint(t) for t in traces]
+    pred = predict_corun(footprints, cache_size)
+    measured = shared_occupancy(
+        traces, cache_size, sample_every=sample_every, limit=corun_limit(traces)
+    )
+    return OccupancyValidation(
+        names=tuple(t.name for t in traces),
+        cache_size=cache_size,
+        predicted=pred.occupancies,
+        measured=measured,
+    )
+
+
+@dataclass(frozen=True)
+class SoloValidation:
+    """HOTL solo miss-ratio curve vs exact LRU simulation."""
+
+    name: str
+    cache_sizes: np.ndarray
+    predicted: np.ndarray
+    measured: np.ndarray
+
+    @property
+    def max_error(self) -> float:
+        return float(np.max(np.abs(self.predicted - self.measured)))
+
+
+def validate_solo(trace: Trace, cache_sizes: Sequence[int]) -> SoloValidation:
+    """HOTL's base case: predicted vs simulated solo miss ratios."""
+    sizes = np.asarray(cache_sizes, dtype=np.int64)
+    fp = average_footprint(trace)
+    predicted = np.asarray(miss_ratio(fp, sizes.astype(np.float64)), dtype=np.float64)
+    measured = lru_miss_counts(trace, sizes, include_cold=False) / float(len(trace))
+    return SoloValidation(
+        name=trace.name,
+        cache_sizes=sizes,
+        predicted=predicted,
+        measured=measured,
+    )

@@ -1,0 +1,94 @@
+"""Phase analysis of traces (paper §VIII, "Random Phase Interaction").
+
+The natural-partition reduction assumes programs interact in their
+*average* behaviour; Figure 1 shows what synchronized phases can do to
+that assumption.  This module provides the tooling to see and exploit
+phase structure:
+
+* :func:`epoch_working_sets` — the distinct-block set per fixed epoch;
+* :func:`epoch_profiles` — a per-epoch footprint profile (the input of
+  epoch-based repartitioning, :mod:`repro.core.dynamic`);
+* :func:`detect_phases` — boundary detection by working-set turnover
+  (Jaccard distance between adjacent epochs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.locality.footprint import FootprintCurve, average_footprint
+from repro.workloads.trace import Trace
+
+__all__ = ["EpochProfile", "epoch_working_sets", "epoch_profiles", "detect_phases"]
+
+
+def _epoch_slices(n: int, epoch_length: int) -> list[slice]:
+    if epoch_length < 1:
+        raise ValueError("epoch_length must be >= 1")
+    return [slice(s, min(s + epoch_length, n)) for s in range(0, n, epoch_length)]
+
+
+def epoch_working_sets(trace: Trace, epoch_length: int) -> list[np.ndarray]:
+    """Distinct blocks touched in each epoch (sorted arrays)."""
+    blocks = trace.blocks
+    return [np.unique(blocks[sl]) for sl in _epoch_slices(blocks.size, epoch_length)]
+
+
+@dataclass(frozen=True)
+class EpochProfile:
+    """One epoch's locality profile."""
+
+    index: int
+    start: int
+    length: int
+    footprint: FootprintCurve
+
+    @property
+    def working_set_size(self) -> int:
+        return self.footprint.m
+
+
+def epoch_profiles(trace: Trace, epoch_length: int) -> list[EpochProfile]:
+    """Per-epoch average footprints (each epoch profiled in isolation).
+
+    The per-epoch footprint is what a phase-aware repartitioner would
+    profile online; short epochs trade prediction noise for agility.
+    """
+    out = []
+    for i, sl in enumerate(_epoch_slices(len(trace), epoch_length)):
+        sub = Trace(trace.blocks[sl], name=f"{trace.name}@{i}", access_rate=trace.access_rate)
+        out.append(
+            EpochProfile(
+                index=i,
+                start=sl.start,
+                length=len(sub),
+                footprint=average_footprint(sub),
+            )
+        )
+    return out
+
+
+def detect_phases(
+    trace: Trace, epoch_length: int, *, turnover_threshold: float = 0.5
+) -> list[int]:
+    """Phase boundaries: epoch starts whose working set turned over.
+
+    Adjacent epochs are compared by Jaccard distance of their distinct
+    block sets; a distance above ``turnover_threshold`` marks a new
+    phase.  Returns the access indices where new phases begin (always
+    including 0).
+    """
+    if not 0.0 <= turnover_threshold <= 1.0:
+        raise ValueError("turnover_threshold must be in [0, 1]")
+    sets = epoch_working_sets(trace, epoch_length)
+    boundaries = [0]
+    for i in range(1, len(sets)):
+        a, b = sets[i - 1], sets[i]
+        inter = np.intersect1d(a, b, assume_unique=True).size
+        union = a.size + b.size - inter
+        distance = 1.0 - (inter / union if union else 1.0)
+        if distance > turnover_threshold:
+            boundaries.append(i * epoch_length)
+    return boundaries

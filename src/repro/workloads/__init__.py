@@ -1,0 +1,60 @@
+"""Workload substrate: traces, generators, the SPEC-named catalog, interleaving."""
+
+from repro.workloads.generators import (
+    FIGURE1_CACHE_SIZE,
+    cyclic,
+    with_bursts,
+    figure1_traces,
+    gaussian_walk,
+    hot_cold,
+    mix,
+    phased,
+    pointer_chase,
+    sawtooth,
+    uniform_random,
+    zipf,
+)
+from repro.workloads.interleave import (
+    Interleaved,
+    corun_limit,
+    disjoint_id_spaces,
+    interleave,
+)
+from repro.workloads.io import (
+    load_trace_text,
+    load_traces_npz,
+    save_trace_text,
+    save_traces_npz,
+)
+from repro.workloads.spec import SPEC_NAMES, make_program, make_suite
+from repro.workloads.stats import TraceStats, summarize_trace
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "FIGURE1_CACHE_SIZE",
+    "cyclic",
+    "figure1_traces",
+    "gaussian_walk",
+    "hot_cold",
+    "mix",
+    "phased",
+    "pointer_chase",
+    "sawtooth",
+    "uniform_random",
+    "with_bursts",
+    "zipf",
+    "Interleaved",
+    "corun_limit",
+    "disjoint_id_spaces",
+    "interleave",
+    "load_trace_text",
+    "load_traces_npz",
+    "save_trace_text",
+    "save_traces_npz",
+    "SPEC_NAMES",
+    "make_program",
+    "make_suite",
+    "TraceStats",
+    "summarize_trace",
+    "Trace",
+]

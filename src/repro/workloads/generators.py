@@ -1,0 +1,280 @@
+"""Synthetic trace generators.
+
+The paper profiles 16 SPEC CPU2006 programs; without the proprietary
+binaries and reference inputs we synthesize traces from the locality
+*archetypes* the paper's analysis actually depends on (see DESIGN.md §2).
+Each generator produces a deterministic :class:`~repro.workloads.trace.Trace`
+whose miss-ratio-curve shape is known by construction:
+
+=================  =============================================
+generator          MRC shape
+=================  =============================================
+cyclic             flat 1.0 then a cliff at ``m`` (non-convex)
+sawtooth           gradual, LRU-friendly decay
+uniform_random     near-linear decay to ``m``
+zipf               smooth convex decay (hot-data knee)
+hot_cold           two-level knee (small hot set, big cold set)
+gaussian_walk      smooth convex decay, tunable spread
+phased             staircase: one cliff per phase working set
+pointer_chase      same cliff as cyclic, shuffled visit order
+=================  =============================================
+
+Cyclic/phased archetypes are what break STTW's convexity assumption
+(§VII-B); zipf/hot-cold provide the convex cases where STTW matches
+Optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "cyclic",
+    "sawtooth",
+    "uniform_random",
+    "zipf",
+    "hot_cold",
+    "gaussian_walk",
+    "phased",
+    "pointer_chase",
+    "mix",
+    "with_bursts",
+    "figure1_traces",
+    "FIGURE1_CACHE_SIZE",
+]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(msg)
+
+
+def cyclic(n: int, m: int, *, name: str = "cyclic", access_rate: float = 1.0) -> Trace:
+    """Round-robin sweep over ``m`` blocks: every reuse distance is exactly ``m``.
+
+    The canonical streaming/thrashing pattern: LRU misses on every access
+    while the cache is smaller than ``m`` and never after.
+    """
+    _require(n >= 1 and m >= 1, "n and m must be >= 1")
+    return Trace(np.arange(n, dtype=np.int64) % m, name=name, access_rate=access_rate)
+
+
+def sawtooth(n: int, m: int, *, name: str = "sawtooth", access_rate: float = 1.0) -> Trace:
+    """Forward-then-backward sweep (triangle wave) over ``m`` blocks.
+
+    Unlike :func:`cyclic`, reuse distances span ``1 .. m`` so the miss
+    ratio decays gradually with cache size.
+    """
+    _require(n >= 1 and m >= 1, "n and m must be >= 1")
+    if m == 1:
+        return Trace(np.zeros(n, dtype=np.int64), name=name, access_rate=access_rate)
+    period = 2 * m - 2
+    t = np.arange(n, dtype=np.int64) % period
+    blocks = np.where(t < m, t, period - t)
+    return Trace(blocks, name=name, access_rate=access_rate)
+
+
+def uniform_random(
+    n: int, m: int, *, seed: int = 0, name: str = "uniform", access_rate: float = 1.0
+) -> Trace:
+    """Independent uniform draws over ``m`` blocks: near-linear MRC."""
+    _require(n >= 1 and m >= 1, "n and m must be >= 1")
+    rng = np.random.default_rng(seed)
+    return Trace(rng.integers(0, m, size=n, dtype=np.int64), name=name, access_rate=access_rate)
+
+
+def zipf(
+    n: int,
+    m: int,
+    *,
+    alpha: float = 1.0,
+    seed: int = 0,
+    name: str = "zipf",
+    access_rate: float = 1.0,
+) -> Trace:
+    """Zipf-popularity draws: block ``k`` accessed with weight ``(k+1)^-alpha``.
+
+    The classic convex MRC with a sharp hot-data knee.
+    """
+    _require(n >= 1 and m >= 1, "n and m must be >= 1")
+    _require(alpha >= 0, "alpha must be non-negative")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.power(np.arange(1, m + 1, dtype=np.float64), alpha)
+    p = weights / weights.sum()
+    return Trace(rng.choice(m, size=n, p=p).astype(np.int64), name=name, access_rate=access_rate)
+
+
+def hot_cold(
+    n: int,
+    m_hot: int,
+    m_cold: int,
+    *,
+    hot_fraction: float = 0.9,
+    seed: int = 0,
+    name: str = "hot_cold",
+    access_rate: float = 1.0,
+) -> Trace:
+    """90/10-style mix: ``hot_fraction`` of accesses hit a small hot set.
+
+    Produces a two-level knee: steep benefit up to ``m_hot`` blocks, then a
+    long shallow tail out to ``m_hot + m_cold``.
+    """
+    _require(n >= 1 and m_hot >= 1 and m_cold >= 1, "sizes must be >= 1")
+    _require(0.0 < hot_fraction < 1.0, "hot_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    is_hot = rng.random(n) < hot_fraction
+    hot_ids = rng.integers(0, m_hot, size=n, dtype=np.int64)
+    cold_ids = m_hot + rng.integers(0, m_cold, size=n, dtype=np.int64)
+    return Trace(np.where(is_hot, hot_ids, cold_ids), name=name, access_rate=access_rate)
+
+
+def gaussian_walk(
+    n: int,
+    m: int,
+    *,
+    sigma: float = 8.0,
+    drift: float = 0.05,
+    seed: int = 0,
+    name: str = "gwalk",
+    access_rate: float = 1.0,
+) -> Trace:
+    """Accesses clustered around a slowly drifting center (spatial locality).
+
+    ``sigma`` sets the cluster width; ``drift`` the center speed in blocks
+    per access.  Models array sweeps with reuse of a moving neighbourhood.
+    """
+    _require(n >= 1 and m >= 1, "n and m must be >= 1")
+    rng = np.random.default_rng(seed)
+    center = (np.arange(n, dtype=np.float64) * drift) % m
+    offsets = rng.normal(0.0, sigma, size=n)
+    blocks = np.mod(np.round(center + offsets), m).astype(np.int64)
+    return Trace(blocks, name=name, access_rate=access_rate)
+
+
+def phased(
+    segments: Sequence[Trace],
+    repeats: int = 1,
+    *,
+    name: str = "phased",
+    access_rate: float = 1.0,
+) -> Trace:
+    """Concatenate phase traces (disjoint phases share no blocks).
+
+    Each segment is shifted into its own id space so phases touch
+    different data — producing the staircase MRC of programs that
+    "alternate between large and small working sets" (paper Fig. 1).
+    """
+    _require(len(segments) >= 1, "need at least one segment")
+    _require(repeats >= 1, "repeats must be >= 1")
+    shifted = []
+    base = 0
+    for seg in segments:
+        compact = seg.compacted()
+        shifted.append(compact.blocks + base)
+        base += max(compact.data_size, 1)
+    one_round = np.concatenate(shifted)
+    return Trace(np.tile(one_round, repeats), name=name, access_rate=access_rate)
+
+
+def pointer_chase(
+    n: int, m: int, *, seed: int = 0, name: str = "chase", access_rate: float = 1.0
+) -> Trace:
+    """Traverse a fixed random permutation cycle of ``m`` blocks.
+
+    Identical reuse-distance profile to :func:`cyclic` (every reuse at
+    distance ``m``) but with a shuffled visit order — the linked-list
+    archetype.
+    """
+    _require(n >= 1 and m >= 1, "n and m must be >= 1")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(m).astype(np.int64)
+    return Trace(perm[np.arange(n, dtype=np.int64) % m], name=name, access_rate=access_rate)
+
+
+def with_bursts(trace: Trace, k: int) -> Trace:
+    """Repeat every access ``k`` times back-to-back (spatial-locality model).
+
+    A cache block holds several words, so a block-granularity trace of a
+    program with spatial locality touches each block in short bursts.
+    Bursting divides the steady-state miss ratio by ``k`` (only the first
+    access of a burst can miss) and stretches the fill time by ``k`` —
+    which is how real streaming programs reach ~5% miss ratios rather
+    than 100% and why co-runners can keep their working sets resident.
+    """
+    _require(k >= 1, "burst factor must be >= 1")
+    return Trace(
+        np.repeat(trace.blocks, k), name=trace.name, access_rate=trace.access_rate
+    )
+
+
+def mix(
+    parts: Sequence[Trace],
+    weights: Sequence[float],
+    n: int,
+    *,
+    seed: int = 0,
+    name: str = "mix",
+    access_rate: float = 1.0,
+) -> Trace:
+    """Statistically interleave several patterns into one program.
+
+    Each access comes from pattern ``i`` with probability ``weights[i]``;
+    the patterns live in disjoint id spaces.  Used to blend, e.g., a
+    streaming component with a hot working set.
+    """
+    _require(len(parts) == len(weights) and len(parts) >= 1, "parts/weights mismatch")
+    w = np.asarray(weights, dtype=np.float64)
+    _require(bool(np.all(w > 0)), "weights must be positive")
+    rng = np.random.default_rng(seed)
+    choice = rng.choice(len(parts), size=n, p=w / w.sum())
+    base = 0
+    blocks = np.empty(n, dtype=np.int64)
+    for i, part in enumerate(parts):
+        compact = part.compacted()
+        slots = np.flatnonzero(choice == i)
+        src = compact.blocks
+        # loop the pattern if the mix needs more accesses than it has
+        idx = np.arange(slots.size, dtype=np.int64) % max(src.size, 1)
+        blocks[slots] = src[idx] + base
+        base += max(compact.data_size, 1)
+    return Trace(blocks, name=name, access_rate=access_rate)
+
+
+# ----------------------------------------------------------------------
+# The paper's Figure 1 example
+# ----------------------------------------------------------------------
+FIGURE1_CACHE_SIZE: int = 6
+"""Cache size of the paper's Figure 1 worked example."""
+
+
+def figure1_traces() -> list[Trace]:
+    """The four 12-access traces of the paper's Figure 1, verbatim.
+
+    Core 1 and 2 stream (every access a new block); core 3 alternates a
+    3-block loop with a single hot block; core 4 alternates a hot block
+    with a 3-block set — the pattern that motivates partition-sharing.
+    """
+
+    def encode(symbols: str, base: int) -> np.ndarray:
+        seen: dict[str, int] = {}
+        out = []
+        for s in symbols.split():
+            if s not in seen:
+                seen[s] = base + len(seen)
+            out.append(seen[s])
+        return np.array(out, dtype=np.int64)
+
+    core1 = encode("A B C D E F G H I J K L", 0)
+    core2 = encode("O P Q R S T U V W X Y Z", 100)
+    core3 = encode("a b c a b c a a a a a a", 200)
+    core4 = encode("x x x x x x x y z x y z", 300)
+    return [
+        Trace(core1, name="core1-stream"),
+        Trace(core2, name="core2-stream"),
+        Trace(core3, name="core3-phase"),
+        Trace(core4, name="core4-phase"),
+    ]

@@ -1,0 +1,161 @@
+"""Trace interleaving for co-run simulation (paper §IV).
+
+Composition treats a co-run as a single merged trace in which each
+program's accesses appear in proportion to its access rate.  Two merge
+policies are provided:
+
+* **proportional** — deterministic: program ``i``'s ``k``-th access is
+  scheduled at virtual time ``k / rate_i`` and the merge is the stable
+  sort by time.  This realizes exact rate ratios with no randomness.
+* **random** — each slot picks a program with probability proportional to
+  its rate (models the paper's "random phase interaction" assumption,
+  §VIII).
+
+The merged trace places programs in disjoint block-id spaces so no data is
+shared (the composition theory assumes non-data-sharing programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = ["Interleaved", "interleave", "disjoint_id_spaces", "corun_limit"]
+
+
+def corun_limit(traces: Sequence[Trace]) -> int:
+    """Merged-trace length at which the first program exhausts its trace.
+
+    A co-run is only a co-run while *every* program is still issuing
+    accesses; past the first exhaustion the merged stream degenerates to
+    the survivors running (eventually) alone, which badly skews
+    steady-state measurements.  Pass this as ``limit=`` to
+    :func:`interleave` / the shared-cache simulators when validating
+    composition predictions.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    rates = np.array([t.access_rate for t in traces], dtype=np.float64)
+    lengths = np.array([len(t) for t in traces], dtype=np.float64)
+    t_end = float(np.min(lengths / rates))
+    return int(np.sum(np.floor(t_end * rates)))
+
+
+@dataclass(frozen=True)
+class Interleaved:
+    """A merged co-run trace with per-access ownership.
+
+    ``owner[t]`` is the index (into the original trace list) of the program
+    issuing the ``t``-th merged access.
+    """
+
+    trace: Trace
+    owner: np.ndarray
+    id_bases: np.ndarray
+
+    @property
+    def n_programs(self) -> int:
+        return int(self.id_bases.size)
+
+    def per_program_counts(self) -> np.ndarray:
+        return np.bincount(self.owner, minlength=self.n_programs)
+
+
+def disjoint_id_spaces(traces: Sequence[Trace]) -> tuple[list[Trace], np.ndarray]:
+    """Offset each trace into its own block-id range.
+
+    Returns the shifted traces and the array of id bases; program ``i``
+    owns ids ``[bases[i], bases[i+1])`` — ``bases`` has a final sentinel.
+    """
+    shifted: list[Trace] = []
+    bases = np.zeros(len(traces) + 1, dtype=np.int64)
+    cursor = 0
+    for i, tr in enumerate(traces):
+        compact = tr.compacted()
+        bases[i] = cursor
+        shifted.append(compact.offset(cursor))
+        cursor += max(compact.data_size, 1)
+    bases[-1] = cursor
+    return shifted, bases
+
+
+def interleave(
+    traces: Sequence[Trace],
+    *,
+    mode: str = "proportional",
+    limit: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> Interleaved:
+    """Merge co-run traces into one shared-cache access stream.
+
+    Parameters
+    ----------
+    traces:
+        The co-run programs; their ``access_rate`` fields set the ratios.
+    mode:
+        ``"proportional"`` (deterministic) or ``"random"``.
+    limit:
+        Optional cap on the merged length (truncates the tail).
+    rng:
+        Random generator, required for ``mode="random"``.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    shifted, bases = disjoint_id_spaces(traces)
+    lengths = np.array([len(t) for t in shifted], dtype=np.int64)
+    rates = np.array([t.access_rate for t in shifted], dtype=np.float64)
+
+    if mode == "proportional":
+        times = np.concatenate(
+            [
+                (np.arange(1, n + 1, dtype=np.float64)) / r
+                for n, r in zip(lengths.tolist(), rates.tolist())
+            ]
+        )
+        owner_full = np.repeat(np.arange(len(shifted), dtype=np.int64), lengths)
+        order = np.argsort(times, kind="stable")
+        owner = owner_full[order]
+    elif mode == "random":
+        if rng is None:
+            raise ValueError('mode="random" requires an rng')
+        # draw an over-long owner stream and keep picks while programs last
+        p = rates / rates.sum()
+        total = int(lengths.sum())
+        draws = rng.choice(len(shifted), size=2 * total + 8, p=p)
+        remaining = lengths.copy()
+        owner_list = np.empty(total, dtype=np.int64)
+        filled = 0
+        for d in draws.tolist():
+            if remaining[d] > 0:
+                owner_list[filled] = d
+                remaining[d] -= 1
+                filled += 1
+                if filled == total:
+                    break
+        if filled < total:  # exhaust leftovers deterministically
+            for i in np.flatnonzero(remaining > 0).tolist():
+                k = int(remaining[i])
+                owner_list[filled : filled + k] = i
+                filled += k
+        owner = owner_list
+    else:
+        raise ValueError(f"unknown interleave mode {mode!r}")
+
+    if limit is not None:
+        owner = owner[:limit]
+    # emit each program's accesses in its own order, at the merged slots
+    counts = np.bincount(owner, minlength=len(shifted))
+    merged = np.empty(owner.size, dtype=np.int64)
+    for i, tr in enumerate(shifted):
+        merged[owner == i] = tr.blocks[: counts[i]]
+    name = "+".join(t.name for t in traces)
+    combined_rate = float(rates.sum())
+    return Interleaved(
+        trace=Trace(merged, name=name, access_rate=combined_rate),
+        owner=owner,
+        id_bases=bases[:-1],
+    )

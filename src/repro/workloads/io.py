@@ -1,0 +1,82 @@
+"""Trace persistence: NPZ (compact) and text (interchange) formats.
+
+The paper profiles programs offline and ships per-program files to the
+optimizer; for traces we provide the same two options used for footprints
+(:mod:`repro.experiments.io`): compressed NPZ for suites and a one-access-
+per-line text format for interoperability with external trace tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+__all__ = ["save_trace_text", "load_trace_text", "save_traces_npz", "load_traces_npz"]
+
+_MAGIC = "# repro trace v1"
+
+
+def save_trace_text(trace: Trace, path: str | Path) -> None:
+    """One block id per line, with a small self-describing header."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"{_MAGIC}\n")
+        fh.write(f"# name {trace.name}\n")
+        fh.write(f"# access_rate {trace.access_rate:.17g}\n")
+        fh.write(f"# n {len(trace)}\n")
+        np.savetxt(fh, trace.blocks, fmt="%d")
+
+
+def load_trace_text(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace_text`."""
+    path = Path(path)
+    meta: dict[str, str] = {}
+    with path.open() as fh:
+        first = fh.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise ValueError(f"{path}: not a repro trace file")
+        pos = fh.tell()
+        while True:
+            line = fh.readline()
+            if not line.startswith("#"):
+                fh.seek(pos)
+                break
+            _, key, val = line.rstrip("\n").split(" ", 2)
+            meta[key] = val
+            pos = fh.tell()
+        blocks = np.loadtxt(fh, dtype=np.int64, ndmin=1)
+    n = int(meta.get("n", blocks.size))
+    if blocks.size != n:
+        raise ValueError(f"{path}: expected {n} accesses, found {blocks.size}")
+    return Trace(
+        blocks,
+        name=meta.get("name", "trace"),
+        access_rate=float(meta.get("access_rate", "1.0")),
+    )
+
+
+def save_traces_npz(traces: Sequence[Trace], path: str | Path) -> None:
+    """Store several traces in one compressed archive (order preserved)."""
+    arrays: dict[str, np.ndarray] = {"names": np.array([t.name for t in traces])}
+    for i, t in enumerate(traces):
+        arrays[f"blocks_{i}"] = t.blocks
+        arrays[f"rate_{i}"] = np.array([t.access_rate])
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_traces_npz(path: str | Path) -> list[Trace]:
+    """Load traces stored by :func:`save_traces_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        names = [str(x) for x in data["names"]]
+        return [
+            Trace(
+                data[f"blocks_{i}"],
+                name=name,
+                access_rate=float(data[f"rate_{i}"][0]),
+            )
+            for i, name in enumerate(names)
+        ]

@@ -1,0 +1,92 @@
+"""Trace locality summaries — the profiler's human-readable output.
+
+One call collects the metrics the paper's analysis pipeline is built on
+(length, working set, reuse structure, footprint knees, miss-ratio
+samples, phase count), for reports and the ``repro-cps profile`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+# locality imports are deferred into summarize_trace: repro.locality depends
+# on repro.workloads.trace, so importing it at module scope from inside the
+# workloads package would be circular.
+
+__all__ = ["TraceStats", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Locality summary of one trace."""
+
+    name: str
+    n: int
+    m: int
+    access_rate: float
+    reuse_fraction: float  # non-first accesses / all accesses
+    median_reuse_interval: float
+    fill_time_half_data: float  # accesses to touch m/2 distinct blocks
+    miss_ratio_samples: dict[int, float]  # cache size -> HOTL mr
+    convexity_violations: int
+    n_phases: int
+
+    def format(self) -> str:
+        lines = [
+            f"program      {self.name}",
+            f"accesses     {self.n:,}",
+            f"data size    {self.m:,} blocks",
+            f"access rate  {self.access_rate:g}",
+            f"reuse        {self.reuse_fraction:.1%} of accesses "
+            f"(median interval {self.median_reuse_interval:,.0f})",
+            f"fill time    {self.fill_time_half_data:,.0f} accesses to half the data",
+            f"phases       {self.n_phases}",
+            f"convexity    {self.convexity_violations} material violations",
+            "miss ratios  "
+            + "  ".join(f"mr({c})={v:.4f}" for c, v in self.miss_ratio_samples.items()),
+        ]
+        return "\n".join(lines)
+
+
+def summarize_trace(
+    trace: Trace,
+    *,
+    cache_sizes: tuple[int, ...] | None = None,
+    phase_epoch: int | None = None,
+) -> TraceStats:
+    """Compute the full locality summary of one trace.
+
+    ``cache_sizes`` defaults to quarters of the data size; ``phase_epoch``
+    to 1/16 of the trace.
+    """
+    from repro.locality.footprint import average_footprint
+    from repro.locality.mrc import MissRatioCurve
+    from repro.locality.phases import detect_phases
+    from repro.locality.reuse import reuse_intervals
+
+    n, m = len(trace), trace.data_size
+    if n == 0:
+        raise ValueError("cannot summarize an empty trace")
+    fp = average_footprint(trace)
+    if cache_sizes is None:
+        base = max(m, 4)
+        cache_sizes = tuple(sorted({base // 4, base // 2, base}))
+    mrc = MissRatioCurve.from_footprint(fp, max(cache_sizes))
+    intervals = reuse_intervals(trace)
+    epoch = phase_epoch if phase_epoch is not None else max(n // 16, 1)
+    return TraceStats(
+        name=trace.name,
+        n=n,
+        m=m,
+        access_rate=trace.access_rate,
+        reuse_fraction=float(intervals.size) / n,
+        median_reuse_interval=float(np.median(intervals)) if intervals.size else 0.0,
+        fill_time_half_data=float(fp.inverse(m / 2)),
+        miss_ratio_samples={int(c): float(mrc.ratios[c]) for c in cache_sizes},
+        convexity_violations=mrc.convexity_violations(tol=1e-3),
+        n_phases=len(detect_phases(trace, epoch)),
+    )

@@ -1,0 +1,109 @@
+"""Memory-access trace container.
+
+A trace is the fundamental input of the whole system: a sequence of cache
+block ids touched by one program (paper §III).  All locality analysis
+(:mod:`repro.locality`), simulation (:mod:`repro.cachesim`) and composition
+(:mod:`repro.composition`) consume :class:`Trace` objects.
+
+Traces are plain ``numpy.int64`` arrays wrapped with a name and an access
+rate.  The access rate (paper §IV, footnote 3: trace length divided by solo
+run time) drives the interleaving ratios used by footprint composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable memory access trace of one program.
+
+    Parameters
+    ----------
+    blocks:
+        1-D integer array of cache-block ids, in access order.
+    name:
+        Human-readable program name (e.g. ``"lbm"``).
+    access_rate:
+        Accesses per unit of wall-clock time when the program runs alone.
+        Only the *ratios* between co-run programs matter (Eq. 9); the
+        default of 1.0 models uniform interleaving.
+    """
+
+    blocks: np.ndarray
+    name: str = "trace"
+    access_rate: float = 1.0
+    _distinct: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(self.blocks, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"trace must be 1-D, got shape {arr.shape}")
+        if arr.size and arr.min() < 0:
+            raise ValueError("block ids must be non-negative")
+        if not (self.access_rate > 0):
+            raise ValueError(f"access_rate must be positive, got {self.access_rate}")
+        arr.setflags(write=False)
+        object.__setattr__(self, "blocks", arr)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.blocks.size)
+
+    @property
+    def length(self) -> int:
+        """Number of accesses ``n``."""
+        return int(self.blocks.size)
+
+    @property
+    def data_size(self) -> int:
+        """Number of distinct blocks ``m`` (the total working set)."""
+        if self._distinct < 0:
+            distinct = int(np.unique(self.blocks).size)
+            object.__setattr__(self, "_distinct", distinct)
+        return self._distinct
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def compacted(self) -> "Trace":
+        """Relabel block ids to the dense range ``0..m-1``.
+
+        Keeps locality identical while minimizing the id universe; useful
+        before simulation so auxiliary arrays stay small.
+        """
+        _, inverse = np.unique(self.blocks, return_inverse=True)
+        return Trace(inverse.astype(np.int64), self.name, self.access_rate)
+
+    def offset(self, base: int) -> "Trace":
+        """Shift every block id by ``base`` (disjoint address spaces)."""
+        if base < 0:
+            raise ValueError("offset must be non-negative")
+        return Trace(self.blocks + np.int64(base), self.name, self.access_rate)
+
+    def take(self, n: int) -> "Trace":
+        """Prefix of the first ``n`` accesses."""
+        return Trace(self.blocks[:n], self.name, self.access_rate)
+
+    def repeat(self, k: int) -> "Trace":
+        """Concatenate ``k`` copies of the trace (loop the program)."""
+        if k < 1:
+            raise ValueError("repeat count must be >= 1")
+        return Trace(np.tile(self.blocks, k), self.name, self.access_rate)
+
+    def with_rate(self, access_rate: float) -> "Trace":
+        """Same accesses, different access rate."""
+        return Trace(self.blocks, self.name, access_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.name!r}, n={self.length}, "
+            f"m={self.data_size}, rate={self.access_rate:g})"
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic traces and a session-scoped mini-study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.methodology import (
+    ExperimentConfig,
+    build_suite_profile,
+    run_study,
+)
+from repro.workloads import cyclic, hot_cold, sawtooth, uniform_random, zipf
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_traces():
+    """A diverse bundle of small traces for cross-module checks."""
+    return [
+        cyclic(400, 20, name="cyc"),
+        sawtooth(400, 25, name="saw"),
+        uniform_random(400, 30, seed=1, name="uni"),
+        zipf(400, 40, alpha=1.0, seed=2, name="zipf"),
+        hot_cold(400, 5, 50, hot_fraction=0.9, seed=3, name="hc"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def mini_config() -> ExperimentConfig:
+    """Tiny but structurally complete study configuration."""
+    return ExperimentConfig(
+        cache_blocks=512,
+        unit_blocks=16,
+        group_size=4,
+        names=("lbm", "mcf", "namd", "soplex", "povray", "zeusmp"),
+        length_scale=0.2,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_profile(mini_config):
+    return build_suite_profile(mini_config)
+
+
+@pytest.fixture(scope="session")
+def mini_study(mini_profile):
+    """Exhaustive study over C(6,4)=15 groups at small scale."""
+    return run_study(mini_profile)

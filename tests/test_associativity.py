@@ -1,0 +1,70 @@
+"""Tests for Smith's statistical set-associativity model (§VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.associativity import (
+    set_assoc_miss_probability,
+    smith_set_assoc_miss_ratio,
+)
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.workloads import cyclic, uniform_random, zipf
+
+
+def test_miss_probability_limits():
+    # distance 1 (immediate re-reference) never misses in any geometry
+    assert set_assoc_miss_probability(np.array([1]), 8, 2)[0] == 0.0
+    # a huge distance in a tiny cache almost surely misses
+    assert set_assoc_miss_probability(np.array([10_000]), 4, 2)[0] > 0.999
+
+
+def test_miss_probability_monotone_in_distance_and_ways():
+    d = np.array([2, 4, 8, 16, 32, 64])
+    p2 = set_assoc_miss_probability(d, 8, 2)
+    p4 = set_assoc_miss_probability(d, 8, 4)
+    assert np.all(np.diff(p2) >= 0)
+    assert np.all(p4 <= p2 + 1e-12)  # more ways never hurt (same sets)
+
+
+def test_fully_associative_limit():
+    """One set of ``ways`` lines: the model reduces to the exact rule
+    miss iff distance > ways."""
+    d = np.arange(1, 20)
+    p = set_assoc_miss_probability(d, n_sets=1, ways=8)
+    assert np.allclose(p, (d > 8).astype(float))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        set_assoc_miss_probability(np.array([0]), 4, 2)
+    with pytest.raises(ValueError):
+        set_assoc_miss_probability(np.array([3]), 0, 2)
+
+
+@pytest.mark.parametrize("n_sets,ways", [(8, 4), (16, 2), (4, 8)])
+def test_model_tracks_exact_simulation_random(n_sets, ways):
+    tr = uniform_random(8000, 96, seed=5)
+    model = smith_set_assoc_miss_ratio(tr, n_sets, ways)
+    cache = SetAssociativeCache(n_sets, ways)
+    cache.run(tr)
+    measured = cache.misses / len(tr)
+    assert model == pytest.approx(measured, abs=0.05)
+
+
+def test_model_tracks_exact_simulation_zipf():
+    tr = zipf(10000, 200, alpha=1.0, seed=6)
+    model = smith_set_assoc_miss_ratio(tr, 16, 4)
+    cache = SetAssociativeCache(16, 4)
+    cache.run(tr)
+    assert model == pytest.approx(cache.misses / len(tr), abs=0.05)
+
+
+def test_model_cold_toggle():
+    tr = cyclic(1000, 16)
+    with_cold = smith_set_assoc_miss_ratio(tr, 4, 4, include_cold=True)
+    without = smith_set_assoc_miss_ratio(tr, 4, 4, include_cold=False)
+    assert with_cold - without == pytest.approx(16 / 1000)
+
+
+def test_empty_trace():
+    assert smith_set_assoc_miss_ratio(np.array([], dtype=np.int64), 4, 2) == 0.0

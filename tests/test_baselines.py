@@ -1,0 +1,97 @@
+"""Tests for §VI baseline (fairness) optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    baseline_partition,
+    equal_allocation,
+    equal_baseline_partition,
+    natural_baseline_partition,
+)
+from repro.core.dp import optimal_partition
+
+
+def test_equal_allocation_remainder():
+    assert equal_allocation(4, 10).tolist() == [3, 3, 2, 2]
+    assert equal_allocation(3, 9).tolist() == [3, 3, 3]
+    with pytest.raises(ValueError):
+        equal_allocation(0, 10)
+
+
+@given(st.integers(2, 4), st.integers(6, 14), st.integers(0, 10**9))
+@settings(max_examples=120, deadline=None)
+def test_baseline_never_hurts_anyone(n_prog, size, seed):
+    """The §VI guarantee: every program at least matches its baseline cost,
+    and the group total can only improve."""
+    rng = np.random.default_rng(seed)
+    costs = [np.sort(rng.random(size))[::-1] * rng.uniform(1, 20) for _ in range(n_prog)]
+    # inject plateaus so there is actual slack to exploit
+    for c in costs:
+        c[size // 2 :] = c[size // 2]
+    budget = size - 1
+    base = equal_allocation(n_prog, budget)
+    res = baseline_partition(costs, budget, base)
+    assert res.allocation.sum() == budget
+    for c, a, b in zip(costs, res.allocation, base):
+        assert c[a] <= c[b] + 1e-9
+    base_total = sum(float(c[b]) for c, b in zip(costs, base))
+    assert res.total_cost <= base_total + 1e-9
+
+
+def test_equal_baseline_between_equal_and_optimal():
+    rng = np.random.default_rng(5)
+    size = 16
+    costs = []
+    for i in range(4):
+        c = np.sort(rng.random(size))[::-1] * 10
+        c[8:] = c[8]  # plateau: slack for reallocation
+        costs.append(c)
+    budget = size - 1
+    eq = equal_allocation(4, budget)
+    eq_total = sum(float(c[a]) for c, a in zip(costs, eq))
+    eb = equal_baseline_partition(costs, budget)
+    opt = optimal_partition(costs, budget)
+    assert opt.total_cost - 1e-9 <= eb.total_cost <= eq_total + 1e-9
+
+
+def test_natural_baseline_uses_given_units():
+    costs = [np.array([10.0, 5.0, 5.0, 5.0]), np.array([8.0, 8.0, 2.0, 1.0])]
+    natural = np.array([1, 2])
+    res = natural_baseline_partition(costs, 3, natural)
+    # program 0's threshold is 5 (any c>=1 ok); program 1's is 2 (needs c>=2)
+    assert res.allocation[1] >= 2
+    assert costs[0][res.allocation[0]] <= 5.0
+
+
+def test_strictly_decreasing_curves_pin_the_baseline():
+    """With strictly decreasing costs the only fair allocation is the
+    baseline itself — the reason the paper's Natural Baseline barely
+    improves on Natural (§VII-B)."""
+    rng = np.random.default_rng(9)
+    costs = [np.sort(rng.random(12))[::-1] * 7 for _ in range(3)]
+    base = np.array([4, 4, 3])
+    res = baseline_partition(costs, 11, base)
+    assert res.allocation.tolist() == base.tolist()
+
+
+def test_baseline_validation():
+    costs = [np.zeros(5), np.zeros(5)]
+    with pytest.raises(ValueError):
+        baseline_partition(costs, 4, np.array([1]))  # wrong length
+    with pytest.raises(ValueError):
+        baseline_partition(costs, 4, np.array([3, 3]))  # exceeds budget
+    with pytest.raises(ValueError):
+        baseline_partition(costs, 4, np.array([-1, 2]))
+
+
+def test_baseline_allows_sub_budget_baseline():
+    """A baseline summing below the budget (e.g. saturated natural
+    partition) still works — extra units go wherever they help."""
+    costs = [np.array([4.0, 2.0, 1.0, 1.0]), np.array([6.0, 3.0, 3.0, 3.0])]
+    res = baseline_partition(costs, 3, np.array([1, 1]))
+    assert res.allocation.sum() == 3
+    assert costs[0][res.allocation[0]] <= 2.0
+    assert costs[1][res.allocation[1]] <= 3.0

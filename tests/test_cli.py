@@ -1,0 +1,60 @@
+"""Smoke tests for the repro-cps command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_searchspace(capsys):
+    assert main(["searchspace", "--units", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "375,368,690,761,743" in out
+    assert "S3" in out
+
+
+def test_figure1(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "partition-sharing" in out
+    assert "30 misses" in out
+
+
+def test_optimize_small(capsys):
+    rc = main([
+        "optimize",
+        "--programs", "lbm,mcf,namd,povray",
+        "--cache-blocks", "512",
+        "--unit-blocks", "16",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for scheme in ("equal", "natural", "optimal", "sttw"):
+        assert scheme in out
+
+
+def test_export_writes_csvs(tmp_path, capsys, monkeypatch):
+    # shrink the study drastically for the smoke test
+    import repro.cli as cli_mod
+    from repro.experiments.methodology import ExperimentConfig
+
+    small = ExperimentConfig(
+        cache_blocks=512,
+        unit_blocks=16,
+        names=("lbm", "mcf", "namd", "povray", "tonto"),
+        length_scale=0.1,
+    )
+    monkeypatch.setattr(ExperimentConfig, "from_env", classmethod(lambda cls: small))
+    rc = main(["export", "--out", str(tmp_path / "results")])
+    assert rc == 0
+    assert (tmp_path / "results" / "table1.csv").exists()
+    assert (tmp_path / "results" / "figure6.csv").exists()
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,92 @@
+"""Tests for the steady-state convergence experiment (§IX's cited result)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.convergence import (
+    compare_convergence,
+    convergence_time,
+    occupancy_trajectory,
+    windowed_miss_ratio,
+    workload_shift_convergence,
+)
+from repro.workloads import cyclic, hot_cold, uniform_random, zipf
+
+
+def test_windowed_miss_ratio_basic():
+    mask = np.array([True] * 10 + [False] * 10)
+    series = windowed_miss_ratio(mask, 5)
+    assert series[0] == 1.0
+    assert series[-1] == 0.0
+    assert series.size == 16
+    with pytest.raises(ValueError):
+        windowed_miss_ratio(mask, 0)
+    with pytest.raises(ValueError):
+        windowed_miss_ratio(mask, 21)
+
+
+def test_convergence_time_step_signal():
+    series = np.concatenate([np.linspace(0, 1, 50), np.ones(150)])
+    t = convergence_time(series, steady=1.0, tolerance=0.05)
+    assert 40 <= t <= 50
+
+
+def test_convergence_time_always_within():
+    series = np.full(100, 0.5)
+    assert convergence_time(series, steady=0.5, tolerance=0.01) == 0
+
+
+def test_convergence_time_never_settles():
+    series = np.tile([0.0, 1.0], 50)
+    assert convergence_time(series, steady=0.5, tolerance=0.1) == 100
+
+
+def test_occupancy_trajectory_shape_and_sum():
+    traces = [uniform_random(8000, 100, seed=1), cyclic(8000, 60)]
+    traj = occupancy_trajectory(traces, 96, sample_every=256)
+    assert traj.shape[1] == 2
+    # once the cache is full, the occupancies sum to its size
+    assert traj[-1].sum() == pytest.approx(96, abs=1)
+
+
+def test_occupancy_trajectory_reaches_natural_partition():
+    """The time dimension of Fig. 4: the shared division converges to the
+    composed-footprint prediction."""
+    from repro.composition.corun import predict_corun
+    from repro.locality.footprint import average_footprint
+
+    traces = [uniform_random(30000, 150, seed=2), uniform_random(30000, 60, seed=3)]
+    traj = occupancy_trajectory(traces, 120, sample_every=512)
+    final = traj[-traj.shape[0] // 4 :].mean(axis=0)
+    pred = predict_corun([average_footprint(t) for t in traces], 120)
+    assert np.allclose(final, pred.occupancies, atol=12)
+
+
+def test_compare_convergence_structure():
+    traces = [
+        uniform_random(20000, 300, seed=1, name="a"),
+        zipf(20000, 200, alpha=0.8, seed=2, name="b"),
+    ]
+    res = compare_convergence(traces, 256, [150, 106])
+    assert res.shared_time >= 0 and res.partitioned_time >= 0
+    assert res.speedup > 0
+    with pytest.raises(ValueError):
+        compare_convergence(traces, 256, [100])
+
+
+def test_workload_shift_partition_settles_faster():
+    """A hot-set incumbent ages its stale data out slowly: the shared
+    negotiation takes much longer than the newcomer's partition fill."""
+    stayer = hot_cold(40000, 20, 300, hot_fraction=0.9, seed=4, name="stay")
+    old = zipf(40000, 100, alpha=1.0, seed=5, name="old")
+    new = uniform_random(40000, 200, seed=6, name="new")
+    res = workload_shift_convergence(stayer, old, new, 256, 128)
+    assert res.speedup >= 1.0
+
+
+def test_workload_shift_validation():
+    a = cyclic(1000, 10)
+    with pytest.raises(ValueError):
+        workload_shift_convergence(a, a, a, 0, 10)
+    with pytest.raises(ValueError):
+        workload_shift_convergence(a, a, a, 64, 0)

@@ -1,0 +1,73 @@
+"""Tests for HOTL-derived stack distances (§VIII's reuse-distance claim)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.cachesim.stack import COLD, stack_distances
+from repro.locality.derived import (
+    implied_stack_distance_ccdf,
+    implied_stack_distance_pmf,
+    predicted_set_assoc_miss_ratio,
+)
+from repro.locality.footprint import average_footprint
+from repro.workloads import cyclic, uniform_random, zipf
+
+
+def test_ccdf_properties():
+    fp = average_footprint(zipf(10000, 80, alpha=1.0, seed=0))
+    ccdf = implied_stack_distance_ccdf(fp, 120)
+    assert np.all((ccdf >= 0) & (ccdf <= 1))
+    assert np.all(np.diff(ccdf) <= 1e-12)  # non-increasing by construction
+    assert ccdf[-1] == 0.0  # everything fits past the data size
+
+
+def test_pmf_sums_to_reuse_fraction():
+    """The PMF mass equals the fraction of accesses that are reuses with
+    distance <= max (1 - residual tail)."""
+    fp = average_footprint(uniform_random(20000, 60, seed=1))
+    pmf = implied_stack_distance_pmf(fp, 100)
+    assert np.all(pmf >= -1e-12)
+    ccdf = implied_stack_distance_ccdf(fp, 100)
+    assert pmf.sum() == pytest.approx(ccdf[0] - ccdf[-1])
+
+
+def test_ccdf_matches_measured_distance_histogram():
+    """The derived distribution tracks the measured stack distances."""
+    tr = uniform_random(30000, 64, seed=2)
+    fp = average_footprint(tr)
+    ccdf = implied_stack_distance_ccdf(fp, 70)
+    dist = stack_distances(tr)
+    reuse = dist[dist != COLD]
+    for c in (8, 16, 32, 48, 63):
+        measured = float(np.mean(reuse > c)) * reuse.size / len(tr)
+        assert ccdf[c] == pytest.approx(measured, abs=0.05)
+
+
+def test_cyclic_derived_distances_are_a_point_mass():
+    tr = cyclic(5000, 30)
+    fp = average_footprint(tr)
+    pmf = implied_stack_distance_pmf(fp, 60)
+    # essentially all mass at distance ~30 (every reuse at the loop size)
+    peak = np.argmax(pmf) + 1
+    assert abs(peak - 30) <= 1
+    assert pmf.max() > 0.8
+
+
+def test_profile_only_set_assoc_prediction():
+    """HOTL distances x Smith model vs exact simulation — no trace replay
+    on the prediction side."""
+    tr = uniform_random(30000, 96, seed=3)
+    fp = average_footprint(tr)
+    for n_sets, ways in ((16, 4), (8, 8)):
+        pred = predicted_set_assoc_miss_ratio(fp, n_sets, ways)
+        cache = SetAssociativeCache(n_sets, ways)
+        cache.run(tr)
+        measured = cache.misses / len(tr)
+        assert pred == pytest.approx(measured, abs=0.06), (n_sets, ways)
+
+
+def test_prediction_validation():
+    fp = average_footprint(cyclic(100, 5))
+    with pytest.raises(ValueError):
+        predicted_set_assoc_miss_ratio(fp, 0, 2)

@@ -1,0 +1,110 @@
+"""Tests for the optimal-partitioning DP (Eq. 15/16) against oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import brute_force_partition, optimal_partition
+from repro.core.sttw import sttw_partition
+
+
+@given(
+    st.integers(2, 4),
+    st.integers(4, 12),
+    st.integers(0, 10**9),
+    st.floats(0.0, 0.3),
+)
+@settings(max_examples=120, deadline=None)
+def test_dp_matches_brute_force(n_prog, size, seed, inf_fraction):
+    rng = np.random.default_rng(seed)
+    costs = []
+    for _ in range(n_prog):
+        c = rng.random(size) * 10
+        mask = rng.random(size) < inf_fraction
+        mask[0] = False  # keep zero-allocation always feasible
+        c[mask] = np.inf
+        costs.append(c)
+    budget = size - 1
+    bf_alloc, bf_cost = brute_force_partition(costs, budget)
+    if not np.isfinite(bf_cost):
+        # constraints can make the exact budget unreachable; the DP must
+        # refuse rather than return a constraint-violating allocation
+        with pytest.raises(ValueError, match="no feasible"):
+            optimal_partition(costs, budget)
+        return
+    res = optimal_partition(costs, budget)
+    assert res.total_cost == pytest.approx(bf_cost)
+    assert res.allocation.sum() == budget
+    realized = sum(float(c[a]) for c, a in zip(costs, res.allocation))
+    assert realized == pytest.approx(res.total_cost)
+
+
+def test_dp_on_convex_curves_matches_sttw():
+    """On convex decreasing curves the 1992 greedy is optimal (Eq. 13)."""
+    rng = np.random.default_rng(42)
+    size = 40
+    costs = []
+    for _ in range(4):
+        drops = np.sort(rng.random(size))[::-1]  # decreasing marginal gains
+        c = np.concatenate([[drops.sum() * 2], drops.sum() * 2 - np.cumsum(drops)])
+        costs.append(c)
+    budget = size
+    dp = optimal_partition(costs, budget)
+    greedy = sttw_partition(costs, budget)
+    greedy_cost = sum(float(c[a]) for c, a in zip(costs, greedy))
+    assert greedy_cost == pytest.approx(dp.total_cost, rel=1e-9)
+
+
+def test_dp_handles_cliff_that_breaks_sttw():
+    """A plateau-then-cliff program: DP invests through the plateau,
+    the greedy never does (the paper's §VII-B finding in miniature)."""
+    n = 10
+    cliff = np.array([100.0] * 9 + [0.0, 0.0])  # useless until 9 units
+    gentle = 50.0 - np.arange(11) * 1e-3  # tiny but always-positive gains
+    costs = [cliff, gentle]
+    dp = optimal_partition(costs, n)
+    assert dp.allocation[0] >= 9  # DP pays for the cliff
+    greedy = sttw_partition(costs, n)
+    greedy_cost = sum(float(c[a]) for c, a in zip(costs, greedy))
+    assert greedy_cost > dp.total_cost  # STTW strictly suboptimal here
+
+
+def test_cost_curve_byproduct_monotone_for_decreasing_inputs():
+    rng = np.random.default_rng(7)
+    costs = [np.sort(rng.random(30))[::-1] for _ in range(3)]
+    res = optimal_partition(costs, 29)
+    curve = res.cost_curve()
+    assert curve.shape == (30,)
+    assert np.all(np.diff(curve) <= 1e-12)
+
+
+def test_budget_validation():
+    costs = [np.zeros(5), np.zeros(5)]
+    with pytest.raises(ValueError):
+        optimal_partition(costs, 5)
+    with pytest.raises(ValueError):
+        optimal_partition(costs, -1)
+    with pytest.raises(ValueError):
+        optimal_partition([np.zeros(5), np.zeros(4)], 3)
+
+
+def test_single_program_gets_everything():
+    costs = [np.array([5.0, 3.0, 1.0])]
+    res = optimal_partition(costs, 2)
+    assert res.allocation.tolist() == [2]
+    assert res.total_cost == 1.0
+
+
+def test_zero_budget():
+    costs = [np.array([4.0, 0.0]), np.array([6.0, 0.0])]
+    res = optimal_partition(costs, 0)
+    assert res.allocation.tolist() == [0, 0]
+    assert res.total_cost == 10.0
+
+
+def test_brute_force_skips_infeasible():
+    costs = [np.array([np.inf, 1.0, 0.5]), np.array([2.0, 1.0, 0.1])]
+    alloc, cost = brute_force_partition(costs, 2)
+    assert alloc.tolist() == [1, 1]
+    assert cost == pytest.approx(2.0)

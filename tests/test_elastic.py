@@ -1,0 +1,79 @@
+"""Tests for elastic (RECU-style) baseline optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import baseline_partition, equal_allocation
+from repro.core.dp import optimal_partition
+from repro.core.elastic import elastic_partition, elasticity_sweep
+
+
+def _curves(seed: int, n_prog: int = 3, size: int = 16):
+    rng = np.random.default_rng(seed)
+    return [np.sort(rng.random(size))[::-1] * rng.uniform(2, 20) for _ in range(n_prog)]
+
+
+def test_delta_zero_is_hard_baseline():
+    costs = _curves(1)
+    base = equal_allocation(3, 15)
+    hard = baseline_partition(costs, 15, base)
+    elastic = elastic_partition(costs, 15, base, delta=0.0)
+    assert elastic.total_cost == pytest.approx(hard.total_cost)
+
+
+def test_large_delta_reaches_unconstrained_optimum():
+    costs = _curves(2)
+    base = equal_allocation(3, 15)
+    opt = optimal_partition(costs, 15)
+    elastic = elastic_partition(costs, 15, base, delta=1e9)
+    assert elastic.total_cost == pytest.approx(opt.total_cost)
+
+
+@given(st.integers(0, 10**9))
+@settings(max_examples=60, deadline=None)
+def test_frontier_monotone(seed):
+    costs = _curves(seed)
+    base = equal_allocation(3, 15)
+    deltas = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0]
+    points = elasticity_sweep(costs, 15, base, deltas)
+    totals = [p.total_cost for p in points]
+    assert all(b <= a + 1e-9 for a, b in zip(totals, totals[1:])), totals
+    # realized worst-case degradation never exceeds the allowance
+    for p in points:
+        assert p.worst_program_increase <= p.delta + 1e-9
+    # delta=0 end equals the hard baseline, large-delta end the optimum
+    assert totals[0] == pytest.approx(
+        baseline_partition(costs, 15, base).total_cost
+    )
+    assert totals[-1] <= optimal_partition(costs, 15).total_cost + 1e-9
+
+
+def test_allocation_sums_and_validation():
+    costs = _curves(3)
+    base = equal_allocation(3, 15)
+    res = elastic_partition(costs, 15, base, delta=0.2)
+    assert res.allocation.sum() == 15
+    with pytest.raises(ValueError):
+        elastic_partition(costs, 15, base, delta=-0.1)
+    with pytest.raises(ValueError):
+        elastic_partition(costs, 15, np.array([8, 8, 8]), delta=0.1)
+    with pytest.raises(ValueError):
+        elastic_partition(costs, 15, np.array([1, 1]), delta=0.1)
+
+
+def test_elasticity_buys_throughput_on_plateau_curves():
+    """With a cliff just below the baseline, a small delta unlocks a big
+    group gain (the RECU motivation)."""
+    # program 0: modest gains from every unit
+    a = np.linspace(30.0, 20.0, 13)
+    # program 1: needs 10 units for its cliff; baseline grants only 6
+    b = np.array([50.0] * 10 + [5.0, 5.0, 5.0])
+    # program 2: tiny constant cost (zero-impact filler)
+    c = np.full(13, 1.0)
+    base = np.array([4, 6, 2])
+    sweep = elasticity_sweep([a, b, c], 12, base, [0.0, 0.10])
+    # delta=0 pins program 0 near its baseline; delta=10% lets the DP
+    # shave program 0's share to push program 1 past its cliff
+    assert sweep[1].total_cost < sweep[0].total_cost - 10.0

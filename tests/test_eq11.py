@@ -1,0 +1,54 @@
+"""Tests for the literal Eq. 11 group miss ratio."""
+
+import numpy as np
+import pytest
+
+from repro.composition.corun import group_miss_ratio_eq11, predict_corun
+from repro.locality.footprint import average_footprint
+from repro.workloads import cyclic, uniform_random, zipf
+
+
+def _fps():
+    return [
+        average_footprint(uniform_random(6000, 150, seed=1, name="u").with_rate(2.0)),
+        average_footprint(zipf(6000, 100, alpha=1.0, seed=2, name="z")),
+    ]
+
+
+def test_eq11_equals_rate_weighted_member_ratios():
+    """Eq. 11 = sum of per-member natural-occupancy miss ratios weighted
+    by access-rate share (the composed slope decomposes per component)."""
+    fps = _fps()
+    rates = np.array([fp.access_rate for fp in fps])
+    shares = rates / rates.sum()
+    for cache in (60, 120, 180):
+        eq11 = group_miss_ratio_eq11(fps, cache)
+        pred = predict_corun(fps, cache)
+        assert eq11 == pytest.approx(float(np.dot(pred.miss_ratios, shares)), abs=6e-3)
+
+
+def test_eq11_three_programs():
+    fps = _fps() + [average_footprint(cyclic(6000, 80, name="c").with_rate(1.5))]
+    rates = np.array([fp.access_rate for fp in fps])
+    shares = rates / rates.sum()
+    eq11 = group_miss_ratio_eq11(fps, 200)
+    pred = predict_corun(fps, 200)
+    assert eq11 == pytest.approx(float(np.dot(pred.miss_ratios, shares)), abs=0.01)
+
+
+def test_eq11_saturated_cache_is_zero():
+    fps = [average_footprint(cyclic(2000, 20)), average_footprint(cyclic(2000, 30))]
+    assert group_miss_ratio_eq11(fps, 500) == 0.0
+
+
+def test_eq11_bounds_and_validation():
+    fps = _fps()
+    assert 0.0 <= group_miss_ratio_eq11(fps, 10) <= 1.0
+    with pytest.raises(ValueError):
+        group_miss_ratio_eq11(fps, 0)
+
+
+def test_eq11_monotone_in_cache_size():
+    fps = _fps()
+    values = [group_miss_ratio_eq11(fps, c) for c in (25, 75, 150, 240)]
+    assert all(b <= a + 1e-6 for a, b in zip(values, values[1:]))

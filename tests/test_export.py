@@ -1,0 +1,51 @@
+"""Tests for study CSV export."""
+
+import csv
+
+from repro.experiments.export import export_study
+
+
+def test_export_writes_all_artifacts(mini_study, tmp_path):
+    written = export_study(mini_study, tmp_path)
+    names = {p.name for p in written}
+    assert "table1.csv" in names
+    assert "figure6.csv" in names
+    assert "figure7.csv" in names
+    assert "gainers.csv" in names
+    # one figure-5 file per program
+    fig5 = {n for n in names if n.startswith("figure5_")}
+    assert len(fig5) == len(mini_study.profile.names)
+
+
+def test_table1_csv_contents(mini_study, tmp_path):
+    export_study(mini_study, tmp_path)
+    with (tmp_path / "table1.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert {r["method"] for r in rows} == {
+        "equal", "equal_baseline", "natural", "natural_baseline", "sttw",
+    }
+    for r in rows:
+        float(r["avg_pct"])  # parseable numbers
+
+
+def test_figure6_csv_sorted(mini_study, tmp_path):
+    export_study(mini_study, tmp_path)
+    with (tmp_path / "figure6.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    opt = [float(r["optimal"]) for r in rows]
+    assert opt == sorted(opt)
+    assert len(rows) == mini_study.groups.shape[0]
+
+
+def test_figure5_csv_row_counts(mini_study, tmp_path):
+    export_study(mini_study, tmp_path)
+    name = mini_study.profile.names[0]
+    with (tmp_path / f"figure5_{name}.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 10  # C(5,3) groups containing the program
+
+
+def test_export_creates_directory(mini_study, tmp_path):
+    out = tmp_path / "nested" / "dir"
+    export_study(mini_study, out)
+    assert (out / "table1.csv").exists()

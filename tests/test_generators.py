@@ -1,0 +1,116 @@
+"""Tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import generators as g
+
+
+def test_cyclic_structure():
+    t = g.cyclic(10, 3)
+    assert t.blocks.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+    assert t.data_size == 3
+
+
+def test_sawtooth_structure():
+    t = g.sawtooth(9, 4)
+    assert t.blocks.tolist() == [0, 1, 2, 3, 2, 1, 0, 1, 2]
+    assert t.data_size == 4
+
+
+def test_sawtooth_degenerate():
+    assert g.sawtooth(5, 1).blocks.tolist() == [0] * 5
+
+
+def test_uniform_random_range_and_determinism():
+    a = g.uniform_random(500, 30, seed=7)
+    b = g.uniform_random(500, 30, seed=7)
+    assert np.array_equal(a.blocks, b.blocks)
+    assert a.blocks.max() < 30
+    assert a.data_size > 20  # nearly all blocks drawn
+
+
+def test_zipf_skew():
+    t = g.zipf(5000, 100, alpha=1.5, seed=0)
+    counts = np.bincount(t.blocks, minlength=100)
+    assert counts[0] > counts[50] > 0 or counts[50] == 0
+    assert counts[0] > 0.1 * len(t)  # head block dominates
+
+
+def test_zipf_alpha_zero_is_uniform():
+    t = g.zipf(8000, 20, alpha=0.0, seed=1)
+    counts = np.bincount(t.blocks, minlength=20)
+    assert counts.min() > 0.6 * counts.max()
+
+
+def test_hot_cold_partitioning():
+    t = g.hot_cold(5000, 10, 100, hot_fraction=0.9, seed=2)
+    hot_accesses = np.sum(t.blocks < 10)
+    assert hot_accesses / len(t) == pytest.approx(0.9, abs=0.03)
+    assert t.blocks.max() < 110
+
+
+def test_gaussian_walk_locality():
+    t = g.gaussian_walk(2000, 500, sigma=5.0, drift=0.1, seed=3)
+    assert t.blocks.max() < 500
+    # consecutive accesses stay near each other (mod wrap-around aside)
+    diffs = np.abs(np.diff(t.blocks.astype(np.int64)))
+    near = np.minimum(diffs, 500 - diffs)
+    assert np.median(near) < 20
+
+
+def test_phased_disjoint_phases():
+    a = g.cyclic(20, 4)
+    b = g.cyclic(20, 6)
+    t = g.phased([a, b], repeats=3)
+    assert len(t) == 120
+    assert t.data_size == 10  # phases touch disjoint data
+
+
+def test_pointer_chase_same_reuse_as_cyclic():
+    from repro.locality.reuse import reuse_intervals
+
+    c = g.cyclic(100, 10)
+    p = g.pointer_chase(100, 10, seed=4)
+    assert np.array_equal(
+        np.sort(reuse_intervals(c)), np.sort(reuse_intervals(p))
+    )
+
+
+def test_mix_weights_and_id_spaces():
+    a = g.cyclic(100, 5)
+    b = g.cyclic(100, 7)
+    t = g.mix([a, b], [0.75, 0.25], 4000, seed=5)
+    from_a = np.sum(t.blocks < 5)
+    assert from_a / len(t) == pytest.approx(0.75, abs=0.05)
+    assert t.data_size <= 12
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        g.cyclic(0, 5)
+    with pytest.raises(ValueError):
+        g.hot_cold(10, 2, 3, hot_fraction=1.5)
+    with pytest.raises(ValueError):
+        g.zipf(10, 5, alpha=-1)
+    with pytest.raises(ValueError):
+        g.phased([], repeats=1)
+    with pytest.raises(ValueError):
+        g.mix([g.cyclic(5, 2)], [1.0, 2.0], 10)
+
+
+def test_figure1_traces_shape():
+    traces = g.figure1_traces()
+    assert len(traces) == 4
+    assert all(len(t) == 12 for t in traces)
+    # cores 1, 2 stream: all accesses distinct
+    assert traces[0].data_size == 12
+    assert traces[1].data_size == 12
+    # cores 3, 4 have small phased sets
+    assert traces[2].data_size == 3
+    assert traces[3].data_size == 3
+    # disjoint address spaces
+    ids = [set(np.unique(t.blocks).tolist()) for t in traces]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not ids[i] & ids[j]

@@ -1,0 +1,79 @@
+"""Tests for trace-level ground-truth validation of scheme conclusions."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import equal_allocation
+from repro.core.dp import optimal_partition
+from repro.experiments.ground_truth import (
+    ordering_agreement,
+    simulate_schemes,
+)
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads import cyclic, uniform_random, zipf
+
+CB = 256
+
+
+@pytest.fixture(scope="module")
+def group():
+    traces = [
+        cyclic(8000, 350, name="stream"),
+        uniform_random(8000, 300, seed=1, name="rand"),
+        zipf(8000, 150, alpha=1.2, seed=2, name="hot"),
+    ]
+    mrcs = [
+        MissRatioCurve.from_footprint(average_footprint(t), CB) for t in traces
+    ]
+    costs = [m.miss_counts() for m in mrcs]
+    weights = np.array([m.n_accesses for m in mrcs], dtype=np.float64)
+
+    def predicted_mr(alloc):
+        mrs = np.array([m.ratios[a] for m, a in zip(mrcs, alloc.tolist())])
+        return float(np.dot(mrs, weights) / weights.sum())
+
+    opt = optimal_partition(costs, CB).allocation
+    eq = equal_allocation(3, CB)
+    allocations = {"optimal": opt, "equal": eq, "natural": None}
+    from repro.composition.corun import predict_corun
+
+    predicted = {
+        "optimal": predicted_mr(opt),
+        "equal": predicted_mr(eq),
+        "natural": predict_corun([average_footprint(t) for t in traces], CB).group_miss_ratio,
+    }
+    return traces, allocations, predicted
+
+
+def test_simulation_confirms_optimal_beats_equal(group):
+    traces, allocations, predicted = group
+    row = simulate_schemes(traces, allocations, CB, predicted)
+    assert row.simulated["optimal"] <= row.simulated["equal"] + 1e-9
+    assert row.ordering_preserved("optimal", "equal")
+
+
+def test_model_errors_are_small(group):
+    traces, allocations, predicted = group
+    row = simulate_schemes(traces, allocations, CB, predicted)
+    for scheme in ("optimal", "equal", "natural"):
+        assert row.prediction_error(scheme) < 0.08, (
+            scheme,
+            row.predicted[scheme],
+            row.simulated[scheme],
+        )
+
+
+def test_ordering_agreement_aggregation(group):
+    traces, allocations, predicted = group
+    row = simulate_schemes(traces, allocations, CB, predicted)
+    assert ordering_agreement([row, row], "optimal", "equal") in (0.0, 0.5, 1.0)
+    with pytest.raises(ValueError):
+        ordering_agreement([], "optimal", "equal")
+
+
+def test_slack_parameter(group):
+    traces, allocations, predicted = group
+    row = simulate_schemes(traces, allocations, CB, predicted)
+    # with a huge slack, any ordering "holds"
+    assert row.ordering_preserved("equal", "optimal", slack=1.0)

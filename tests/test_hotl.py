@@ -1,0 +1,64 @@
+"""Tests for the HOTL metric conversions (Eqs. 6–8, 10)."""
+
+import numpy as np
+import pytest
+
+from repro.locality.footprint import average_footprint
+from repro.locality.hotl import fill_time, inter_miss_time, miss_ratio
+from repro.workloads import cyclic, sawtooth, uniform_random, zipf
+
+
+def test_fill_time_is_fp_inverse():
+    fp = average_footprint(sawtooth(600, 30))
+    for c in (1.0, 5.0, 12.5, 29.0):
+        assert fp(fill_time(fp, c)) == pytest.approx(c, abs=1e-6)
+
+
+def test_inter_miss_time_infinite_when_data_fits():
+    fp = average_footprint(cyclic(500, 20))
+    assert inter_miss_time(fp, 20) == np.inf
+    assert inter_miss_time(fp, 25) == np.inf
+
+
+def test_inter_miss_reciprocal_matches_mr():
+    """Eq. 8 vs Eq. 10: both give the same piecewise-linear miss ratio."""
+    fp = average_footprint(uniform_random(4000, 60, seed=1))
+    for c in (5, 15, 30, 45):
+        im = inter_miss_time(fp, c)
+        mr = miss_ratio(fp, c)
+        assert 1.0 / im == pytest.approx(mr, rel=0.05, abs=1e-4)
+
+
+def test_cyclic_miss_ratio_cliff():
+    """LRU on a cyclic sweep: mr = 1 below the loop size, 0 at/above it."""
+    m = 25
+    fp = average_footprint(cyclic(2500, m))
+    sizes = np.arange(0, 40, dtype=np.float64)
+    mr = miss_ratio(fp, sizes)
+    assert np.all(mr[: m - 1] > 0.95)
+    assert np.all(mr[m:] == 0.0)
+
+
+def test_miss_ratio_bounds_and_monotone_region():
+    fp = average_footprint(zipf(5000, 80, alpha=1.0, seed=2))
+    sizes = np.arange(0, 90, dtype=np.float64)
+    mr = miss_ratio(fp, sizes)
+    assert np.all((mr >= 0) & (mr <= 1))
+    assert mr[0] == pytest.approx(1.0, abs=0.05)
+    assert np.all(mr[80:] == 0.0)  # cache >= data
+
+
+def test_miss_ratio_scalar_and_array_forms():
+    fp = average_footprint(uniform_random(1000, 30, seed=3))
+    scalar = miss_ratio(fp, 10)
+    arr = miss_ratio(fp, np.array([10.0]))
+    assert isinstance(scalar, float)
+    assert scalar == pytest.approx(float(arr[0]))
+
+
+def test_uniform_random_mr_close_to_analytic():
+    """Uniform traffic over m blocks: LRU mr(c) ~ (m - c) / m."""
+    m = 50
+    fp = average_footprint(uniform_random(60000, m, seed=4))
+    for c in (10, 25, 40):
+        assert miss_ratio(fp, c) == pytest.approx((m - c) / m, abs=0.08)

@@ -1,0 +1,108 @@
+"""End-to-end integration tests: the paper's pipeline as one story.
+
+Each test walks the full chain — synthesize traces, profile, compose,
+optimize, and then *verify the decision against the exact simulator* —
+so a regression anywhere in the stack surfaces here even if every unit
+test still passes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.partitioned import simulate_partitioned
+from repro.cachesim.shared import simulate_shared
+from repro.composition.corun import predict_corun
+from repro.core.baselines import equal_allocation, natural_baseline_partition
+from repro.core.dp import optimal_partition
+from repro.core.natural import natural_partition_units
+from repro.core.schemes import evaluate_group
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads.interleave import corun_limit
+from repro.workloads.spec import make_program
+
+CB, UNIT = 512, 16
+N_UNITS = CB // UNIT
+NAMES = ("lbm", "mcf", "povray", "wrf")
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    traces = [make_program(n, CB, length_scale=0.15) for n in NAMES]
+    fps = [average_footprint(t) for t in traces]
+    mrcs = [MissRatioCurve.from_footprint(fp, CB).resample(UNIT, N_UNITS) for fp in fps]
+    return traces, fps, mrcs
+
+
+def test_full_pipeline_decision_survives_simulation(pipeline):
+    """Profile -> DP -> simulate: the optimized partition beats the equal
+    partition in the real (trace-level) cache, not just in the model."""
+    traces, fps, mrcs = pipeline
+    costs = [m.miss_counts() for m in mrcs]
+    opt_units = optimal_partition(costs, N_UNITS).allocation
+    eq_units = equal_allocation(4, N_UNITS)
+    opt = simulate_partitioned(traces, opt_units * UNIT)
+    eq = simulate_partitioned(traces, eq_units * UNIT)
+    assert opt.group_miss_ratio() < eq.group_miss_ratio()
+
+
+def test_natural_prediction_matches_shared_simulation(pipeline):
+    traces, fps, mrcs = pipeline
+    pred = predict_corun(fps, CB)
+    sim = simulate_shared(traces, CB, limit=corun_limit(traces))
+    measured = sim.miss_ratios(include_cold=False)
+    assert np.max(np.abs(pred.miss_ratios - measured)) < 0.08
+
+
+def test_natural_baseline_protects_everyone_in_simulation(pipeline):
+    """The §VI guarantee, checked in the simulator: under the
+    natural-baseline partition, no program does materially worse than the
+    unit-rounded natural partition it was promised."""
+    traces, fps, mrcs = pipeline
+    costs = [m.miss_counts() for m in mrcs]
+    nat_units = natural_partition_units(fps, CB, UNIT)
+    nb_units = natural_baseline_partition(costs, N_UNITS, nat_units).allocation
+    nb = simulate_partitioned(traces, nb_units * UNIT)
+    baseline = simulate_partitioned(traces, nat_units * UNIT)
+    assert np.all(
+        nb.miss_ratios() <= baseline.miss_ratios() + 0.02
+    ), (nb.miss_ratios(), baseline.miss_ratios())
+
+
+def test_scheme_facade_consistent_with_study_pieces(pipeline):
+    """evaluate_group's outcomes equal the underlying optimizers' outputs."""
+    traces, fps, mrcs = pipeline
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    costs = [m.miss_counts() for m in mrcs]
+    direct = optimal_partition(costs, N_UNITS)
+    assert np.array_equal(ev.outcomes["optimal"].allocation, direct.allocation)
+    pred = predict_corun(fps, CB)
+    assert ev.outcomes["natural"].group_miss_ratio == pytest.approx(
+        pred.group_miss_ratio
+    )
+
+
+def test_sampled_profile_reaches_same_decision(pipeline):
+    """ABF-style sampled footprints lead the DP to a near-equivalent
+    partition (the §VII-A practicality claim)."""
+    from repro.locality.sampling import bursty_footprint
+
+    traces, fps, mrcs = pipeline
+    costs_full = [m.miss_counts() for m in mrcs]
+    full_alloc = optimal_partition(costs_full, N_UNITS).allocation
+    sampled_mrcs = []
+    for t in traces:
+        fp_s = bursty_footprint(t, burst_length=len(t) // 4, period=len(t) // 3)
+        sampled_mrcs.append(
+            MissRatioCurve.from_footprint(fp_s, CB, n_accesses=len(t)).resample(
+                UNIT, N_UNITS
+            )
+        )
+    costs_sampled = [m.miss_counts() for m in sampled_mrcs]
+    sampled_alloc = optimal_partition(costs_sampled, N_UNITS).allocation
+    # evaluate both allocations under the *full* model: the sampled
+    # decision costs at most a few percent
+    def cost_of(alloc):
+        return sum(float(c[a]) for c, a in zip(costs_full, alloc))
+
+    assert cost_of(sampled_alloc) <= cost_of(full_alloc) * 1.10

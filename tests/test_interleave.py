@@ -1,0 +1,78 @@
+"""Tests for co-run trace interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import cyclic, uniform_random
+from repro.workloads.interleave import disjoint_id_spaces, interleave
+
+
+def test_disjoint_id_spaces():
+    ts = [cyclic(20, 5), cyclic(20, 7), cyclic(20, 3)]
+    shifted, bases = disjoint_id_spaces(ts)
+    assert list(bases) == [0, 5, 12, 15]
+    ranges = [set(np.unique(s.blocks).tolist()) for s in shifted]
+    for i in range(len(ranges)):
+        for j in range(i + 1, len(ranges)):
+            assert not ranges[i] & ranges[j]
+
+
+def test_proportional_equal_rates_round_robin():
+    a = cyclic(6, 2, name="a").with_rate(1.0)
+    b = cyclic(6, 2, name="b").with_rate(1.0)
+    inter = interleave([a, b])
+    # equal rates: strict alternation, stable order a-then-b
+    assert inter.owner.tolist() == [0, 1] * 6
+
+
+def test_proportional_rate_ratios():
+    a = cyclic(300, 5).with_rate(3.0)
+    b = cyclic(100, 5).with_rate(1.0)
+    inter = interleave([a, b])
+    owner = inter.owner
+    # within any window of 40 merged accesses, a gets ~30
+    counts = np.convolve(owner == 0, np.ones(40), "valid")
+    assert np.all(np.abs(counts - 30) <= 2)
+
+
+def test_preserves_per_program_order():
+    a = uniform_random(50, 20, seed=0, name="a")
+    b = uniform_random(80, 20, seed=1, name="b")
+    inter = interleave([a, b])
+    merged_a = inter.trace.blocks[inter.owner == 0]
+    assert np.array_equal(merged_a, a.compacted().blocks[: merged_a.size])
+
+
+def test_limit():
+    a = cyclic(100, 4)
+    b = cyclic(100, 4)
+    inter = interleave([a, b], limit=30)
+    assert len(inter.trace) == 30
+
+
+def test_random_mode_requires_rng_and_respects_rates():
+    a = cyclic(4000, 5).with_rate(4.0)
+    b = cyclic(1000, 5).with_rate(1.0)
+    with pytest.raises(ValueError):
+        interleave([a, b], mode="random")
+    inter = interleave([a, b], mode="random", rng=np.random.default_rng(0))
+    assert len(inter.trace) == 5000
+    counts = inter.per_program_counts()
+    assert counts.tolist() == [4000, 1000]
+
+
+def test_unknown_mode():
+    with pytest.raises(ValueError):
+        interleave([cyclic(5, 2)], mode="bogus")
+
+
+def test_empty_list_rejected():
+    with pytest.raises(ValueError):
+        interleave([])
+
+
+def test_combined_rate_is_sum():
+    a = cyclic(10, 2).with_rate(1.5)
+    b = cyclic(10, 2).with_rate(2.5)
+    inter = interleave([a, b])
+    assert inter.trace.access_rate == pytest.approx(4.0)

@@ -1,0 +1,67 @@
+"""Tests for footprint persistence (ASCII and NPZ round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.io import (
+    load_footprint_ascii,
+    load_suite_npz,
+    save_footprint_ascii,
+    save_suite_npz,
+)
+from repro.locality.footprint import average_footprint
+from repro.workloads import cyclic, uniform_random, zipf
+
+
+def test_ascii_roundtrip(tmp_path):
+    fp = average_footprint(zipf(800, 50, seed=0, name="prog-a").with_rate(1.75))
+    path = tmp_path / "prog-a.fp"
+    save_footprint_ascii(fp, path)
+    back = load_footprint_ascii(path)
+    assert back.name == "prog-a"
+    assert back.n == fp.n and back.m == fp.m
+    assert back.access_rate == pytest.approx(1.75)
+    assert np.array_equal(back.values, fp.values)
+
+
+def test_ascii_rejects_foreign_file(tmp_path):
+    path = tmp_path / "bogus.txt"
+    path.write_text("not a footprint\n1 2\n")
+    with pytest.raises(ValueError, match="not a repro footprint"):
+        load_footprint_ascii(path)
+
+
+def test_ascii_detects_truncation(tmp_path):
+    fp = average_footprint(cyclic(100, 10))
+    path = tmp_path / "t.fp"
+    save_footprint_ascii(fp, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-3]) + "\n")
+    with pytest.raises(ValueError, match="expected"):
+        load_footprint_ascii(path)
+
+
+def test_npz_roundtrip(tmp_path):
+    fps = [
+        average_footprint(cyclic(500, 30, name="x")),
+        average_footprint(uniform_random(700, 40, seed=1, name="y").with_rate(2.0)),
+    ]
+    path = tmp_path / "suite.npz"
+    save_suite_npz(fps, path)
+    back = load_suite_npz(path)
+    assert [b.name for b in back] == ["x", "y"]
+    for orig, b in zip(fps, back):
+        assert np.array_equal(orig.values, b.values)
+        assert b.access_rate == pytest.approx(orig.access_rate)
+        assert (b.n, b.m) == (orig.n, orig.m)
+
+
+def test_ascii_file_is_humane(tmp_path):
+    """One sample per line, paper-style, with a readable header."""
+    fp = average_footprint(cyclic(50, 5, name="tiny"))
+    path = tmp_path / "tiny.fp"
+    save_footprint_ascii(fp, path)
+    text = path.read_text().splitlines()
+    assert text[0].startswith("#")
+    assert any("name tiny" in ln for ln in text[:5])
+    assert text[-1].split()[0] == "50"  # last window index == n

@@ -1,0 +1,92 @@
+"""Tests for fully-associative LRU simulation (fast path vs reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.lru import LRUCache, lru_miss_counts, lru_miss_ratio
+from repro.workloads import cyclic, uniform_random, zipf
+
+traces = st.lists(st.integers(0, 9), min_size=1, max_size=80).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+@given(traces, st.integers(1, 12))
+@settings(max_examples=150)
+def test_fast_path_matches_reference(blocks, capacity):
+    ref = LRUCache(capacity)
+    ref.run(blocks)
+    fast = lru_miss_counts(blocks, np.array([capacity]))[0]
+    assert ref.misses == fast
+
+
+@given(traces)
+@settings(max_examples=100)
+def test_inclusion_property(blocks):
+    """LRU inclusion: misses are non-increasing in cache size."""
+    sizes = np.arange(0, 12)
+    misses = lru_miss_counts(blocks, sizes)
+    assert np.all(np.diff(misses) <= 0)
+
+
+def test_cold_toggle():
+    tr = cyclic(100, 10)
+    with_cold = lru_miss_counts(tr, np.array([10]), include_cold=True)[0]
+    without = lru_miss_counts(tr, np.array([10]), include_cold=False)[0]
+    assert with_cold - without == 10  # exactly the compulsory misses
+    assert without == 0  # loop fits
+
+
+def test_zero_size_cache_misses_everything():
+    tr = uniform_random(50, 5, seed=0)
+    assert lru_miss_counts(tr, np.array([0]))[0] == 50
+
+
+def test_miss_ratio_wrapper():
+    tr = cyclic(1000, 20)
+    assert lru_miss_ratio(tr, 10) == pytest.approx(1.0)
+    assert lru_miss_ratio(tr, 20, include_cold=False) == 0.0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        lru_miss_counts(np.array([1, 2]), np.array([-1]))
+
+
+def test_lrucache_eviction_order():
+    c = LRUCache(2)
+    c.access(1)
+    c.access(2)
+    c.access(1)  # 1 is now MRU
+    c.access(3)  # evicts 2
+    assert c.access(1) is True
+    assert c.access(2) is False
+
+
+def test_lrucache_resident_and_occupancy():
+    c = LRUCache(3)
+    for b in (1, 2, 3, 4):
+        c.access(b)
+    assert c.occupancy == 3
+    assert c.resident() == {2, 3, 4}
+
+
+def test_lrucache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_hit_mask_run():
+    c = LRUCache(2)
+    mask = c.run(np.array([1, 1, 2, 3, 1]))
+    assert mask.tolist() == [False, True, False, False, False]
+    assert c.hits == 1 and c.misses == 4
+
+
+def test_zipf_reasonable_hit_rate():
+    tr = zipf(5000, 200, alpha=1.2, seed=1)
+    mr_small = lru_miss_ratio(tr, 10)
+    mr_big = lru_miss_ratio(tr, 150)
+    assert mr_big < mr_small < 1.0

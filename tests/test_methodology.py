@@ -1,0 +1,114 @@
+"""Tests for the exhaustive co-run study driver (§VII-A)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.methodology import (
+    STUDY_SCHEMES,
+    ExperimentConfig,
+    build_suite_profile,
+    run_study,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(cache_blocks=100, unit_blocks=16)
+    with pytest.raises(ValueError):
+        ExperimentConfig(group_size=1)
+    cfg = ExperimentConfig(cache_blocks=512, unit_blocks=16)
+    assert cfg.n_units == 32
+    assert cfg.n_groups == 1820  # C(16, 4)
+
+
+def test_config_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert ExperimentConfig.from_env().cache_blocks == 4096
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    cfg = ExperimentConfig.from_env()
+    assert cfg.n_units == 1024  # the paper's grid
+
+
+def test_profile_contents(mini_profile):
+    cfg = mini_profile.config
+    assert len(mini_profile.footprints) == len(cfg.names)
+    assert len(mini_profile.mrcs) == len(cfg.names)
+    for m in mini_profile.mrcs:
+        assert m.capacity == cfg.n_units
+    assert mini_profile.names == cfg.names
+
+
+def test_study_shapes(mini_study):
+    n_g = mini_study.groups.shape[0]
+    assert n_g == 15  # C(6, 4)
+    assert mini_study.group_mr.shape == (n_g, len(STUDY_SCHEMES))
+    assert mini_study.program_mr.shape == (n_g, 4, len(STUDY_SCHEMES))
+    assert mini_study.allocations.shape == (n_g, 4, len(STUDY_SCHEMES))
+    assert not np.any(np.isnan(mini_study.group_mr))
+
+
+def test_optimal_dominates_all_grid_schemes(mini_study):
+    opt = mini_study.series("optimal")
+    for s in ("equal", "equal_baseline", "natural_baseline", "sttw"):
+        assert np.all(opt <= mini_study.series(s) + 1e-12), s
+
+
+def test_optimal_beats_natural_up_to_granularity(mini_study):
+    """Natural is evaluated at block (sub-unit) precision, so Optimal can
+    only lose by a sliver of granularity."""
+    opt = mini_study.series("optimal")
+    nat = mini_study.series("natural")
+    assert np.all(opt <= nat + 0.01)
+
+
+def test_baseline_guarantees_per_program(mini_study):
+    s_eq = mini_study.scheme_index("equal")
+    s_eb = mini_study.scheme_index("equal_baseline")
+    assert np.all(
+        mini_study.program_mr[:, :, s_eb] <= mini_study.program_mr[:, :, s_eq] + 1e-9
+    )
+
+
+def test_grid_allocations_sum(mini_study):
+    n_units = mini_study.profile.config.n_units
+    for s in ("equal", "equal_baseline", "natural_baseline", "optimal", "sttw"):
+        sums = mini_study.allocations[:, :, mini_study.scheme_index(s)].sum(axis=1)
+        assert np.allclose(sums, n_units), s
+
+
+def test_pair_memoization_matches_direct_dp(mini_profile):
+    """The pair-tree optimal path must equal a direct 4-curve fold."""
+    from repro.core.dp import optimal_partition
+
+    cfg = mini_profile.config
+    study = run_study(mini_profile, schemes=("optimal",))
+    costs = [m.miss_counts() for m in mini_profile.mrcs]
+    for g, members in enumerate(map(tuple, study.groups.tolist())):
+        direct = optimal_partition([costs[i] for i in members], cfg.n_units)
+        via_pairs_mr = study.group_mr[g, 0]
+        weights = np.array([mini_profile.mrcs[i].n_accesses for i in members], float)
+        direct_mr = direct.total_cost / weights.sum()
+        assert via_pairs_mr == pytest.approx(direct_mr, rel=1e-9)
+
+
+def test_groups_containing_and_program_series(mini_study):
+    names = mini_study.profile.names
+    rows = mini_study.groups_containing(names[0])
+    assert rows.size == 10  # C(5, 3)
+    series = mini_study.program_series(names[0], "equal")
+    assert series.shape == (10,)
+    # equal-partition miss ratio is peer-independent: constant across groups
+    assert np.allclose(series, series[0])
+
+
+def test_explicit_group_subset(mini_profile):
+    study = run_study(mini_profile, groups=[(0, 1, 2, 3), (1, 2, 3, 4)])
+    assert study.groups.shape == (2, 4)
+    with pytest.raises(ValueError):
+        run_study(mini_profile, groups=[(0, 1)])
+
+
+def test_convexity_violation_census(mini_study):
+    v = mini_study.convexity_violations
+    assert v.shape == (len(mini_study.profile.names),)
+    assert v.sum() > 0  # the suite deliberately contains non-convex curves

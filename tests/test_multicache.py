@@ -1,0 +1,84 @@
+"""Tests for the §II multi-cache assignment scenario."""
+
+import numpy as np
+import pytest
+
+from repro.core.multicache import (
+    greedy_assignment,
+    group_shared_cost,
+    optimal_assignment,
+)
+from repro.core.searchspace import stirling2
+from repro.locality.footprint import average_footprint
+from repro.workloads import cyclic, uniform_random, zipf
+
+
+def _fps():
+    return [
+        average_footprint(cyclic(3000, 120, name="big-loop")),
+        average_footprint(uniform_random(3000, 100, seed=1, name="rand")),
+        average_footprint(zipf(3000, 40, alpha=1.2, seed=2, name="hot")),
+        average_footprint(cyclic(3000, 30, name="small-loop")),
+    ]
+
+
+def test_group_shared_cost_monotone_in_members():
+    fps = _fps()
+    solo = group_shared_cost([fps[2]], 100)
+    pair = group_shared_cost([fps[2], fps[0]], 100)
+    assert pair >= solo - 1e-6  # adding a polluter never helps the group
+    assert group_shared_cost([], 100) == 0.0
+
+
+def test_optimal_assignment_structure():
+    fps = _fps()
+    res = optimal_assignment(fps, n_caches=2, cache_size=128)
+    flat = sorted(i for g in res.groups for i in g)
+    assert flat == [0, 1, 2, 3]
+    assert res.n_caches_used <= 2
+    assert res.total_misses >= 0
+
+
+def test_optimal_separates_antagonists():
+    """Two thrashing loops must not share one cache when two are free."""
+    big_a = average_footprint(cyclic(3000, 120, name="a"))
+    big_b = average_footprint(cyclic(3000, 120, name="b"))
+    tiny = average_footprint(zipf(3000, 10, alpha=1.0, seed=3, name="t"))
+    res = optimal_assignment([big_a, big_b, tiny], n_caches=2, cache_size=130)
+    # the two 120-block loops cannot both fit one 130-block cache
+    for g in res.groups:
+        assert not {0, 1} <= set(g)
+
+
+def test_exhaustiveness_matches_stirling_bound():
+    """The search explores exactly the groupings of Eq. 1's space."""
+    fps = _fps()
+    # count through the internal generator
+    from repro.core.multicache import _groupings_into_at_most
+
+    count = sum(1 for _ in _groupings_into_at_most(list(range(4)), 2))
+    assert count == stirling2(4, 1) + stirling2(4, 2)
+
+
+def test_greedy_close_to_optimal():
+    fps = _fps()
+    exact = optimal_assignment(fps, n_caches=2, cache_size=128)
+    greedy = greedy_assignment(fps, n_caches=2, cache_size=128)
+    assert greedy.total_misses >= exact.total_misses - 1e-6
+    assert greedy.total_misses <= exact.total_misses * 1.5 + 1e-6
+    flat = sorted(i for g in greedy.groups for i in g)
+    assert flat == [0, 1, 2, 3]
+
+
+def test_single_cache_reduces_to_full_sharing():
+    fps = _fps()
+    res = optimal_assignment(fps, n_caches=1, cache_size=128)
+    assert res.groups == (tuple(range(4)),)
+
+
+def test_validation():
+    fps = _fps()
+    with pytest.raises(ValueError):
+        optimal_assignment(fps, n_caches=0, cache_size=100)
+    with pytest.raises(ValueError):
+        greedy_assignment(fps, n_caches=0, cache_size=100)

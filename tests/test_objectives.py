@@ -1,0 +1,83 @@
+"""Tests for DP objective construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    constrained_costs,
+    miss_count_costs,
+    qos_costs,
+    weighted_miss_costs,
+)
+from repro.locality.mrc import MissRatioCurve
+
+
+def _mrc(ratios, n=1000, name="p"):
+    return MissRatioCurve(np.asarray(ratios, dtype=float), n_accesses=n, name=name)
+
+
+def test_miss_count_costs():
+    mrcs = [_mrc([1.0, 0.5, 0.0], n=200)]
+    (c,) = miss_count_costs(mrcs)
+    assert c.tolist() == [200.0, 100.0, 0.0]
+
+
+def test_grid_mismatch_rejected():
+    with pytest.raises(ValueError):
+        miss_count_costs([_mrc([1.0, 0.0]), _mrc([1.0, 0.5, 0.0])])
+    with pytest.raises(ValueError):
+        miss_count_costs([])
+
+
+def test_weighted_costs():
+    mrcs = [_mrc([1.0, 0.0], n=100), _mrc([1.0, 0.0], n=100)]
+    a, b = weighted_miss_costs(mrcs, [2.0, 0.5])
+    assert a[0] == 200.0 and b[0] == 50.0
+    with pytest.raises(ValueError):
+        weighted_miss_costs(mrcs, [1.0])
+    with pytest.raises(ValueError):
+        weighted_miss_costs(mrcs, [1.0, -1.0])
+
+
+def test_qos_costs_ban_oversized_ratios():
+    mrcs = [_mrc([0.9, 0.4, 0.1], n=10)]
+    (c,) = qos_costs(mrcs, [0.5])
+    assert np.isinf(c[0])
+    assert np.isfinite(c[1]) and np.isfinite(c[2])
+    with pytest.raises(ValueError):
+        qos_costs(mrcs, [])
+
+
+def test_qos_end_to_end_with_dp():
+    """QoS caps steer the DP away from the throughput optimum."""
+    from repro.core.dp import optimal_partition
+
+    # program 0 benefits hugely from cache; program 1 has a QoS cap that
+    # forces it to keep at least 2 units.
+    m0 = _mrc([1.0, 0.6, 0.3, 0.1, 0.05], n=1000)
+    m1 = _mrc([0.8, 0.5, 0.2, 0.1, 0.05], n=100)
+    unconstrained = optimal_partition(miss_count_costs([m0, m1]), 4)
+    assert unconstrained.allocation[0] >= 3
+    capped = optimal_partition(qos_costs([m0, m1], [1.0, 0.25]), 4)
+    assert capped.allocation[1] >= 2
+
+
+def test_constrained_costs_nonmonotone_feasible_set():
+    cost = np.array([5.0, 9.0, 4.0, 8.0, 3.0])
+    (out,) = constrained_costs([cost], [5.0])
+    assert np.isfinite(out[0])
+    assert np.isinf(out[1])
+    assert np.isfinite(out[2])
+    assert np.isinf(out[3])
+    assert np.isfinite(out[4])
+
+
+def test_constrained_costs_threshold_tolerance():
+    cost = np.array([1.0000000001, 2.0])
+    (out,) = constrained_costs([cost], [1.0])
+    assert np.isfinite(out[0])  # rtol admits the boundary
+
+
+def test_constrained_costs_shape_check():
+    with pytest.raises(ValueError):
+        constrained_costs([np.zeros(3)], [1.0, 2.0])

@@ -1,0 +1,65 @@
+"""Tests for phase analysis."""
+
+import numpy as np
+import pytest
+
+from repro.locality.phases import (
+    detect_phases,
+    epoch_profiles,
+    epoch_working_sets,
+)
+from repro.workloads import cyclic, phased, uniform_random
+from repro.workloads.trace import Trace
+
+
+def test_epoch_working_sets_partition_the_trace():
+    tr = uniform_random(1000, 50, seed=0)
+    sets = epoch_working_sets(tr, 100)
+    assert len(sets) == 10
+    union = np.unique(np.concatenate(sets))
+    assert union.size == tr.data_size
+
+
+def test_epoch_working_sets_tail_epoch():
+    tr = cyclic(250, 10)
+    sets = epoch_working_sets(tr, 100)
+    assert len(sets) == 3  # 100 + 100 + 50
+
+
+def test_epoch_profiles_metadata():
+    tr = cyclic(400, 20, name="loop")
+    profiles = epoch_profiles(tr, 100)
+    assert [p.start for p in profiles] == [0, 100, 200, 300]
+    assert all(p.length == 100 for p in profiles)
+    assert all(p.working_set_size == 20 for p in profiles)
+    assert profiles[0].footprint.name == "loop@0"
+
+
+def test_detect_phases_on_phased_trace():
+    """Two disjoint 200-access phases: the boundary lands at 200."""
+    seg_a = cyclic(200, 10)
+    seg_b = cyclic(200, 30)
+    tr = phased([seg_a, seg_b], repeats=1)
+    boundaries = detect_phases(tr, epoch_length=100, turnover_threshold=0.5)
+    assert boundaries == [0, 200]
+
+
+def test_detect_phases_steady_trace():
+    tr = cyclic(800, 25)
+    assert detect_phases(tr, epoch_length=100) == [0]
+
+
+def test_detect_phases_repeating_phases():
+    seg_a = cyclic(100, 8)
+    seg_b = cyclic(100, 12)
+    tr = phased([seg_a, seg_b], repeats=3)  # ABABAB, 600 accesses
+    boundaries = detect_phases(tr, epoch_length=100, turnover_threshold=0.5)
+    assert boundaries == [0, 100, 200, 300, 400, 500]
+
+
+def test_validation():
+    tr = cyclic(100, 5)
+    with pytest.raises(ValueError):
+        epoch_working_sets(tr, 0)
+    with pytest.raises(ValueError):
+        detect_phases(tr, 10, turnover_threshold=1.5)

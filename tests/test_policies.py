@@ -1,0 +1,106 @@
+"""Tests for non-LRU replacement policies (§VIII approximations)."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.policies import ClockCache, FIFOCache, RandomCache, TreePLRUCache
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.workloads import cyclic, uniform_random, zipf
+
+POLICIES = [
+    lambda s, w: TreePLRUCache(s, w),
+    lambda s, w: FIFOCache(s, w),
+    lambda s, w: RandomCache(s, w, seed=1),
+    lambda s, w: ClockCache(s, w),
+]
+
+
+@pytest.mark.parametrize("make", POLICIES)
+def test_fits_entirely_no_capacity_misses(make):
+    """Any sane policy holds a working set that fits: cold misses only."""
+    cache = make(4, 4)
+    tr = cyclic(800, 16)  # 16 blocks spread evenly over 4 sets
+    cache.run(tr)
+    assert cache.misses == 16
+
+
+@pytest.mark.parametrize("make", POLICIES)
+def test_counts_are_consistent(make):
+    cache = make(8, 2)
+    tr = uniform_random(2000, 50, seed=2)
+    cache.run(tr)
+    assert cache.hits + cache.misses == 2000
+    assert cache.misses >= 50  # at least the cold misses
+
+
+def test_plru_requires_power_of_two_ways():
+    with pytest.raises(ValueError):
+        TreePLRUCache(4, 3)
+    TreePLRUCache(4, 1)  # degenerate but legal
+
+
+def test_plru_tracks_true_lru():
+    """Tree PLRU is the hardware approximation of LRU: a few percent of
+    each other on skewed traffic."""
+    tr = zipf(12000, 200, alpha=0.9, seed=3)
+    lru = SetAssociativeCache(16, 8)
+    lru.run(tr)
+    plru = TreePLRUCache(16, 8)
+    plru.run(tr)
+    assert plru.misses == pytest.approx(lru.misses, rel=0.10)
+
+
+def test_plru_mru_protection():
+    """PLRU never evicts the most recently touched way."""
+    c = TreePLRUCache(1, 4)
+    for b in (0, 1, 2, 3):
+        c.access(b)
+    c.access(2)  # 2 is MRU now
+    c.access(9)  # forces an eviction
+    assert c.access(2) is True  # 2 survived
+
+
+def test_fifo_ignores_recency():
+    """FIFO evicts the oldest fill even if it was just re-touched —
+    the classic case where FIFO loses to LRU."""
+    c = FIFOCache(1, 2)
+    c.access(0)
+    c.access(1)
+    c.access(0)  # touch 0; FIFO does not care
+    c.access(2)  # evicts 0 (oldest fill), not 1
+    assert c.access(1) is True
+    assert c.access(0) is False
+
+
+def test_clock_second_chance():
+    """CLOCK spares referenced lines on the first sweep."""
+    c = ClockCache(1, 2)
+    c.access(0)
+    c.access(1)
+    c.access(0)  # reference bit of 0 set (again)
+    c.access(2)  # sweep: both referenced -> cleared; evicts way 0 ... but
+    # 0 was re-referenced, so CLOCK clears bits and takes the first
+    # now-unreferenced line; the survivor keeps its data
+    assert c.hits >= 1
+
+
+def test_random_policy_reproducible():
+    a = RandomCache(4, 2, seed=7)
+    b = RandomCache(4, 2, seed=7)
+    tr = uniform_random(1000, 40, seed=8)
+    a.run(tr)
+    b.run(tr)
+    assert a.misses == b.misses
+
+
+def test_policies_ordering_on_loop_overflow():
+    """A loop one block larger than the cache: LRU-like policies thrash
+    (evict exactly what is needed next), FIFO too; random does better.
+    The classic anomaly — checked to keep the simulators honest."""
+    tr = cyclic(4000, 17)  # 17 blocks in a 1x16 cache
+    lru = SetAssociativeCache(1, 16)
+    lru.run(tr)
+    rnd = RandomCache(1, 16, seed=4)
+    rnd.run(tr)
+    assert lru.misses > 0.9 * len(tr)  # LRU thrashes completely
+    assert rnd.misses < 0.7 * len(tr)  # random keeps most of the loop

@@ -1,0 +1,131 @@
+"""Cross-module property tests: the theory's invariants under random inputs.
+
+Each property here is a theorem (or a theorem-under-assumptions) from the
+paper, checked with hypothesis-generated workloads end to end through the
+real pipeline — not against hand-picked examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.lru import lru_miss_counts
+from repro.composition.corun import predict_corun
+from repro.composition.stretch import compose_footprints
+from repro.core.baselines import equal_allocation, equal_baseline_partition
+from repro.core.dp import optimal_partition
+from repro.core.natural import round_to_units
+from repro.core.sttw import sttw_partition
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads import cyclic, hot_cold, uniform_random, zipf
+from repro.workloads.trace import Trace
+
+# random small trace recipes -------------------------------------------------
+recipe = st.sampled_from(["cyclic", "uniform", "zipf", "hot_cold"])
+
+
+def _build(kind: str, seed: int, n: int, m: int) -> Trace:
+    if kind == "cyclic":
+        return cyclic(n, m)
+    if kind == "uniform":
+        return uniform_random(n, m, seed=seed)
+    if kind == "zipf":
+        return zipf(n, m, alpha=1.0, seed=seed)
+    return hot_cold(n, max(m // 5, 1), m, hot_fraction=0.8, seed=seed)
+
+
+traces_strategy = st.tuples(recipe, st.integers(0, 10**6), st.integers(10, 60)).map(
+    lambda t: _build(t[0], t[1], 1500, t[2])
+)
+
+
+@given(traces_strategy)
+@settings(max_examples=40, deadline=None)
+def test_hotl_mrc_brackets_exact_lru(trace):
+    """HOTL miss ratios track exact LRU within a coarse absolute bound for
+    every generator in the library's random family."""
+    capacity = trace.data_size + 10
+    hotl = MissRatioCurve.from_footprint(average_footprint(trace), capacity)
+    sizes = np.array([capacity // 4, capacity // 2, capacity - 1])
+    exact = lru_miss_counts(trace, sizes, include_cold=False) / len(trace)
+    pred = hotl.ratios[sizes]
+    assert np.all(np.abs(pred - exact) < 0.12)
+
+
+@given(st.lists(traces_strategy, min_size=2, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_natural_partition_fills_cache(traces):
+    fps = [average_footprint(t) for t in traces]
+    total = sum(fp.m for fp in fps)
+    cache = max(total // 2, 2)
+    pred = predict_corun(fps, cache)
+    assert pred.occupancies.sum() == pytest.approx(cache, rel=0.01)
+    assert np.all(pred.occupancies >= -1e-9)
+    assert np.all((pred.miss_ratios >= 0) & (pred.miss_ratios <= 1))
+
+
+@given(st.lists(traces_strategy, min_size=2, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_composition_is_order_invariant(traces):
+    fps = [average_footprint(t) for t in traces]
+    cache = max(sum(fp.m for fp in fps) // 2, 2)
+    fwd = predict_corun(fps, cache)
+    rev = predict_corun(list(reversed(fps)), cache)
+    assert np.allclose(fwd.occupancies, rev.occupancies[::-1], atol=1e-6)
+
+
+@given(traces_strategy, st.integers(2, 5))
+@settings(max_examples=25, deadline=None)
+def test_composing_identical_programs_splits_evenly(trace, k):
+    fps = [average_footprint(trace) for _ in range(k)]
+    cache = max(trace.data_size, 4)
+    occ = predict_corun(fps, cache).occupancies
+    assert np.allclose(occ, occ[0], rtol=1e-6)
+
+
+@given(st.lists(traces_strategy, min_size=2, max_size=4), st.integers(8, 40))
+@settings(max_examples=25, deadline=None)
+def test_dp_dominates_everything(traces, budget):
+    """Optimal <= STTW, <= equal, <= equal-baseline on real curves."""
+    mrcs = [
+        MissRatioCurve.from_footprint(average_footprint(t), budget) for t in traces
+    ]
+    costs = [m.miss_counts() for m in mrcs]
+    opt = optimal_partition(costs, budget).total_cost
+    greedy = sttw_partition(costs, budget)
+    sttw_cost = sum(float(c[a]) for c, a in zip(costs, greedy))
+    eq = equal_allocation(len(costs), budget)
+    eq_cost = sum(float(c[a]) for c, a in zip(costs, eq))
+    eb_cost = equal_baseline_partition(costs, budget).total_cost
+    assert opt <= sttw_cost + 1e-9
+    assert opt <= eb_cost + 1e-9 <= eq_cost + 1e-9
+
+
+@given(
+    st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=10),
+    st.integers(0, 200),
+)
+@settings(max_examples=150)
+def test_round_to_units_never_moves_far(shares, total):
+    shares_arr = np.asarray(shares)
+    s = shares_arr.sum()
+    if s > 0:
+        shares_arr = shares_arr / s * min(total, 180)
+    out = round_to_units(shares_arr, total)
+    assert np.all(np.abs(out - shares_arr) < 1.0 + 1e-9)
+    assert out.sum() <= total
+
+
+@given(st.lists(traces_strategy, min_size=2, max_size=3))
+@settings(max_examples=20, deadline=None)
+def test_composed_footprint_dominated_by_parts(traces):
+    """The composed footprint never exceeds the sum of saturations and
+    matches the per-component sum everywhere."""
+    fps = [average_footprint(t) for t in traces]
+    comp = compose_footprints(fps)
+    for w in (1.0, 10.0, 100.0, 1000.0):
+        val = float(comp(w))
+        assert val <= comp.total_data + 1e-9
+        assert val == pytest.approx(float(comp.components(w).sum()), abs=1e-9)

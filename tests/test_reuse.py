@@ -1,0 +1,122 @@
+"""Unit and property tests for reuse-time analysis (paper §III definitions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality.reuse import (
+    first_last_positions,
+    gap_histogram,
+    previous_occurrence,
+    reuse_intervals,
+    reuse_profile,
+    reuse_time_histogram,
+)
+
+traces = st.lists(st.integers(0, 9), min_size=0, max_size=60).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def naive_previous(blocks: np.ndarray) -> np.ndarray:
+    last: dict[int, int] = {}
+    out = np.full(blocks.size, -1, dtype=np.int64)
+    for i, b in enumerate(blocks.tolist()):
+        if b in last:
+            out[i] = last[b]
+        last[b] = i
+    return out
+
+
+@given(traces)
+@settings(max_examples=200)
+def test_previous_occurrence_matches_naive(blocks):
+    assert np.array_equal(previous_occurrence(blocks), naive_previous(blocks))
+
+
+def test_previous_occurrence_example():
+    # paper Figure 3 trace: a a x b b y a a x b b y
+    sym = "a a x b b y a a x b b y".split()
+    ids = {s: i for i, s in enumerate(dict.fromkeys(sym))}
+    blocks = np.array([ids[s] for s in sym])
+    prev = previous_occurrence(blocks)
+    assert prev[1] == 0  # second a
+    assert prev[6] == 1  # a after gap
+    assert prev[0] == prev[2] == prev[3] == prev[5] == -1
+
+
+def test_figure3_trace_metrics():
+    """The Figure 3 trace: its annotation "- 1 - - 1 - 4 1 4 4 1 4" is the
+    LRU *stack distance* of each access; reuse times follow Eq. 4."""
+    from repro.cachesim.stack import COLD, stack_distances
+
+    sym = "a a x b b y a a x b b y".split()
+    ids = {s: i for i, s in enumerate(dict.fromkeys(sym))}
+    blocks = np.array([ids[s] for s in sym])
+
+    dist = stack_distances(blocks)
+    expect = [COLD, 1, COLD, COLD, 1, COLD, 4, 1, 4, 4, 1, 4]
+    assert dist.tolist() == expect
+
+    # reuse intervals j - i: a:(1,5,1)  x:(6)  b:(1,5,1)  y:(6)
+    intervals = reuse_intervals(blocks)
+    assert sorted(intervals.tolist()) == [1, 1, 1, 1, 5, 5, 6, 6]
+    hist = reuse_time_histogram(blocks)  # rt = interval + 1 (Eq. 4)
+    assert hist[2] == 4 and hist[6] == 2 and hist[7] == 2
+    assert hist[:2].sum() == 0
+
+
+@given(traces)
+@settings(max_examples=200)
+def test_reuse_pair_count(blocks):
+    """Number of reuse pairs is n - m (every non-first access closes one)."""
+    intervals = reuse_intervals(blocks)
+    m = np.unique(blocks).size
+    assert intervals.size == blocks.size - m
+
+
+@given(traces)
+@settings(max_examples=200)
+def test_gap_histogram_mass(blocks):
+    """Total gap length = sum over data of (n - occurrences of that datum)."""
+    hist = gap_histogram(blocks)
+    total_gap = int(np.dot(np.arange(hist.size), hist))
+    n = blocks.size
+    if n == 0:
+        assert total_gap == 0
+        return
+    _, counts = np.unique(blocks, return_counts=True)
+    assert total_gap == int(np.sum(n - counts))
+
+
+def test_first_last_positions():
+    blocks = np.array([5, 3, 5, 7, 3])
+    first, last = first_last_positions(blocks)
+    # unique order: 3, 5, 7
+    assert list(first) == [1, 0, 3]
+    assert list(last) == [4, 2, 3]
+
+
+def test_reuse_profile_bundle():
+    blocks = np.array([1, 2, 1, 3])
+    prof = reuse_profile(blocks)
+    assert prof.n == 4
+    assert prof.m == 3
+    assert prof.n_reuses == 1
+    assert prof.n_cold == 3
+
+
+def test_empty_inputs():
+    empty = np.array([], dtype=np.int64)
+    assert previous_occurrence(empty).size == 0
+    assert reuse_intervals(empty).size == 0
+    assert gap_histogram(empty).sum() == 0
+    prof = reuse_profile(empty)
+    assert prof.n == prof.m == 0
+
+
+def test_single_element():
+    one = np.array([42])
+    assert list(previous_occurrence(one)) == [-1]
+    assert reuse_intervals(one).size == 0

@@ -1,0 +1,105 @@
+"""Tests for bursty footprint sampling and trace summaries."""
+
+import numpy as np
+import pytest
+
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.locality.sampling import bursty_footprint, sample_bursts
+from repro.workloads import cyclic, uniform_random, zipf
+from repro.workloads.stats import summarize_trace
+from repro.workloads.trace import Trace
+
+
+# --------------------------------------------------------------- sampling
+def test_sample_bursts_schedule():
+    tr = cyclic(1000, 10)
+    bursts = sample_bursts(tr, burst_length=100, period=250)
+    assert len(bursts) == 4
+    assert all(len(b) == 100 for b in bursts)
+    assert np.array_equal(bursts[0].blocks, tr.blocks[:100])
+    assert np.array_equal(bursts[1].blocks, tr.blocks[250:350])
+
+
+def test_sample_bursts_partial_tail_kept_or_dropped():
+    tr = cyclic(1030, 10)
+    bursts = sample_bursts(tr, burst_length=100, period=500)
+    # bursts at 0, 500, 1000; the last has 30 < 50 accesses -> dropped
+    assert len(bursts) == 2
+    bursts2 = sample_bursts(cyclic(1060, 10), 100, 500)
+    assert len(bursts2) == 3  # 60 >= 50 kept
+
+
+def test_sample_bursts_validation():
+    tr = cyclic(100, 5)
+    with pytest.raises(ValueError):
+        sample_bursts(tr, 0, 10)
+    with pytest.raises(ValueError):
+        sample_bursts(tr, 20, 10)
+    with pytest.raises(ValueError):
+        sample_bursts(tr, 10, 20, offset=25)
+
+
+def test_bursty_footprint_matches_full_on_stationary_trace():
+    """For a stationary workload, 20% observation reproduces the footprint."""
+    tr = uniform_random(60000, 200, seed=1)
+    full = average_footprint(tr)
+    sampled = bursty_footprint(tr, burst_length=4000, period=20000)
+    w = np.arange(1, 4001, 200)
+    err = np.abs(sampled.values[w] - full.values[w])
+    assert err.max() < 8.0, err.max()  # within a few blocks of 200
+
+
+def test_bursty_mrc_close_to_full(
+):
+    tr = zipf(60000, 300, alpha=1.0, seed=2)
+    full = MissRatioCurve.from_footprint(average_footprint(tr), 250)
+    fp_s = bursty_footprint(tr, burst_length=5000, period=15000)
+    sampled = MissRatioCurve.from_footprint(fp_s, 250)
+    sizes = np.array([50, 100, 200])
+    assert np.max(np.abs(full.ratios[sizes] - sampled.ratios[sizes])) < 0.05
+
+
+def test_bursty_footprint_monotone():
+    tr = uniform_random(30000, 100, seed=3)
+    fp = bursty_footprint(tr, 2000, 6000)
+    assert np.all(np.diff(fp.values) >= -1e-12)
+    assert fp.values[0] == 0.0
+    assert fp.name.endswith("~abf")
+
+
+def test_bursty_footprint_too_short():
+    with pytest.raises(ValueError):
+        bursty_footprint(cyclic(10, 2), burst_length=100, period=100, offset=50)
+
+
+# ------------------------------------------------------------------ stats
+def test_summarize_trace_fields():
+    tr = cyclic(2000, 40, name="loop").with_rate(1.5)
+    stats = summarize_trace(tr)
+    assert stats.name == "loop"
+    assert stats.n == 2000 and stats.m == 40
+    assert stats.access_rate == 1.5
+    assert stats.reuse_fraction == pytest.approx(1960 / 2000)
+    assert stats.median_reuse_interval == 40
+    assert stats.n_phases == 1
+    assert 0 < stats.fill_time_half_data <= 40
+
+
+def test_summarize_miss_ratio_samples():
+    tr = cyclic(4000, 64, name="loop64")
+    stats = summarize_trace(tr, cache_sizes=(16, 32, 64))
+    assert set(stats.miss_ratio_samples) == {16, 32, 64}
+    assert stats.miss_ratio_samples[16] > 0.9
+    assert stats.miss_ratio_samples[64] == 0.0
+
+
+def test_summarize_format_renders():
+    tr = uniform_random(1000, 30, seed=4, name="u")
+    text = summarize_trace(tr).format()
+    assert "program" in text and "u" in text and "mr(" in text
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_trace(Trace(np.array([], dtype=np.int64)))

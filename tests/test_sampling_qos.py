@@ -1,0 +1,102 @@
+"""Tests for the subset-sampling experiment and QoS frontier."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.qos import qos_frontier, tightest_feasible_cap
+from repro.experiments.sampling import subset_spread
+from repro.locality.mrc import MissRatioCurve
+
+
+# ---------------------------------------------------------------- sampling
+def test_subset_spread_structure(mini_study):
+    spread = subset_spread(mini_study, "natural", subset_size=5, n_subsets=50)
+    assert spread.subset_avg_pcts.shape == (50,)
+    assert spread.spread_pct >= 0
+    assert spread.worst_deviation_pct >= 0
+    # subset estimates scatter around the exhaustive value
+    assert (
+        spread.subset_avg_pcts.min()
+        <= spread.exhaustive_avg_pct
+        <= spread.subset_avg_pcts.max()
+    )
+
+
+def test_smaller_subsets_scatter_more(mini_study):
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+    small = subset_spread(mini_study, "equal", subset_size=3, n_subsets=120, rng=rng1)
+    large = subset_spread(mini_study, "equal", subset_size=12, n_subsets=120, rng=rng2)
+    assert small.spread_pct > large.spread_pct
+
+
+def test_subset_spread_validation(mini_study):
+    with pytest.raises(ValueError):
+        subset_spread(mini_study, "equal", subset_size=0)
+    with pytest.raises(ValueError):
+        subset_spread(mini_study, "equal", subset_size=10**6)
+
+
+def test_full_subset_reproduces_exhaustive(mini_study):
+    opt = mini_study.series("optimal")
+    n_adm = int(np.sum(opt >= 1e-6))
+    spread = subset_spread(mini_study, "natural", subset_size=n_adm, n_subsets=3)
+    assert np.allclose(spread.subset_avg_pcts, spread.exhaustive_avg_pct)
+
+
+# ---------------------------------------------------------------- QoS
+def _mrc(ratios, n=1000, name="p"):
+    return MissRatioCurve(np.asarray(ratios, float), n_accesses=n, name=name)
+
+
+@pytest.fixture
+def qos_group():
+    # three programs over sizes 0..8
+    a = _mrc(np.linspace(0.8, 0.1, 9), n=2000, name="a")
+    b = _mrc(np.linspace(0.6, 0.05, 9), n=1000, name="b")
+    c = _mrc([0.5, 0.5, 0.5, 0.2, 0.2, 0.2, 0.1, 0.1, 0.1], n=500, name="c")
+    return [a, b, c]
+
+
+def test_frontier_monotone_and_terminates_infeasible(qos_group):
+    caps = [1.0, 0.5, 0.4, 0.3, 0.2, 0.1, 0.01]
+    points = qos_frontier(qos_group, budget=8, caps=caps)
+    feas = [p for p in points if p.feasible]
+    infeas = [p for p in points if not p.feasible]
+    assert feas and infeas  # the sweep crosses the feasibility boundary
+    # tightening the cap can only worsen throughput
+    mrs = [p.group_miss_ratio for p in feas]
+    assert all(b >= a - 1e-9 for a, b in zip(mrs, mrs[1:]))
+    # feasible allocations honor every cap
+    for p in feas:
+        for m, alloc in zip(qos_group, p.allocation.tolist()):
+            assert m.ratios[alloc] <= p.cap + 1e-12
+    # infeasible points report NaN
+    assert all(np.isnan(p.group_miss_ratio) for p in infeas)
+
+
+def test_loose_cap_equals_unconstrained(qos_group):
+    from repro.core.dp import optimal_partition
+    from repro.core.objectives import miss_count_costs
+
+    points = qos_frontier(qos_group, budget=8, caps=[1.0])
+    unconstrained = optimal_partition(miss_count_costs(qos_group), 8)
+    weights = np.array([m.n_accesses for m in qos_group], float)
+    mrs = np.array(
+        [m.ratios[a] for m, a in zip(qos_group, unconstrained.allocation.tolist())]
+    )
+    assert points[0].group_miss_ratio == pytest.approx(
+        float(np.dot(mrs, weights) / weights.sum())
+    )
+
+
+def test_tightest_feasible_cap(qos_group):
+    cap = tightest_feasible_cap(qos_group, budget=8)
+    assert 0.0 < cap < 1.0
+    # the reported cap is feasible; slightly below is not
+    assert qos_frontier(qos_group, 8, [cap])[0].feasible
+    assert not qos_frontier(qos_group, 8, [cap - 0.02])[0].feasible
+
+
+def test_tightest_cap_zero_when_everything_fits():
+    tiny = [_mrc([0.5, 0.0, 0.0]), _mrc([0.4, 0.0, 0.0])]
+    assert tightest_feasible_cap(tiny, budget=2) == 0.0

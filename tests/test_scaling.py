@@ -1,0 +1,45 @@
+"""Tests for the group-size scaling study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scaling import group_size_study
+
+
+def test_rows_structure(mini_profile):
+    rows = group_size_study(mini_profile, group_sizes=(2, 3, 4), max_groups_per_size=50)
+    assert [r.group_size for r in rows] == [2, 3, 4]
+    for r in rows:
+        assert 0.0 <= r.sttw_fail_fraction <= 1.0
+        assert r.sttw_avg_gap >= -1e-9
+        assert r.equal_avg_improvement >= -1e-9
+        assert r.n_groups >= 1
+
+
+def test_exhaustive_when_small(mini_profile):
+    rows = group_size_study(mini_profile, group_sizes=(2,), max_groups_per_size=1000)
+    assert rows[0].n_groups == 15  # C(6, 2)
+
+
+def test_sampling_cap(mini_profile):
+    rows = group_size_study(mini_profile, group_sizes=(3,), max_groups_per_size=5)
+    assert rows[0].n_groups == 5
+
+
+def test_sampling_reproducible(mini_profile):
+    a = group_size_study(
+        mini_profile, group_sizes=(4,), max_groups_per_size=5,
+        rng=np.random.default_rng(1),
+    )
+    b = group_size_study(
+        mini_profile, group_sizes=(4,), max_groups_per_size=5,
+        rng=np.random.default_rng(1),
+    )
+    assert a[0].sttw_avg_gap == b[0].sttw_avg_gap
+
+
+def test_invalid_group_size(mini_profile):
+    with pytest.raises(ValueError):
+        group_size_study(mini_profile, group_sizes=(1,))
+    with pytest.raises(ValueError):
+        group_size_study(mini_profile, group_sizes=(99,))

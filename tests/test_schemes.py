@@ -1,0 +1,102 @@
+"""Tests for the per-group scheme façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import SCHEMES, evaluate_group
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads import cyclic, sawtooth, uniform_random, zipf
+
+CB, UNIT = 512, 16
+N_UNITS = CB // UNIT
+
+
+@pytest.fixture(scope="module")
+def group():
+    traces = [
+        cyclic(6000, 700, name="stream").with_rate(1.5),
+        uniform_random(6000, 600, seed=1, name="rand"),
+        zipf(6000, 300, alpha=1.2, seed=2, name="hot"),
+        sawtooth(6000, 400, name="saw"),
+    ]
+    fps = [average_footprint(t) for t in traces]
+    mrcs = [
+        MissRatioCurve.from_footprint(fp, CB).resample(UNIT, N_UNITS) for fp in fps
+    ]
+    return mrcs, fps
+
+
+def test_all_schemes_present(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    assert set(ev.outcomes) == set(SCHEMES)
+    assert ev.names == ("stream", "rand", "hot", "saw")
+
+
+def test_optimal_dominates_grid_schemes(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    opt = ev.group_miss_ratio("optimal")
+    for s in ("equal", "equal_baseline", "natural_baseline", "sttw"):
+        assert opt <= ev.group_miss_ratio(s) + 1e-12, s
+
+
+def test_grid_allocations_sum_to_budget(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    for s in ("equal", "equal_baseline", "natural_baseline", "optimal", "sttw"):
+        alloc = ev.outcomes[s].allocation
+        assert alloc.sum() == N_UNITS, s
+    nat = ev.outcomes["natural"].allocation
+    assert nat.sum() == pytest.approx(N_UNITS, rel=1e-3)
+
+
+def test_baseline_fairness_guarantees(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    eq = ev.outcomes["equal"].miss_ratios
+    eb = ev.outcomes["equal_baseline"].miss_ratios
+    assert np.all(eb <= eq + 1e-9)
+
+
+def test_improvement_metric(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    imp = ev.improvement("optimal", over="equal")
+    a = ev.group_miss_ratio("optimal")
+    b = ev.group_miss_ratio("equal")
+    assert imp == pytest.approx(b / a - 1.0)
+    assert ev.improvement("optimal", over="optimal") == pytest.approx(0.0)
+
+
+def test_scheme_subset(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT, schemes=("equal", "optimal"))
+    assert set(ev.outcomes) == {"equal", "optimal"}
+
+
+def test_unknown_scheme_rejected(group):
+    mrcs, fps = group
+    with pytest.raises(ValueError):
+        evaluate_group(mrcs, fps, N_UNITS, UNIT, schemes=("bogus",))
+
+
+def test_capacity_check(group):
+    mrcs, fps = group
+    with pytest.raises(ValueError):
+        evaluate_group(mrcs, fps, N_UNITS + 5, UNIT)
+
+
+def test_alignment_check(group):
+    mrcs, fps = group
+    with pytest.raises(ValueError):
+        evaluate_group(mrcs[:-1], fps, N_UNITS, UNIT)
+
+
+def test_miss_ratios_within_bounds(group):
+    mrcs, fps = group
+    ev = evaluate_group(mrcs, fps, N_UNITS, UNIT)
+    for s, out in ev.outcomes.items():
+        assert np.all((out.miss_ratios >= 0) & (out.miss_ratios <= 1)), s
+        assert 0 <= out.group_miss_ratio <= 1, s

@@ -1,0 +1,92 @@
+"""Tests for §II search-space combinatorics — including the paper's digits."""
+
+import math
+
+import pytest
+
+from repro.core.searchspace import (
+    compositions,
+    paper_example,
+    partition_sharing_single_cache,
+    partitioning_only,
+    sharing_multiple_caches,
+    stirling2,
+)
+
+
+def test_stirling_base_cases():
+    assert stirling2(0, 0) == 1
+    assert stirling2(5, 0) == 0
+    assert stirling2(3, 5) == 0
+    assert stirling2(4, 4) == 1
+    assert stirling2(4, 1) == 1
+
+
+def test_stirling_known_values():
+    assert stirling2(4, 2) == 7
+    assert stirling2(4, 3) == 6
+    assert stirling2(5, 2) == 15
+    assert stirling2(5, 3) == 25
+    assert stirling2(10, 4) == 34105
+
+
+def test_stirling_bell_sum():
+    bell = [1, 1, 2, 5, 15, 52, 203, 877]
+    for n, b in enumerate(bell):
+        assert sum(stirling2(n, k) for k in range(n + 1)) == b
+
+
+def test_stirling_validation():
+    with pytest.raises(ValueError):
+        stirling2(-1, 2)
+
+
+def test_compositions_stars_and_bars():
+    assert compositions(6, 1) == 1
+    assert compositions(6, 2) == 7
+    assert compositions(2, 3) == math.comb(4, 2)
+    with pytest.raises(ValueError):
+        compositions(5, 0)
+
+
+def test_eq1_sharing_multiple_caches():
+    assert sharing_multiple_caches(4, 2) == 7  # {4 choose into 2 groups}
+
+
+def test_eq2_small_case_by_enumeration():
+    """Eq. 2 equals a direct enumeration for a tiny instance."""
+    npr, C = 3, 4
+    total = 0
+    for npa in range(1, npr + 1):
+        total += stirling2(npr, npa) * math.comb(C + npa - 1, npa - 1)
+    assert partition_sharing_single_cache(npr, C) == total
+
+
+def test_eq3_partitioning_only():
+    assert partitioning_only(4, 6) == math.comb(9, 3)
+
+
+def test_paper_section2_exact_digits():
+    """The worked example: 4 programs, 8 MB / 64 B = 131072 units."""
+    ex = paper_example()
+    assert ex.cache_units == 131072
+    assert ex.s2 == 375_368_690_761_743
+    assert ex.s3 == 375_317_149_057_025
+    assert ex.coverage > 0.9998  # "99.99% of the solution set"
+
+
+def test_paper_1024_unit_space():
+    """§VII-A: ~180 million partitionings of 1024 units among 4 programs."""
+    n = partitioning_only(4, 1024)
+    assert n == math.comb(1027, 3)
+    assert 1.79e8 < n < 1.81e8
+
+
+def test_partitioning_dominates_partition_sharing_asymptotically():
+    """S3/S2 approaches 1 as the cache grows (the reduction's motivation)."""
+    prev = 0.0
+    for c in (64, 1024, 16384, 131072):
+        cover = partitioning_only(4, c) / partition_sharing_single_cache(4, c)
+        assert cover > prev
+        prev = cover
+    assert prev > 0.9998

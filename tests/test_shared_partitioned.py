@@ -1,0 +1,134 @@
+"""Tests for shared-cache and partitioned-cache co-run simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.lru import lru_miss_counts
+from repro.cachesim.partitioned import simulate_partitioned
+from repro.cachesim.shared import (
+    shared_occupancy,
+    simulate_partition_sharing,
+    simulate_shared,
+)
+from repro.workloads import cyclic, figure1_traces, uniform_random, zipf
+from repro.workloads.interleave import interleave
+
+
+def test_shared_attribution_sums():
+    ts = [cyclic(500, 30, name="a"), uniform_random(500, 40, seed=1, name="b")]
+    res = simulate_shared(ts, 32)
+    assert res.accesses.sum() == 1000
+    assert res.cold_misses.tolist() == [30, 40]
+    assert res.names == ("a", "b")
+    assert np.all(res.misses >= 0)
+
+
+def test_shared_big_cache_no_capacity_misses():
+    ts = [cyclic(500, 10), cyclic(500, 12)]
+    res = simulate_shared(ts, 64)
+    assert res.misses.sum() == 0
+    assert res.group_miss_ratio() == 0.0
+    assert res.group_miss_ratio(include_cold=True) > 0
+
+
+def test_shared_small_cache_thrashing():
+    """Two interleaved loops bigger than the cache: everything misses."""
+    ts = [cyclic(400, 30), cyclic(400, 30)]
+    res = simulate_shared(ts, 8)
+    ratios = res.miss_ratios()
+    assert np.all(ratios > 0.9)
+
+
+def test_shared_validates_cache_size():
+    with pytest.raises(ValueError):
+        simulate_shared([cyclic(10, 2)], 0)
+
+
+def test_partitioned_matches_solo_runs():
+    ts = [uniform_random(800, 50, seed=2), zipf(800, 60, alpha=1.0, seed=3)]
+    res = simulate_partitioned(ts, [20, 30])
+    for tr, c, miss in zip(ts, [20, 30], res.misses):
+        assert miss == lru_miss_counts(tr, np.array([c]), include_cold=False)[0]
+    assert res.group_miss_ratio() == pytest.approx(res.misses.sum() / 1600)
+
+
+def test_partitioned_zero_allocation():
+    ts = [cyclic(100, 10)]
+    res = simulate_partitioned(ts, [0])
+    assert res.misses[0] == 90  # capacity misses; 10 cold excluded
+    res_cold = simulate_partitioned(ts, [0], include_cold=True)
+    assert res_cold.misses[0] == 100
+
+
+def test_partitioned_validation():
+    with pytest.raises(ValueError):
+        simulate_partitioned([cyclic(10, 2)], [1, 2])
+    with pytest.raises(ValueError):
+        simulate_partitioned([cyclic(10, 2)], [-1])
+
+
+def test_partition_sharing_reduces_to_extremes():
+    """One group == free-for-all; singleton groups == strict partitioning."""
+    ts = [cyclic(300, 20, name="a"), uniform_random(300, 25, seed=4, name="b")]
+    ffa = simulate_partition_sharing(ts, [[0, 1]], [32])
+    shared = simulate_shared(ts, 32)
+    assert np.array_equal(ffa.misses, shared.misses)
+
+    solo = simulate_partition_sharing(ts, [[0], [1]], [16, 16])
+    inter = interleave(ts)
+    part = simulate_partitioned(
+        [ts[0], ts[1]], [16, 16]
+    )
+    assert np.array_equal(solo.misses, part.misses)
+
+
+def test_partition_sharing_validates_grouping():
+    ts = [cyclic(10, 2), cyclic(10, 2)]
+    with pytest.raises(ValueError):
+        simulate_partition_sharing(ts, [[0]], [4])  # missing program 1
+    with pytest.raises(ValueError):
+        simulate_partition_sharing(ts, [[0], [1]], [4])  # size mismatch
+
+
+def test_figure1_partition_sharing_wins():
+    """The paper's Figure 1: with every program keeping at least one block,
+    letting cores 3 and 4 share a 4-block partition beats both the best
+    strict partitioning and free-for-all sharing."""
+    import itertools
+
+    traces = figure1_traces()
+    C = 6
+
+    def misses(grouping, sizes):
+        r = simulate_partition_sharing(traces, grouping, sizes)
+        return int((r.misses + r.cold_misses).sum())
+
+    ffa = misses([[0, 1, 2, 3]], [C])
+    best_partitioning = min(
+        misses([[0], [1], [2], [3]], s)
+        for s in itertools.product(range(1, C + 1), repeat=4)
+        if sum(s) == C
+    )
+    sharing_34 = misses([[0], [1], [2, 3]], [1, 1, 4])
+    assert sharing_34 < best_partitioning < ffa
+    assert (ffa, best_partitioning, sharing_34) == (37, 33, 30)
+
+
+def test_shared_occupancy_sums_to_cache():
+    ts = [cyclic(3000, 40), cyclic(3000, 50)]
+    occ = shared_occupancy(ts, 32, sample_every=64)
+    assert occ.sum() == pytest.approx(32, abs=0.5)
+    assert np.all(occ > 0)
+
+
+def test_shared_occupancy_saturated():
+    """Cache bigger than all data: each program holds its whole footprint."""
+    ts = [cyclic(2000, 10), cyclic(2000, 15)]
+    occ = shared_occupancy(ts, 64, sample_every=64)
+    assert occ[0] == pytest.approx(10, abs=0.5)
+    assert occ[1] == pytest.approx(15, abs=0.5)
+
+
+def test_shared_occupancy_no_samples():
+    with pytest.raises(ValueError):
+        shared_occupancy([cyclic(10, 2)], 4, warmup_fraction=1.0)

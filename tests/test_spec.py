@@ -1,0 +1,91 @@
+"""Tests for the 16-program SPEC-named catalog."""
+
+import numpy as np
+import pytest
+
+from repro.locality.footprint import average_footprint
+from repro.locality.mrc import MissRatioCurve
+from repro.workloads.spec import SPEC_NAMES, make_program, make_suite
+
+
+def test_all_sixteen_names():
+    assert len(SPEC_NAMES) == 16
+    assert len(set(SPEC_NAMES)) == 16
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        make_program("gcc", 1024)
+
+
+def test_small_cache_rejected():
+    with pytest.raises(ValueError):
+        make_program("lbm", 8)
+
+
+def test_determinism():
+    a = make_program("mcf", 512, length_scale=0.2)
+    b = make_program("mcf", 512, length_scale=0.2)
+    assert np.array_equal(a.blocks, b.blocks)
+
+
+def test_suite_builds_every_program():
+    suite = make_suite(512, length_scale=0.2)
+    assert [t.name for t in suite] == list(SPEC_NAMES)
+    assert all(len(t) >= 10_000 for t in suite)
+
+
+def test_rates_differ():
+    suite = make_suite(512, length_scale=0.2)
+    rates = {t.name: t.access_rate for t in suite}
+    assert rates["lbm"] > rates["namd"]  # memory-bound vs compute-bound
+    assert len(set(rates.values())) > 4
+
+
+def test_streaming_programs_exceed_cache():
+    cb = 512
+    for name in ("lbm", "mcf", "sphinx3"):
+        t = make_program(name, cb, length_scale=0.2)
+        assert t.data_size > cb, name
+
+
+def test_small_programs_fit_cache():
+    cb = 512
+    for name in ("povray", "namd", "sjeng"):
+        t = make_program(name, cb, length_scale=0.2)
+        fp = average_footprint(t)
+        mrc = MissRatioCurve.from_footprint(fp, cb)
+        assert mrc.ratios[cb // 4] < 0.2, name  # low miss ratio at equal share
+
+
+def test_cold_tail_keeps_curves_strictly_useful():
+    """The cold tail guarantees a nonzero miss ratio across the whole range
+    (real programs never get a literally-zero steady-state miss ratio)."""
+    cb = 512
+    for name in ("povray", "namd"):
+        t = make_program(name, cb, length_scale=0.2)
+        fp = average_footprint(t)
+        mrc = MissRatioCurve.from_footprint(fp, cb)
+        assert mrc.ratios[cb] > 0, name
+        assert t.data_size > cb, name  # tail spans beyond the cache
+
+
+def test_nonconvex_programs_present():
+    """The STTW comparison (Fig. 7) needs cliff-shaped curves in the suite."""
+    cb = 512
+    violations = {}
+    for name in ("omnetpp", "soplex", "h264ref"):
+        t = make_program(name, cb, length_scale=0.2)
+        fp = average_footprint(t)
+        mrc = MissRatioCurve.from_footprint(fp, cb).resample(16)
+        violations[name] = mrc.convexity_violations()
+    assert all(v > 0 for v in violations.values()), violations
+
+
+def test_length_scale_shrinks_traces():
+    small = make_program("wrf", 512, length_scale=0.1)
+    # length floor dominates at tiny scales, so compare well above it
+    big = make_program("lbm", 2048, length_scale=2.0)
+    bigger = make_program("lbm", 2048, length_scale=4.0)
+    assert len(bigger) > len(big)
+    assert len(small) >= 10_000

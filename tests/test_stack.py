@@ -1,0 +1,57 @@
+"""Tests for stack-distance computation against a naive LRU-stack model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.stack import COLD, distance_histogram, stack_distances
+
+traces = st.lists(st.integers(0, 9), min_size=0, max_size=80).map(
+    lambda xs: np.array(xs, dtype=np.int64)
+)
+
+
+def naive_stack_distances(blocks: np.ndarray) -> np.ndarray:
+    """Maintain the literal LRU stack; distance = 1-based depth of the hit."""
+    stack: list[int] = []
+    out = np.full(blocks.size, COLD, dtype=np.int64)
+    for i, b in enumerate(blocks.tolist()):
+        if b in stack:
+            depth = stack.index(b) + 1  # stack[0] is most recent
+            out[i] = depth
+            stack.remove(b)
+        stack.insert(0, b)
+    return out
+
+
+@given(traces)
+@settings(max_examples=200)
+def test_matches_naive_lru_stack(blocks):
+    assert np.array_equal(stack_distances(blocks), naive_stack_distances(blocks))
+
+
+def test_example_trace():
+    # a b a  ->  [-1, -1, 2]
+    assert list(stack_distances(np.array([0, 1, 0]))) == [COLD, COLD, 2]
+
+
+def test_repeated_single_block():
+    d = stack_distances(np.zeros(5, dtype=np.int64))
+    assert list(d) == [COLD, 1, 1, 1, 1]
+
+
+def test_cyclic_distances_equal_loop_size():
+    m = 7
+    blocks = np.arange(70) % m
+    d = stack_distances(blocks)
+    assert np.all(d[m:] == m)
+
+
+def test_distance_histogram():
+    hist, n_cold = distance_histogram(np.array([0, 1, 0, 1]))
+    assert n_cold == 2
+    assert hist[2] == 2
+
+
+def test_empty():
+    assert stack_distances(np.array([], dtype=np.int64)).size == 0

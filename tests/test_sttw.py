@@ -1,0 +1,78 @@
+"""Tests for the Stone–Thiebaut–Turek–Wolf greedy (Eqs. 12–14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import optimal_partition
+from repro.core.sttw import sttw_partition
+
+
+def _convex_costs(rng, n_prog, size):
+    out = []
+    for _ in range(n_prog):
+        gains = np.sort(rng.random(size))[::-1]
+        start = gains.sum() * 1.5
+        out.append(np.concatenate([[start], start - np.cumsum(gains)]))
+    return out
+
+
+@given(st.integers(2, 4), st.integers(4, 16), st.integers(0, 10**9))
+@settings(max_examples=100, deadline=None)
+def test_optimal_on_convex_curves(n_prog, size, seed):
+    """On convex decreasing curves the greedy equals the DP (Stone's theorem)."""
+    rng = np.random.default_rng(seed)
+    costs = _convex_costs(rng, n_prog, size)
+    budget = size
+    greedy = sttw_partition(costs, budget)
+    assert greedy.sum() == budget
+    greedy_cost = sum(float(c[a]) for c, a in zip(costs, greedy))
+    dp_cost = optimal_partition(costs, budget).total_cost
+    assert greedy_cost == pytest.approx(dp_cost, rel=1e-9, abs=1e-9)
+
+
+@given(st.integers(2, 4), st.integers(4, 12), st.integers(0, 10**9))
+@settings(max_examples=100, deadline=None)
+def test_never_better_than_dp(n_prog, size, seed):
+    rng = np.random.default_rng(seed)
+    costs = [rng.random(size) * 10 for _ in range(n_prog)]
+    budget = size - 1
+    greedy = sttw_partition(costs, budget)
+    greedy_cost = sum(float(c[a]) for c, a in zip(costs, greedy))
+    assert greedy_cost >= optimal_partition(costs, budget).total_cost - 1e-9
+
+
+def test_misses_plateau_cliff():
+    """The convexity flaw: zero marginal gain hides a future cliff."""
+    cliff = np.array([10.0, 10.0, 10.0, 0.0])
+    slope = np.array([5.0, 4.9, 4.8, 4.7])
+    greedy = sttw_partition([cliff, slope], 3)
+    assert greedy.tolist() == [0, 3]  # all units chase the tiny slope
+    dp = optimal_partition([cliff, slope], 3)
+    assert dp.allocation.tolist() == [3, 0]
+
+
+def test_allocates_full_budget():
+    costs = [np.linspace(8, 0, 9), np.linspace(4, 0, 9)]
+    alloc = sttw_partition(costs, 8)
+    assert alloc.sum() == 8
+
+
+def test_equal_derivative_split():
+    """Two identical strictly-convex curves: derivative equalization (Eq. 13)
+    splits the budget evenly."""
+    c = (10.0 - np.arange(11)) ** 2
+    alloc = sttw_partition([c, c.copy()], 10)
+    assert sorted(alloc.tolist()) == [5, 5]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        sttw_partition([np.zeros(4), np.zeros(3)], 2)
+    with pytest.raises(ValueError):
+        sttw_partition([np.zeros(4)], 4)
+
+
+def test_zero_budget():
+    assert sttw_partition([np.zeros(3), np.zeros(3)], 0).tolist() == [0, 0]

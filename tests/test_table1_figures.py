@@ -1,0 +1,110 @@
+"""Tests for Table I statistics and the Figure 5/6/7 data series."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    figure5,
+    figure6,
+    figure7,
+    gainer_fraction,
+    sttw_failure_stats,
+)
+from repro.experiments.table1 import (
+    MR_FLOOR,
+    format_table,
+    improvement_table,
+    improvements,
+)
+
+
+def test_improvement_table_rows(mini_study):
+    rows = improvement_table(mini_study)
+    methods = [r.method for r in rows]
+    assert methods == [
+        "equal",
+        "equal_baseline",
+        "natural",
+        "natural_baseline",
+        "sttw",
+    ]
+    for r in rows:
+        assert r.max_pct >= r.median_pct >= 0.0 - 1e-9
+        assert 0 <= r.at_least_10_pct <= 100
+        assert 0 <= r.at_least_20_pct <= 100
+        assert r.at_least_20_pct <= r.at_least_10_pct
+
+
+def test_improvements_nonnegative(mini_study):
+    """Optimal is optimal: every admitted improvement ratio is >= 0
+    (up to the natural scheme's sub-unit granularity)."""
+    for method in ("equal", "equal_baseline", "natural_baseline", "sttw"):
+        imp = improvements(mini_study, method)
+        assert np.all(imp >= -1e-9), method
+    assert np.all(improvements(mini_study, "natural") >= -0.05)
+
+
+def test_baseline_rows_dominated_by_their_baselines(mini_study):
+    """Baseline optimization can only help: Optimal's improvement over the
+    baseline-optimized scheme is at most its improvement over the raw
+    scheme, group by group."""
+    eq = improvements(mini_study, "equal")
+    eb = improvements(mini_study, "equal_baseline")
+    assert np.all(eb <= eq + 1e-9)
+    nat = improvements(mini_study, "natural")
+    nb = improvements(mini_study, "natural_baseline")
+    assert np.all(nb <= nat + 0.05)
+
+
+def test_format_table_renders(mini_study):
+    text = format_table(improvement_table(mini_study))
+    assert "Method" in text and "equal" in text and "%" in text
+
+
+def test_figure5_structure(mini_study):
+    panels = figure5(mini_study)
+    assert len(panels) == len(mini_study.profile.names)
+    # sorted by decreasing equal-partition miss ratio
+    eq = [p.equal_mr for p in panels]
+    assert eq == sorted(eq, reverse=True)
+    for p in panels:
+        for scheme, series in p.series.items():
+            assert series.shape == (10,)  # C(5,3) groups per program
+        assert 0.0 <= p.gain_fraction <= 1.0
+
+
+def test_figure6_sorted_by_optimal(mini_study):
+    series = figure6(mini_study)
+    assert set(series) == {
+        "natural",
+        "equal",
+        "natural_baseline",
+        "equal_baseline",
+        "optimal",
+    }
+    opt = series["optimal"]
+    assert np.all(np.diff(opt) >= 0)
+    for s, vals in series.items():
+        assert vals.shape == opt.shape
+
+
+def test_figure7_pairs(mini_study):
+    series = figure7(mini_study)
+    assert set(series) == {"optimal", "sttw"}
+    assert np.all(series["sttw"] >= series["optimal"] - 1e-12)
+
+
+def test_gainer_fraction_covers_suite(mini_study):
+    gf = gainer_fraction(mini_study)
+    assert set(gf) == set(mini_study.profile.names)
+    assert all(0.0 <= v <= 1.0 for v in gf.values())
+    # the suite contains both strong gainers and strong losers
+    assert max(gf.values()) > 0.5
+    assert min(gf.values()) < 0.5
+
+
+def test_sttw_failure_stats(mini_study):
+    stats = sttw_failure_stats(mini_study)
+    assert 0 <= stats.worse_than_optimal_20pct <= stats.worse_than_optimal_10pct <= 1
+    assert 0 <= stats.worse_than_natural <= 1
+    assert stats.avg_gap_pct >= 0

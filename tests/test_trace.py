@@ -1,0 +1,82 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace
+
+
+def test_basic_properties():
+    t = Trace(np.array([3, 1, 4, 1, 5]), name="pi", access_rate=2.0)
+    assert len(t) == 5
+    assert t.length == 5
+    assert t.data_size == 4
+    assert t.name == "pi"
+    assert t.access_rate == 2.0
+
+
+def test_blocks_are_immutable():
+    t = Trace(np.array([1, 2, 3]))
+    with pytest.raises(ValueError):
+        t.blocks[0] = 9
+
+
+def test_rejects_negative_ids():
+    with pytest.raises(ValueError, match="non-negative"):
+        Trace(np.array([1, -2, 3]))
+
+
+def test_rejects_bad_shape():
+    with pytest.raises(ValueError, match="1-D"):
+        Trace(np.array([[1, 2], [3, 4]]))
+
+
+def test_rejects_bad_rate():
+    with pytest.raises(ValueError, match="access_rate"):
+        Trace(np.array([1]), access_rate=0.0)
+
+
+def test_compacted_preserves_locality():
+    t = Trace(np.array([100, 7, 100, 9, 7]))
+    c = t.compacted()
+    assert c.data_size == t.data_size == 3
+    # equal-id structure must be preserved exactly
+    a, b = t.blocks, c.blocks
+    for i in range(len(t)):
+        for j in range(len(t)):
+            assert (a[i] == a[j]) == (b[i] == b[j])
+    assert c.blocks.max() == c.data_size - 1
+
+
+def test_offset_shifts_ids():
+    t = Trace(np.array([0, 1, 2]))
+    s = t.offset(10)
+    assert list(s.blocks) == [10, 11, 12]
+    with pytest.raises(ValueError):
+        t.offset(-1)
+
+
+def test_take_and_repeat():
+    t = Trace(np.array([1, 2, 3]))
+    assert len(t.take(2)) == 2
+    assert list(t.repeat(2).blocks) == [1, 2, 3, 1, 2, 3]
+    with pytest.raises(ValueError):
+        t.repeat(0)
+
+
+def test_with_rate():
+    t = Trace(np.array([1, 2]), access_rate=1.0)
+    assert t.with_rate(3.5).access_rate == 3.5
+    assert np.array_equal(t.with_rate(3.5).blocks, t.blocks)
+
+
+def test_empty_trace():
+    t = Trace(np.array([], dtype=np.int64))
+    assert len(t) == 0
+    assert t.data_size == 0
+
+
+def test_data_size_cached():
+    t = Trace(np.arange(100) % 13)
+    assert t.data_size == 13
+    assert t.data_size == 13  # second call hits the cache path

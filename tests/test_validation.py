@@ -1,0 +1,79 @@
+"""Tests for §VII-C validation: HOTL predictions vs trace-driven simulation.
+
+These are the NPA checks: if they hold, the paper's reduction from
+partition-sharing to partitioning is sound on our workloads too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.validation import (
+    validate_corun,
+    validate_occupancy,
+    validate_solo,
+)
+from repro.workloads import cyclic, hot_cold, sawtooth, uniform_random, zipf
+
+
+def test_solo_validation_random_traffic():
+    tr = uniform_random(40000, 100, seed=0, name="uni")
+    v = validate_solo(tr, [10, 30, 50, 70, 90])
+    assert v.max_error < 0.05, v.max_error
+
+
+def test_solo_validation_cyclic_cliff():
+    tr = cyclic(20000, 50)
+    v = validate_solo(tr, [25, 49, 50, 60])
+    assert v.max_error < 0.02
+    assert v.measured[2] == 0.0 and v.predicted[2] == 0.0
+
+
+def test_solo_validation_zipf():
+    tr = zipf(40000, 150, alpha=1.0, seed=1)
+    v = validate_solo(tr, [20, 60, 100, 140])
+    assert v.max_error < 0.06
+
+
+def test_corun_validation_pair():
+    """The §VII-C experiment in miniature: a 2-program co-run's predicted
+    per-program miss ratios track the interleaved simulation."""
+    a = uniform_random(30000, 120, seed=2, name="a")
+    b = zipf(30000, 100, alpha=1.0, seed=3, name="b")
+    v = validate_corun([a, b], cache_size=120)
+    assert v.names == ("a", "b")
+    assert v.max_error < 0.08, (v.predicted, v.measured)
+
+
+def test_corun_validation_rate_asymmetry():
+    a = uniform_random(40000, 100, seed=4, name="fast").with_rate(3.0)
+    b = uniform_random(14000, 100, seed=5, name="slow").with_rate(1.0)
+    v = validate_corun([a, b], cache_size=100)
+    assert v.max_error < 0.08
+
+
+def test_corun_validation_thrashing_group():
+    a = cyclic(20000, 90, name="c1")
+    b = cyclic(20000, 110, name="c2")
+    v = validate_corun([a, b], cache_size=64)
+    # both loops far exceed the cache: predicted and measured both ~1
+    assert np.all(v.predicted > 0.9)
+    assert np.all(v.measured > 0.9)
+
+
+def test_occupancy_validation():
+    """Fig. 4's claim: stretched footprints predict steady-state occupancy."""
+    a = uniform_random(30000, 150, seed=6, name="big")
+    b = uniform_random(30000, 60, seed=7, name="small")
+    v = validate_occupancy([a, b], cache_size=120, sample_every=128)
+    assert v.predicted.sum() == pytest.approx(120, rel=0.02)
+    assert v.max_relative_error < 0.10, (v.predicted, v.measured)
+    # the bigger-footprint program holds more of the cache, both ways
+    assert v.predicted[0] > v.predicted[1]
+    assert v.measured[0] > v.measured[1]
+
+
+def test_occupancy_validation_hot_cold():
+    a = hot_cold(30000, 10, 200, hot_fraction=0.8, seed=8, name="hc")
+    b = sawtooth(30000, 120, name="saw")
+    v = validate_occupancy([a, b], cache_size=100, sample_every=128)
+    assert v.max_relative_error < 0.12

@@ -1,0 +1,62 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import cyclic, uniform_random
+from repro.workloads.io import (
+    load_trace_text,
+    load_traces_npz,
+    save_trace_text,
+    save_traces_npz,
+)
+
+
+def test_text_roundtrip(tmp_path):
+    tr = uniform_random(300, 40, seed=0, name="prog x").with_rate(2.25)
+    path = tmp_path / "t.trace"
+    save_trace_text(tr, path)
+    back = load_trace_text(path)
+    assert np.array_equal(back.blocks, tr.blocks)
+    assert back.name == "prog x"
+    assert back.access_rate == pytest.approx(2.25)
+
+
+def test_text_rejects_foreign(tmp_path):
+    p = tmp_path / "x.txt"
+    p.write_text("1\n2\n3\n")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace_text(p)
+
+
+def test_text_detects_truncation(tmp_path):
+    tr = cyclic(50, 5)
+    p = tmp_path / "t.trace"
+    save_trace_text(tr, p)
+    lines = p.read_text().splitlines()
+    p.write_text("\n".join(lines[:-10]) + "\n")
+    with pytest.raises(ValueError, match="expected"):
+        load_trace_text(p)
+
+
+def test_npz_roundtrip(tmp_path):
+    traces = [
+        cyclic(100, 10, name="a").with_rate(1.5),
+        uniform_random(200, 20, seed=1, name="b"),
+    ]
+    p = tmp_path / "suite.npz"
+    save_traces_npz(traces, p)
+    back = load_traces_npz(p)
+    assert [t.name for t in back] == ["a", "b"]
+    for orig, t in zip(traces, back):
+        assert np.array_equal(orig.blocks, t.blocks)
+        assert t.access_rate == pytest.approx(orig.access_rate)
+
+
+def test_single_access_trace(tmp_path):
+    from repro.workloads.trace import Trace
+
+    tr = Trace(np.array([7]), name="one")
+    p = tmp_path / "one.trace"
+    save_trace_text(tr, p)
+    assert load_trace_text(p).blocks.tolist() == [7]
