@@ -1,0 +1,121 @@
+"""Online-serving benchmarks: profiler throughput and solve amortization.
+
+Two costs dominate the streaming service:
+
+* per-access profiling — measured as accesses/s through
+  :class:`~repro.online.profiler.StreamingProfiler` at 1%, 10% and 100%
+  spatial sampling (the SHARDS promise: work scales with the *sampled*
+  working set, so throughput rises as the rate drops);
+* the per-epoch DP — measured through the solver-cache hit ratio on a
+  steady-periodic and a phase-opposed workload (steady epochs
+  re-fingerprint to one instance; phase-opposed epochs alternate between
+  two), plus the drift damper on a jittering (aperiodic) workload, where
+  fingerprints cannot recur but sub-threshold drift skips the solve.
+"""
+
+from repro.online.controller import ControllerConfig
+from repro.online.profiler import StreamingProfiler
+from repro.online.replay import phase_opposed_pair, replay, steady_pair
+from repro.workloads.generators import phased, uniform_random, zipf
+
+N_ACCESSES = 400_000
+BATCH = 8192
+
+
+def _throughput(trace, rate: float) -> float:
+    prof = StreamingProfiler(sampling_rate=rate)
+    import time
+
+    t0 = time.perf_counter()
+    for start in range(0, len(trace), BATCH):
+        prof.observe(trace.blocks[start : start + BATCH])
+    dt = time.perf_counter() - t0
+    return len(trace) / dt
+
+
+def bench_profiler_throughput(benchmark):
+    trace = zipf(N_ACCESSES, 50_000, seed=1)
+
+    def run():
+        return {rate: _throughput(trace, rate) for rate in (0.01, 0.10, 1.00)}
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'sampling':>9s} {'accesses/s':>12s}")
+    for rate, tput in sorted(rates.items()):
+        print(f"{rate:8.0%} {tput:12,.0f}")
+    # sampling must not cost more than full profiling
+    assert rates[0.01] > 0.8 * rates[1.00]
+
+
+def bench_solver_cache_across_epochs(benchmark):
+    epochs, seg = 12, 2400
+    # steady-periodic: every epoch is literally the same access pattern
+    steady_traces = [
+        phased([zipf(seg, 600, seed=5)], repeats=epochs, name="periodic-a"),
+        phased([zipf(seg, 400, seed=6)], repeats=epochs, name="periodic-b"),
+    ]
+    # phase-opposed: epochs alternate between two recurring instances
+    opposed_traces, _ = phase_opposed_pair(
+        loops=epochs, big=480, small=40, segment=seg
+    )
+    # jittering: stationary distribution but aperiodic accesses — no
+    # fingerprint ever recurs; only the drift damper saves the solve
+    jitter_traces = [
+        uniform_random(epochs * seg, 600, seed=7, name="jitter-a"),
+        uniform_random(epochs * seg, 400, seed=8, name="jitter-b"),
+    ]
+
+    def run():
+        steady = replay(
+            steady_traces, ControllerConfig(cache_blocks=640, epoch_length=seg)
+        )
+        opposed = replay(
+            opposed_traces, ControllerConfig(cache_blocks=560, epoch_length=seg)
+        )
+        jitter = replay(
+            jitter_traces,
+            ControllerConfig(
+                cache_blocks=640, epoch_length=seg, drift_threshold=0.02
+            ),
+        )
+        return steady, opposed, jitter
+
+    steady, opposed, jitter = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'workload':>15s} {'epochs':>6s} {'resolves':>8s} {'hits':>5s} "
+          f"{'hit ratio':>9s} {'drift skips':>11s} {'mean solve':>10s}")
+    for name, rep in (
+        ("steady-periodic", steady),
+        ("phase-opposed", opposed),
+        ("jittering", jitter),
+    ):
+        m = rep.metrics
+        print(f"{name:>15s} {m['epochs']:6d} {m['resolves']:8d} "
+              f"{m['solver_cache_hits']:5d} {m['solver_cache_hit_ratio']:9.1%} "
+              f"{m['drift_skips']:11d} {m['resolve_latency_mean_s'] * 1e3:9.2f}ms")
+    # recurring instances must amortize: steady re-solves once, opposed twice-ish
+    assert steady.metrics["solver_cache_hit_ratio"] >= 0.8
+    assert opposed.metrics["solver_cache_hit_ratio"] >= 0.5
+    # aperiodic epochs cannot hit the cache, but drift skips their solves
+    assert jitter.metrics["drift_skips"] > 0
+
+
+def bench_controller_end_to_end(benchmark):
+    traces, seg = phase_opposed_pair(
+        loops=8, big=480, small=40, segment=2400, pattern="zipf"
+    )
+    config = ControllerConfig(
+        cache_blocks=400, epoch_length=seg, sampling_rate=0.1, quantum=0.01
+    )
+
+    report = benchmark.pedantic(
+        lambda: replay(traces, config), rounds=1, iterations=1
+    )
+    n = sum(len(t) for t in traces)
+    m = report.metrics
+    print(f"\nend-to-end: {n:,} accesses, {m['epochs']} epochs, "
+          f"online mr {report.online_miss_ratio:.4f} "
+          f"(oracle {report.oracle_miss_ratio:.4f}, "
+          f"static {report.static_miss_ratio:.4f})")
+    print(f"  sampled {m['effective_sampling_rate']:.1%}, "
+          f"{m['resolves']} re-solves at {m['resolve_latency_mean_s'] * 1e3:.2f}ms mean")
+    assert report.online_miss_ratio < report.static_miss_ratio

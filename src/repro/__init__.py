@@ -13,7 +13,10 @@ The package implements the paper end to end:
   baseline fairness optimization (§VI), STTW, partition-sharing
   enumeration and search-space combinatorics (§II);
 * :mod:`repro.experiments` — the full §VII evaluation (Table I,
-  Figures 5–7, NPA validation).
+  Figures 5–7, NPA validation);
+* :mod:`repro.online` — the streaming counterpart: incremental sampled
+  profiling, memoized re-solves, and the epoch-driven allocation
+  controller behind ``repro-cps serve``.
 
 Quickstart::
 
@@ -26,9 +29,9 @@ Quickstart::
     print(result.allocation)
 """
 
-from repro import cachesim, composition, core, experiments, locality, workloads
+from repro import cachesim, composition, core, experiments, locality, online, workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "cachesim",
@@ -36,6 +39,7 @@ __all__ = [
     "core",
     "experiments",
     "locality",
+    "online",
     "workloads",
     "__version__",
 ]

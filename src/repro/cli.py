@@ -6,7 +6,9 @@ Subcommands mirror the paper's workflow:
 * ``optimize``    — evaluate the six schemes for one co-run group;
 * ``study``       — the full §VII sweep (Table I + figure summaries);
 * ``validate``    — §VII-C NPA validation against the simulator;
-* ``figure1``     — the motivating partition-sharing example.
+* ``figure1``     — the motivating partition-sharing example;
+* ``serve``       — stream a workload through the online allocation
+  service (:mod:`repro.online`) and score it against the offline optima.
 """
 
 from __future__ import annotations
@@ -47,6 +49,17 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
     names = args.programs.split(",")
     cb, unit = args.cache_blocks, args.unit_blocks
+    if unit < 1 or cb < 1:
+        print("error: --cache-blocks and --unit-blocks must be >= 1", file=sys.stderr)
+        return 2
+    if cb % unit != 0:
+        print(
+            f"error: --cache-blocks ({cb}) must be divisible by "
+            f"--unit-blocks ({unit}); {cb % unit} blocks would be silently "
+            f"unallocatable",
+            file=sys.stderr,
+        )
+        return 2
     n_units = cb // unit
     traces = [make_program(n.strip(), cb) for n in names]
     fps = [average_footprint(t) for t in traces]
@@ -173,6 +186,50 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.online.controller import ControllerConfig
+    from repro.online.replay import phase_opposed_pair, replay, steady_pair
+
+    if args.workload == "phase-opposed":
+        traces, epoch = phase_opposed_pair(loops=args.loops)
+    else:
+        traces, epoch = steady_pair()
+    if args.epoch is not None:
+        epoch = args.epoch
+    try:
+        config = ControllerConfig(
+            cache_blocks=args.cache_blocks,
+            epoch_length=epoch,
+            sampling_rate=args.rate,
+            drift_threshold=args.drift,
+            hysteresis=args.hysteresis,
+            quantum=args.quantum,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print("error: --batch must be >= 1", file=sys.stderr)
+        return 2
+    print(
+        f"Serving the {args.workload} workload online "
+        f"({', '.join(t.name for t in traces)}; cache {args.cache_blocks} blocks, "
+        f"sampling {args.rate:.0%}):"
+    )
+    report = replay(traces, config, batch_size=args.batch)
+    print(report.summary())
+    print("\nPer-epoch decisions:")
+    print(f"{'epoch':>5s} {'allocation':>16s} {'solved':>6s} {'moved':>5s} "
+          f"{'drift':>8s} {'gain':>8s}")
+    for d in report.decisions:
+        alloc = "/".join(str(int(a)) for a in d.allocation)
+        drift = "   --" if not np.isfinite(d.drift) else f"{d.drift:8.4f}"
+        print(f"{d.epoch:5d} {alloc:>16s} {str(d.resolved):>6s} "
+              f"{str(d.moved):>5s} {drift:>8s} {d.predicted_gain:8.4f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-cps",
@@ -203,6 +260,28 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("export", help="run the study and write table/figure CSVs")
     p.add_argument("--out", default="results")
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "serve", help="replay a workload through the online allocation service"
+    )
+    p.add_argument(
+        "--workload", choices=("phase-opposed", "steady"), default="phase-opposed"
+    )
+    p.add_argument("--cache-blocks", type=int, default=56)
+    p.add_argument("--epoch", type=int, default=None,
+                   help="epoch length in accesses (default: the workload's phase)")
+    p.add_argument("--rate", type=float, default=1.0, help="spatial sampling rate")
+    p.add_argument("--drift", type=float, default=0.0,
+                   help="re-solve only when mean-L1 MRC drift exceeds this")
+    p.add_argument("--hysteresis", type=float, default=0.0,
+                   help="min predicted group-miss-ratio gain to move walls")
+    p.add_argument("--quantum", type=float, default=0.0,
+                   help="solver-cache fingerprint quantization (miss-ratio units)")
+    p.add_argument("--batch", type=int, default=64, help="ingest batch size")
+    p.add_argument("--loops", type=int, default=6,
+                   help="phase swaps in the phase-opposed workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("profile", help="locality summary of catalog programs")
     p.add_argument("--programs", default="lbm,mcf,povray")

@@ -12,14 +12,21 @@ for 4 programs on a 1024-unit cache.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
-from typing import Sequence
+from typing import MutableMapping, Sequence
 
 import numpy as np
 
 from repro.core.minplus import MinPlusFold, fold_curves
 
-__all__ = ["PartitionResult", "optimal_partition", "brute_force_partition"]
+__all__ = [
+    "PartitionResult",
+    "cost_fingerprint",
+    "optimal_partition",
+    "brute_force_partition",
+]
 
 
 @dataclass(frozen=True)
@@ -39,8 +46,33 @@ class PartitionResult:
         return self.fold.total
 
 
+def cost_fingerprint(
+    costs: Sequence[np.ndarray], budget: int, *, quantum: float = 0.0
+) -> bytes:
+    """Stable digest of a DP instance, for memoizing :func:`optimal_partition`.
+
+    With ``quantum > 0`` the curves are quantized to that grid first, so
+    instances whose costs differ by less than the quantum collide — the
+    online solver cache (:mod:`repro.online.solver_cache`) exploits this
+    to skip re-solves for tenants whose curves only jittered.  ``+inf``
+    entries survive quantization unchanged.
+    """
+    h = hashlib.blake2b(struct.pack("<qd", budget, quantum), digest_size=16)
+    for c in costs:
+        arr = np.ascontiguousarray(c, dtype=np.float64)
+        if quantum > 0.0:
+            arr = np.round(arr / quantum)
+        h.update(arr.tobytes())
+        h.update(struct.pack("<q", arr.size))
+    return h.digest()
+
+
 def optimal_partition(
-    costs: Sequence[np.ndarray], budget: int
+    costs: Sequence[np.ndarray],
+    budget: int,
+    *,
+    memo: MutableMapping[bytes, "PartitionResult"] | None = None,
+    quantum: float = 0.0,
 ) -> PartitionResult:
     """Solve Eq. 15: ``argmin sum_i cost_i(c_i)  s.t.  sum_i c_i = budget``.
 
@@ -52,6 +84,14 @@ def optimal_partition(
         build them from miss-ratio curves.
     budget:
         Total cache units to distribute.
+    memo:
+        Optional mapping keyed on :func:`cost_fingerprint`; a hit skips
+        the O(P·C²) fold entirely.  Any ``MutableMapping`` works — the
+        online service passes its LRU/statistics wrapper
+        (:class:`repro.online.solver_cache.SolverCache`).
+    quantum:
+        Fingerprint quantization for ``memo`` lookups (see
+        :func:`cost_fingerprint`); ignored without a memo.
 
     Raises
     ------
@@ -64,11 +104,20 @@ def optimal_partition(
         raise ValueError("all cost curves must have equal length")
     if not 0 <= budget < size:
         raise ValueError(f"budget must be within the curves' grid [0, {size - 1}]")
+    key = None
+    if memo is not None:
+        key = cost_fingerprint(costs, budget, quantum=quantum)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
     fold = fold_curves(costs)
     allocation = fold.allocate(budget)
-    return PartitionResult(
+    result = PartitionResult(
         allocation=allocation, total_cost=fold.cost(budget), fold=fold
     )
+    if memo is not None and key is not None:
+        memo[key] = result
+    return result
 
 
 def brute_force_partition(

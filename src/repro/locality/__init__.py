@@ -10,7 +10,12 @@ from repro.locality.derived import (
     implied_stack_distance_pmf,
     predicted_set_assoc_miss_ratio,
 )
-from repro.locality.footprint import FootprintCurve, average_footprint, windowed_wss
+from repro.locality.footprint import (
+    FootprintCurve,
+    average_footprint,
+    footprint_from_gaps,
+    windowed_wss,
+)
 from repro.locality.hotl import fill_time, inter_miss_time, miss_ratio
 from repro.locality.mrc import MissRatioCurve, mrc_from_trace
 from repro.locality.phases import (
@@ -22,6 +27,7 @@ from repro.locality.phases import (
 from repro.locality.sampling import bursty_footprint, sample_bursts
 from repro.locality.reuse import (
     ReuseProfile,
+    batch_previous_positions,
     first_last_positions,
     gap_histogram,
     previous_occurrence,
@@ -36,6 +42,7 @@ __all__ = [
     "predicted_set_assoc_miss_ratio",
     "FootprintCurve",
     "average_footprint",
+    "footprint_from_gaps",
     "windowed_wss",
     "fill_time",
     "inter_miss_time",
@@ -49,6 +56,7 @@ __all__ = [
     "bursty_footprint",
     "sample_bursts",
     "ReuseProfile",
+    "batch_previous_positions",
     "first_last_positions",
     "gap_histogram",
     "previous_occurrence",

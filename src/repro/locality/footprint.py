@@ -32,7 +32,13 @@ import numpy as np
 from repro.locality.reuse import previous_occurrence, reuse_profile
 from repro.workloads.trace import Trace
 
-__all__ = ["FootprintCurve", "average_footprint", "windowed_wss", "wss_curve_direct"]
+__all__ = [
+    "FootprintCurve",
+    "average_footprint",
+    "footprint_from_gaps",
+    "windowed_wss",
+    "wss_curve_direct",
+]
 
 
 @dataclass(frozen=True)
@@ -110,18 +116,23 @@ class FootprintCurve:
         return float(self.values[-1])
 
 
-def average_footprint(trace: Trace | np.ndarray, name: str | None = None) -> FootprintCurve:
-    """Linear-time average footprint of a trace (Eq. 5 via the gap formula)."""
-    profile = reuse_profile(trace)
-    n, m = profile.n, profile.m
-    rate = trace.access_rate if isinstance(trace, Trace) else 1.0
-    if name is None:
-        name = trace.name if isinstance(trace, Trace) else "trace"
-    values = np.zeros(n + 1, dtype=np.float64)
-    if n == 0:
-        return FootprintCurve(values, n=0, m=0, access_rate=rate, name=name)
+def footprint_from_gaps(
+    gap_hist: np.ndarray, n: int, m: float, *, max_window: int | None = None
+) -> np.ndarray:
+    """Average footprint ``fp(0..w_max)`` from a gap histogram (the Eq. 5 kernel).
 
-    gap_hist = profile.gap_hist.astype(np.float64)
+    This is the closed form shared by the offline full-trace path
+    (:func:`average_footprint`) and the online streaming profiler
+    (:mod:`repro.online.profiler`), whose histogram is scaled up from a
+    spatial sample — hence fractional counts and a fractional ``m`` are
+    accepted.  ``max_window`` truncates the curve (a snapshot only needs
+    windows up to the cache fill time, not the whole stream length).
+    """
+    w_max = int(n if max_window is None else min(max_window, n))
+    values = np.zeros(w_max + 1, dtype=np.float64)
+    if n == 0 or w_max == 0:
+        return values
+    gap_hist = np.asarray(gap_hist, dtype=np.float64)
     max_gap = gap_hist.size - 1
     # suffix sums over the gap histogram:
     #   S1(w) = sum_{g >= w} G[g]          (number of gaps at least w long)
@@ -138,10 +149,23 @@ def average_footprint(trace: Trace | np.ndarray, name: str | None = None) -> Foo
         s1[:-1] = np.cumsum(counts[::-1])[::-1]
         s2[:-1] = np.cumsum(weights[::-1])[::-1]
 
-    w = np.arange(1, n + 1, dtype=np.float64)
-    avoiding = s2[1 : n + 1] - (w - 1.0) * s1[1 : n + 1]
+    w = np.arange(1, w_max + 1, dtype=np.float64)
+    avoiding = s2[1 : w_max + 1] - (w - 1.0) * s1[1 : w_max + 1]
     windows = n - w + 1.0
     values[1:] = m - avoiding / windows
+    return values
+
+
+def average_footprint(trace: Trace | np.ndarray, name: str | None = None) -> FootprintCurve:
+    """Linear-time average footprint of a trace (Eq. 5 via the gap formula)."""
+    profile = reuse_profile(trace)
+    n, m = profile.n, profile.m
+    rate = trace.access_rate if isinstance(trace, Trace) else 1.0
+    if name is None:
+        name = trace.name if isinstance(trace, Trace) else "trace"
+    if n == 0:
+        return FootprintCurve(np.zeros(1), n=0, m=0, access_rate=rate, name=name)
+    values = footprint_from_gaps(profile.gap_hist, n, m)
     return FootprintCurve(values, n=n, m=m, access_rate=rate, name=name)
 
 

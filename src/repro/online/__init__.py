@@ -1,0 +1,46 @@
+"""Online serving: streaming profiling and incremental allocation.
+
+The batch pipeline (trace → footprint → MRC → DP) assumes the whole trace
+is on hand; this package is its streaming counterpart, the ROADMAP's
+"serve streams, not files" direction:
+
+* :mod:`repro.online.profiler` — per-tenant incremental footprint/MRC
+  estimation with SHARDS-style spatial sampling (no trace storage);
+* :mod:`repro.online.solver_cache` — memoized DP keyed on quantized MRC
+  fingerprints, amortizing the O(P·C²) solve across epochs;
+* :mod:`repro.online.controller` — the epoch loop: ingest batches, detect
+  MRC drift, re-solve only then, move walls only for material gains;
+* :mod:`repro.online.metrics` — counters and timers for all of the above;
+* :mod:`repro.online.replay` — replay a workload through the controller
+  and score it against the offline static optimum and dynamic oracle
+  (the ``repro-cps serve`` subcommand).
+"""
+
+from repro.online.controller import (
+    AllocationDecision,
+    ControllerConfig,
+    OnlineController,
+)
+from repro.online.metrics import OnlineMetrics, Timer
+from repro.online.profiler import StreamingProfiler
+from repro.online.replay import (
+    ReplayReport,
+    phase_opposed_pair,
+    replay,
+    steady_pair,
+)
+from repro.online.solver_cache import SolverCache
+
+__all__ = [
+    "AllocationDecision",
+    "ControllerConfig",
+    "OnlineController",
+    "OnlineMetrics",
+    "Timer",
+    "StreamingProfiler",
+    "ReplayReport",
+    "phase_opposed_pair",
+    "replay",
+    "steady_pair",
+    "SolverCache",
+]

@@ -1,0 +1,99 @@
+"""Observability for the online service.
+
+Counters and timers for everything the streaming pipeline does: accesses
+ingested, samples kept (and the effective sampling rate they imply),
+solver-cache traffic, re-solve latency, and allocation churn.  The whole
+state exports as one flat dict (:meth:`OnlineMetrics.snapshot`) so a
+scraper — or a test — can read it atomically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "OnlineMetrics"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer (``perf_counter`` based).
+
+    Use as a context manager around the timed region::
+
+        with metrics.resolve_timer:
+            result = solve(...)
+    """
+
+    total_s: float = 0.0
+    count: int = 0
+    last_s: float = 0.0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.last_s = time.perf_counter() - self._t0
+        self.total_s += self.last_s
+        self.count += 1
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class OnlineMetrics:
+    """Counters of one controller instance.
+
+    ``accesses_seen``/``samples_seen`` come from the profilers (their
+    ratio is the *effective* sampling rate, as opposed to the configured
+    one); ``resolves``/``drift_skips`` partition the epochs by whether
+    the DP ran; ``walls_moved``/``hysteresis_holds`` partition the
+    re-solves by whether the new allocation was adopted;
+    ``blocks_moved`` is the total allocation churn (blocks transferred
+    between tenants across all adopted re-allocations).
+    """
+
+    accesses_seen: int = 0
+    samples_seen: int = 0
+    epochs: int = 0
+    resolves: int = 0
+    drift_skips: int = 0
+    walls_moved: int = 0
+    hysteresis_holds: int = 0
+    blocks_moved: int = 0
+    solver_cache_hits: int = 0
+    solver_cache_misses: int = 0
+    resolve_timer: Timer = field(default_factory=Timer)
+
+    @property
+    def effective_sampling_rate(self) -> float:
+        return self.samples_seen / self.accesses_seen if self.accesses_seen else 0.0
+
+    @property
+    def solver_cache_hit_ratio(self) -> float:
+        lookups = self.solver_cache_hits + self.solver_cache_misses
+        return self.solver_cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict[str, float | int]:
+        """One atomic, flat view of every counter and derived ratio."""
+        return {
+            "accesses_seen": self.accesses_seen,
+            "samples_seen": self.samples_seen,
+            "effective_sampling_rate": self.effective_sampling_rate,
+            "epochs": self.epochs,
+            "resolves": self.resolves,
+            "drift_skips": self.drift_skips,
+            "walls_moved": self.walls_moved,
+            "hysteresis_holds": self.hysteresis_holds,
+            "blocks_moved": self.blocks_moved,
+            "solver_cache_hits": self.solver_cache_hits,
+            "solver_cache_misses": self.solver_cache_misses,
+            "solver_cache_hit_ratio": self.solver_cache_hit_ratio,
+            "resolve_latency_total_s": self.resolve_timer.total_s,
+            "resolve_latency_mean_s": self.resolve_timer.mean_s,
+            "resolve_latency_last_s": self.resolve_timer.last_s,
+        }

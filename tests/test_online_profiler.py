@@ -1,0 +1,165 @@
+"""Tests for the streaming SHARDS-sampled footprint/MRC profiler.
+
+The two contracts under test, as documented in README.md §Online
+operation:
+
+* at ``sampling_rate=1.0`` the streaming snapshot is *identical* to the
+  offline full-trace analysis, regardless of batching;
+* at 10% (and even 1%) sampling the MRC estimate converges to the
+  full-trace MRC within a mean-L1 tolerance of 0.03 (0.10).
+"""
+
+import numpy as np
+import pytest
+
+from repro.locality.footprint import average_footprint, footprint_from_gaps
+from repro.locality.mrc import MissRatioCurve
+from repro.locality.reuse import batch_previous_positions, previous_occurrence
+from repro.online.profiler import StreamingProfiler
+from repro.workloads.generators import cyclic, uniform_random, zipf
+
+# documented convergence tolerances (mean |Δmr| over the size grid)
+MRC_L1_TOL_10PCT = 0.03
+MRC_L1_TOL_1PCT = 0.10
+
+
+# ----------------------------------------------------- incremental hooks
+def test_batch_previous_positions_matches_offline():
+    tr = uniform_random(2000, 50, seed=0)
+    ref = previous_occurrence(tr.blocks)
+    last: dict[int, int] = {}
+    got = np.concatenate([
+        batch_previous_positions(
+            tr.blocks[s : s + 333], np.arange(s, min(s + 333, 2000)), last
+        )
+        for s in range(0, 2000, 333)
+    ])
+    assert np.array_equal(got, ref)
+
+
+def test_batch_previous_positions_records_first_seen():
+    last: dict[int, int] = {}
+    first: dict[int, int] = {}
+    batch_previous_positions(
+        np.array([7, 8, 7, 9]), np.arange(4), last, first
+    )
+    assert first == {7: 0, 8: 1, 9: 3}
+    assert last == {7: 2, 8: 1, 9: 3}
+
+
+def test_footprint_from_gaps_truncation():
+    tr = uniform_random(500, 30, seed=1)
+    full = average_footprint(tr)
+    from repro.locality.reuse import reuse_profile
+
+    prof = reuse_profile(tr)
+    head = footprint_from_gaps(prof.gap_hist, prof.n, prof.m, max_window=100)
+    assert head.size == 101
+    assert np.allclose(head, full.values[:101])
+
+
+# ------------------------------------------------- exact mode (rate 1.0)
+def test_exact_profiler_matches_average_footprint():
+    tr = zipf(4000, 300, seed=5)
+    prof = StreamingProfiler()
+    prof.observe(tr)
+    fp = prof.footprint()
+    ref = average_footprint(tr)
+    assert fp.n == ref.n and fp.m == ref.m
+    assert np.array_equal(fp.values, ref.values)
+
+
+def test_exact_profiler_batch_invariance():
+    """Snapshots must not depend on how the stream was chunked."""
+    tr = uniform_random(3000, 120, seed=7)
+    whole = StreamingProfiler()
+    whole.observe(tr)
+    chunked = StreamingProfiler()
+    start = 0
+    for step in (1, 7, 311, 1000, 3000):
+        chunked.observe(tr.blocks[start : start + step])
+        start += step
+    assert np.array_equal(whole.footprint().values, chunked.footprint().values)
+    assert whole.accesses_seen == chunked.accesses_seen == 3000
+
+
+def test_exact_mrc_matches_offline_pipeline():
+    tr = cyclic(2000, 64)
+    prof = StreamingProfiler()
+    prof.observe(tr)
+    got = prof.mrc(128)
+    ref = MissRatioCurve.from_footprint(average_footprint(tr), 128)
+    assert np.array_equal(got.ratios, ref.ratios)
+    assert got.n_accesses == ref.n_accesses
+
+
+def test_max_window_caps_snapshot_cost():
+    tr = uniform_random(10_000, 400, seed=2)
+    prof = StreamingProfiler(max_window=500)
+    prof.observe(tr)
+    fp = prof.footprint()
+    assert fp.n == 500
+    assert np.allclose(fp.values, average_footprint(tr).values[:501])
+
+
+# -------------------------------------------------------- sampled mode
+@pytest.mark.parametrize(
+    "rate,tol", [(0.1, MRC_L1_TOL_10PCT), (0.01, MRC_L1_TOL_1PCT)]
+)
+def test_sampled_mrc_converges_to_full_trace(rate, tol):
+    """Acceptance: streaming MRC at <=10% sampling within documented L1."""
+    tr = zipf(100_000, 2000, seed=2)
+    prof = StreamingProfiler(sampling_rate=rate, max_window=20_000)
+    for s in range(0, len(tr), 4096):
+        prof.observe(tr.blocks[s : s + 4096])
+    full = MissRatioCurve.from_footprint(average_footprint(tr), 2200)
+    est = prof.mrc(2200)
+    l1 = float(np.abs(est.ratios - full.ratios).mean())
+    assert l1 < tol, f"L1 {l1:.4f} exceeds {tol} at rate {rate}"
+    # the spatial filter keeps ~rate of the *blocks* (access-level rates
+    # run higher on skewed traces: hot blocks bring all their accesses)
+    block_rate = prof.distinct_sampled / 2000
+    assert 0.5 * rate < block_rate < 2.0 * rate
+
+
+def test_sampled_working_set_estimate():
+    tr = uniform_random(50_000, 1000, seed=9)
+    prof = StreamingProfiler(sampling_rate=0.1, seed=4)
+    prof.observe(tr)
+    assert abs(prof.footprint().m - 1000) < 150
+
+
+def test_sampling_is_deterministic_per_seed():
+    tr = uniform_random(5000, 300, seed=1)
+    a, b = (StreamingProfiler(sampling_rate=0.2, seed=3) for _ in range(2))
+    a.observe(tr)
+    b.observe(tr)
+    assert np.array_equal(a.footprint().values, b.footprint().values)
+    c = StreamingProfiler(sampling_rate=0.2, seed=4)
+    c.observe(tr)
+    assert c.samples_seen != a.samples_seen or not np.array_equal(
+        c.footprint().values, a.footprint().values
+    )
+
+
+# ------------------------------------------------------------- lifecycle
+def test_empty_and_reset():
+    prof = StreamingProfiler(sampling_rate=0.5)
+    assert prof.footprint() is None and prof.mrc(10) is None
+    prof.observe(np.array([], dtype=np.int64))
+    assert prof.footprint() is None
+    prof.observe(cyclic(100, 10))
+    assert prof.footprint() is not None
+    prof.reset()
+    assert prof.accesses_seen == 0 and prof.footprint() is None
+
+
+def test_profiler_validation():
+    with pytest.raises(ValueError):
+        StreamingProfiler(sampling_rate=0.0)
+    with pytest.raises(ValueError):
+        StreamingProfiler(sampling_rate=1.5)
+    with pytest.raises(ValueError):
+        StreamingProfiler(max_window=0)
+    with pytest.raises(ValueError):
+        StreamingProfiler().observe(np.zeros((2, 2), dtype=np.int64))

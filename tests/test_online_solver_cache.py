@@ -1,0 +1,110 @@
+"""Tests for the memoized DP layer (fingerprints, LRU cache, dp memo hook)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import cost_fingerprint, optimal_partition
+from repro.online.solver_cache import SolverCache
+
+
+def _costs(seed: int = 0, n: int = 33, p: int = 3) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [np.sort(rng.random(n))[::-1].copy() * 100 for _ in range(p)]
+
+
+# --------------------------------------------------------- fingerprints
+def test_fingerprint_stable_and_discriminating():
+    costs = _costs()
+    assert cost_fingerprint(costs, 20) == cost_fingerprint(costs, 20)
+    assert cost_fingerprint(costs, 20) != cost_fingerprint(costs, 21)
+    other = _costs(seed=1)
+    assert cost_fingerprint(costs, 20) != cost_fingerprint(other, 20)
+
+
+def test_fingerprint_quantization_collides_jitter():
+    costs = _costs()
+    jittered = [c + 1e-4 for c in costs]
+    assert cost_fingerprint(costs, 20) != cost_fingerprint(jittered, 20)
+    q = 1e-2
+    assert cost_fingerprint(costs, 20, quantum=q) == cost_fingerprint(
+        jittered, 20, quantum=q
+    )
+    moved = [c + 5 * q for c in costs]
+    assert cost_fingerprint(costs, 20, quantum=q) != cost_fingerprint(
+        moved, 20, quantum=q
+    )
+
+
+def test_fingerprint_handles_infeasible_entries():
+    costs = _costs()
+    costs[0][:5] = np.inf
+    assert cost_fingerprint(costs, 20, quantum=1e-3) == cost_fingerprint(
+        [c.copy() for c in costs], 20, quantum=1e-3
+    )
+
+
+# ---------------------------------------------------------- dp memo hook
+def test_optimal_partition_memo_roundtrip():
+    costs = _costs()
+    memo: dict[bytes, object] = {}
+    first = optimal_partition(costs, 20, memo=memo)
+    assert len(memo) == 1
+    second = optimal_partition(costs, 20, memo=memo)
+    assert second is first  # served from the memo, not re-solved
+    # and the memoized result is actually correct
+    unmemoed = optimal_partition(costs, 20)
+    assert np.array_equal(first.allocation, unmemoed.allocation)
+    assert first.total_cost == unmemoed.total_cost
+
+
+# ----------------------------------------------------------- SolverCache
+def test_solver_cache_hits_and_misses():
+    cache = SolverCache()
+    costs = _costs()
+    r1 = cache.solve(costs, 20)
+    assert (cache.hits, cache.misses) == (0, 1)
+    r2 = cache.solve(costs, 20)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert r2 is r1
+    cache.solve(costs, 25)
+    assert cache.misses == 2
+    assert cache.hit_ratio == pytest.approx(1 / 3)
+
+
+def test_solver_cache_quantized_hit():
+    cache = SolverCache(quantum=1.0)
+    # curves on the quantum grid, so sub-quantum jitter cannot straddle
+    # a rounding boundary
+    costs = [np.round(c) for c in _costs()]
+    r1 = cache.solve(costs, 20)
+    r2 = cache.solve([c + 0.2 for c in costs], 20)
+    assert r2 is r1 and cache.hits == 1
+    # beyond the quantum: a real miss, and a genuinely new solve
+    r3 = cache.solve([c + 50.0 for c in costs], 20)
+    assert r3 is not r1 and cache.misses == 2
+
+
+def test_solver_cache_lru_eviction():
+    cache = SolverCache(max_entries=2)
+    a, b, c = _costs(0), _costs(1), _costs(2)
+    cache.solve(a, 20)
+    cache.solve(b, 20)
+    cache.solve(a, 20)  # refresh a; b is now LRU
+    cache.solve(c, 20)  # evicts b
+    assert len(cache) == 2
+    n_misses = cache.misses
+    cache.solve(b, 20)
+    assert cache.misses == n_misses + 1  # b was evicted
+    cache.solve(a, 20)
+    assert cache.misses == n_misses + 2  # a evicted when b re-entered
+
+
+def test_solver_cache_clear_and_validation():
+    cache = SolverCache()
+    cache.solve(_costs(), 20)
+    cache.clear()
+    assert len(cache) == 0
+    with pytest.raises(ValueError):
+        SolverCache(quantum=-1.0)
+    with pytest.raises(ValueError):
+        SolverCache(max_entries=0)

@@ -73,6 +73,52 @@ def test_bursty_footprint_too_short():
         bursty_footprint(cyclic(10, 2), burst_length=100, period=100, offset=50)
 
 
+def test_final_partial_burst_at_exactly_half_is_kept():
+    """The keep rule is ``>= burst_length // 2`` — half a burst is enough."""
+    tr = cyclic(1050, 10)  # bursts at 0, 500, 1000; tail has exactly 50
+    bursts = sample_bursts(tr, burst_length=100, period=500)
+    assert len(bursts) == 3
+    assert len(bursts[-1]) == 50
+    # one access below half: dropped
+    assert len(sample_bursts(cyclic(1049, 10), 100, 500)) == 2
+    # the half-burst contributes to the estimate without corrupting it
+    fp = bursty_footprint(tr, burst_length=100, period=500)
+    assert fp.n == 100 and np.all(np.diff(fp.values) >= -1e-12)
+
+
+def test_period_equals_burst_length_observes_everything():
+    """Back-to-back bursts tile the trace: every access is observed, and
+    the estimate is the window-count-weighted average of the segments."""
+    tr = uniform_random(6000, 80, seed=11)
+    bursts = sample_bursts(tr, burst_length=1000, period=1000)
+    assert len(bursts) == 6
+    assert sum(len(b) for b in bursts) == len(tr)
+    assert np.array_equal(
+        np.concatenate([b.blocks for b in bursts]), tr.blocks
+    )
+    fp = bursty_footprint(tr, burst_length=1000, period=1000)
+    full = average_footprint(tr)
+    w = np.arange(1, 1001, 50)
+    # 100% observation: only windows straddling burst edges are missed
+    assert np.max(np.abs(fp.values[w] - full.values[w])) < 5.0
+
+
+def test_trace_shorter_than_one_burst():
+    """A short trace yields a single truncated burst — or nothing if it
+    cannot even fill half a burst."""
+    tr = cyclic(60, 10)
+    bursts = sample_bursts(tr, burst_length=100, period=100)
+    assert len(bursts) == 1 and len(bursts[0]) == 60
+    fp = bursty_footprint(tr, burst_length=100, period=100)
+    # the curve covers only the observed windows, like a shorter profile
+    assert fp.n == 60
+    assert np.allclose(fp.values, average_footprint(tr).values[:61])
+    # below half a burst: no usable burst at all
+    assert sample_bursts(cyclic(49, 10), 100, 100) == []
+    with pytest.raises(ValueError):
+        bursty_footprint(cyclic(49, 10), burst_length=100, period=100)
+
+
 # ------------------------------------------------------------------ stats
 def test_summarize_trace_fields():
     tr = cyclic(2000, 40, name="loop").with_rate(1.5)
