@@ -8,8 +8,6 @@ DP recovers what static walls waste, while costing nothing on steady
 programs.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.dynamic import plan_dynamic, plan_static, simulate_plan
 from repro.workloads import cyclic, phased, uniform_random

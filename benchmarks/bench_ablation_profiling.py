@@ -12,7 +12,6 @@ and the DP's final allocation — barely move.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.dp import optimal_partition

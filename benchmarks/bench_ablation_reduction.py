@@ -11,7 +11,6 @@ Partition.  This bench verifies the reduction numerically on real
   exactly the paper's argument for searching only Eq. 3's space.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.dp import optimal_partition

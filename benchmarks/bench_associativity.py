@@ -8,7 +8,6 @@ tracks the exact set-associative simulator, and the conversion barely
 moves the miss ratio at sane associativities (>= 4 ways).
 """
 
-import numpy as np
 import pytest
 
 from repro.cachesim.associativity import smith_set_assoc_miss_ratio

@@ -77,7 +77,7 @@ def bench_ablation_pair_memoization(suite_profile, benchmark):
     """
     from itertools import combinations
 
-    from repro.core.minplus import minplus_convolve as conv
+    
     from repro.experiments.methodology import _group_via_pairs, _pair_tables
 
     costs = [m.miss_counts() for m in suite_profile.mrcs]

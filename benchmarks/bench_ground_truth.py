@@ -16,7 +16,7 @@ from repro.core.dp import optimal_partition
 from repro.experiments.ground_truth import ordering_agreement, simulate_schemes
 from repro.locality.footprint import average_footprint
 from repro.locality.mrc import MissRatioCurve
-from repro.workloads.spec import SPEC_NAMES, make_program
+from repro.workloads.spec import make_program
 
 CB = 512
 GROUPS = [

@@ -15,7 +15,7 @@ Two costs dominate the streaming service:
 
 from repro.online.controller import ControllerConfig
 from repro.online.profiler import StreamingProfiler
-from repro.online.replay import phase_opposed_pair, replay, steady_pair
+from repro.online.replay import phase_opposed_pair, replay
 from repro.workloads.generators import phased, uniform_random, zipf
 
 N_ACCESSES = 400_000

@@ -5,7 +5,6 @@ loose to impossible: the DP trades throughput for the guarantee until the
 feasibility boundary, which the egalitarian-optimum search pins down.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.qos import qos_frontier, tightest_feasible_cap

@@ -14,7 +14,6 @@ optimum.
 Run:  python examples/fairness_tradeoff.py
 """
 
-import numpy as np
 
 from repro.core import evaluate_group
 from repro.locality import MissRatioCurve, average_footprint

@@ -44,7 +44,6 @@ def main() -> None:
         MissRatioCurve.from_footprint(average_footprint(tr), TOTAL_MEMORY)
         for tr in traces.values()
     ]
-    names = list(traces)
 
     # contenders
     requests = np.array([len(t) for t in traces.values()], dtype=np.float64)

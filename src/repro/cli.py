@@ -204,6 +204,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drift_threshold=args.drift,
             hysteresis=args.hysteresis,
             quantum=args.quantum,
+            max_buffered=args.max_buffer,
             seed=args.seed,
         )
     except ValueError as exc:
@@ -278,6 +279,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--quantum", type=float, default=0.0,
                    help="solver-cache fingerprint quantization (miss-ratio units)")
     p.add_argument("--batch", type=int, default=64, help="ingest batch size")
+    p.add_argument("--max-buffer", type=int, default=None,
+                   help="per-tenant bound on epoch-alignment buffering "
+                        "(accesses; raises backpressure beyond it)")
     p.add_argument("--loops", type=int, default=6,
                    help="phase swaps in the phase-opposed workload")
     p.add_argument("--seed", type=int, default=0)

@@ -32,7 +32,6 @@ from repro.core.natural import round_to_units
 from repro.core.objectives import constrained_costs
 from repro.core.sttw import sttw_partition
 from repro.locality.footprint import FootprintCurve, average_footprint
-from repro.locality.hotl import miss_ratio
 from repro.locality.mrc import MissRatioCurve
 from repro.workloads.spec import SPEC_NAMES, make_suite
 

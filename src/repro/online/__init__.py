@@ -8,8 +8,11 @@ is on hand; this package is its streaming counterpart, the ROADMAP's
   estimation with SHARDS-style spatial sampling (no trace storage);
 * :mod:`repro.online.solver_cache` — memoized DP keyed on quantized MRC
   fingerprints, amortizing the O(P·C²) solve across epochs;
-* :mod:`repro.online.controller` — the epoch loop: ingest batches, detect
-  MRC drift, re-solve only then, move walls only for material gains;
+* :mod:`repro.online.controller` — the epoch loop: buffer per-tenant
+  batches into epoch alignment (tenants need not arrive in lockstep),
+  detect MRC drift, re-solve only then, move walls only for material
+  gains; explicit tenant lifecycle (``close``) and bounded-buffer
+  backpressure (``max_buffered`` / :class:`BackpressureError`);
 * :mod:`repro.online.metrics` — counters and timers for all of the above;
 * :mod:`repro.online.replay` — replay a workload through the controller
   and score it against the offline static optimum and dynamic oracle
@@ -18,6 +21,7 @@ is on hand; this package is its streaming counterpart, the ROADMAP's
 
 from repro.online.controller import (
     AllocationDecision,
+    BackpressureError,
     ControllerConfig,
     OnlineController,
 )
@@ -33,6 +37,7 @@ from repro.online.solver_cache import SolverCache
 
 __all__ = [
     "AllocationDecision",
+    "BackpressureError",
     "ControllerConfig",
     "OnlineController",
     "OnlineMetrics",

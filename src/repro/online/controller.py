@@ -1,8 +1,9 @@
 """Epoch-driven allocation controller: drift detection + hysteresis.
 
 The controller is the online analogue of :func:`repro.core.dynamic.plan_dynamic`:
-it ingests per-tenant access batches in lockstep, profiles each epoch
-with a :class:`~repro.online.profiler.StreamingProfiler`, and emits one
+it ingests per-tenant access batches — which need *not* arrive in
+lockstep — buffers them into epoch alignment, profiles each epoch with a
+:class:`~repro.online.profiler.StreamingProfiler`, and emits one
 allocation decision per epoch.  Two dampers keep it cheap and stable:
 
 * **drift detection** — the DP re-runs only when some tenant's MRC moved
@@ -14,14 +15,31 @@ allocation decision per epoch.  Two dampers keep it cheap and stable:
   ``hysteresis``; sub-epsilon gains don't move walls (churn has real cost
   in a live cache: moved blocks arrive cold).
 
+Ingestion contract (per-tenant epoch-aligned buffering):
+
+* each tenant has its own buffer; accesses beyond the current epoch
+  boundary wait there until the epoch can close;
+* an epoch finalizes only when every **live** tenant has reached the
+  boundary — a lagging tenant holds the epoch open rather than having
+  its accesses misattributed to a later epoch;
+* a tenant that will send no more data must be closed explicitly
+  (:meth:`OnlineController.close`); closed tenants stop gating epochs
+  and cost the DP nothing, exactly like finished programs in
+  :func:`~repro.core.dynamic.plan_dynamic`;
+* ``max_buffered`` bounds how far ahead of the laggard any tenant may
+  run; exceeding it raises :class:`BackpressureError` (the data is
+  retained — the error is flow control, not loss).
+
 With ``sampling_rate=1.0``, ``drift_threshold=0`` and ``hysteresis=0``
-the controller reproduces ``plan_dynamic`` exactly — the equivalence the
-test-suite pins down; nonzero knobs trade fidelity for work, which the
-:mod:`~repro.online.metrics` counters quantify.
+the controller reproduces ``plan_dynamic`` exactly — for *any* batching,
+aligned or not — the equivalence the test-suite pins down; nonzero knobs
+trade fidelity for work, which the :mod:`~repro.online.metrics` counters
+quantify.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,7 +49,24 @@ from repro.online.metrics import OnlineMetrics
 from repro.online.profiler import StreamingProfiler
 from repro.online.solver_cache import SolverCache
 
-__all__ = ["ControllerConfig", "AllocationDecision", "OnlineController"]
+__all__ = [
+    "BackpressureError",
+    "ControllerConfig",
+    "AllocationDecision",
+    "OnlineController",
+]
+
+
+class BackpressureError(RuntimeError):
+    """A tenant's epoch-alignment buffer exceeded ``max_buffered``.
+
+    Raised by :meth:`OnlineController.ingest` *after* the batch has been
+    accepted and any unblocked epochs finalized — nothing is dropped.
+    The caller should stop feeding the tenants named in the message (or
+    close/feed the laggard holding the epoch open) before continuing;
+    decisions finalized by the offending call remain available through
+    :attr:`OnlineController.decisions`.
+    """
 
 
 @dataclass(frozen=True)
@@ -39,10 +74,13 @@ class ControllerConfig:
     """Knobs of the online allocation loop.
 
     ``cache_blocks`` is both the allocation budget and the MRC grid size;
-    ``epoch_length`` is in per-tenant accesses (tenants advance in
-    lockstep, matching :class:`~repro.core.dynamic.EpochPlan` semantics).
-    ``quantum`` quantizes solver-cache fingerprints in miss-ratio units
-    (it is rescaled by each epoch's access counts internally).
+    ``epoch_length`` is in per-tenant accesses (each tenant contributes
+    exactly ``epoch_length`` accesses to a full epoch, however its
+    batches arrive).  ``quantum`` quantizes solver-cache fingerprints in
+    miss-ratio units (it is rescaled by each epoch's real access count
+    internally).  ``max_buffered`` caps any tenant's epoch-alignment
+    buffer (accesses received but not yet attributed to an epoch);
+    ``None`` means unbounded.
     """
 
     cache_blocks: int
@@ -53,6 +91,7 @@ class ControllerConfig:
     quantum: float = 0.0
     max_window: int | None = None
     cache_entries: int = 128
+    max_buffered: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -64,6 +103,8 @@ class ControllerConfig:
             raise ValueError("sampling_rate must be in (0, 1]")
         if self.drift_threshold < 0 or self.hysteresis < 0 or self.quantum < 0:
             raise ValueError("thresholds must be >= 0")
+        if self.max_buffered is not None and self.max_buffered < 1:
+            raise ValueError("max_buffered must be >= 1 (or None for unbounded)")
 
 
 @dataclass(frozen=True)
@@ -115,7 +156,13 @@ class OnlineController:
             )
             for i in range(n_tenants)
         ]
-        self._progress = np.zeros(n_tenants, dtype=np.int64)
+        # epoch-alignment state: per tenant, accesses *received* split into
+        # those already *fed* to the profiler (attributed to the current
+        # epoch) and those still buffered past the epoch boundary
+        self._buffers: list[deque[np.ndarray]] = [deque() for _ in range(n_tenants)]
+        self._received = np.zeros(n_tenants, dtype=np.int64)
+        self._fed = np.zeros(n_tenants, dtype=np.int64)
+        self._closed = np.zeros(n_tenants, dtype=bool)
         self._epoch = 0
         self._allocations: list[np.ndarray] = []
         self._decisions: list[AllocationDecision] = []
@@ -135,50 +182,179 @@ class OnlineController:
     def current_allocation(self) -> np.ndarray | None:
         return None if self._current is None else self._current.copy()
 
+    @property
+    def closed_tenants(self) -> tuple[str, ...]:
+        return tuple(n for n, c in zip(self.names, self._closed) if c)
+
+    @property
+    def live_tenants(self) -> tuple[str, ...]:
+        return tuple(n for n, c in zip(self.names, self._closed) if not c)
+
+    @property
+    def buffered_accesses(self) -> int:
+        """Accesses received but not yet attributed to an epoch."""
+        return int((self._received - self._fed).sum())
+
+    # ------------------------------------------------------------------
+    def _tenant_index(self, tenant: int | str) -> int:
+        if isinstance(tenant, str):
+            try:
+                return self.names.index(tenant)
+            except ValueError:
+                raise ValueError(f"unknown tenant {tenant!r}") from None
+        if not 0 <= tenant < self.n_tenants:
+            raise ValueError(f"tenant index {tenant} out of range")
+        return int(tenant)
+
+    @staticmethod
+    def _validate_batch(batch: np.ndarray, name: str) -> np.ndarray:
+        arr = np.asarray(batch)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"batch for {name!r} must be 1-D, got shape {arr.shape}"
+            )
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            raise ValueError(
+                f"batch for {name!r} must hold integer block ids, "
+                f"got dtype {arr.dtype}"
+            )
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        if arr.size and arr.min() < 0:
+            raise ValueError(f"batch for {name!r} contains negative block ids")
+        return arr
+
     # ------------------------------------------------------------------
     def ingest(self, batches: list[np.ndarray]) -> list[AllocationDecision]:
-        """Feed one batch per tenant (lockstep); returns epochs finalized.
+        """Feed one batch per tenant; returns the epochs this call closed.
 
-        A batch may span epoch boundaries — it is split internally so each
-        epoch's profile sees exactly its own accesses.  Tenants that have
-        finished simply pass empty arrays.
+        Batches are buffered into epoch alignment per tenant, so tenants
+        may run at different speeds and a batch may span any number of
+        epoch boundaries — each epoch's profile sees exactly its own
+        accesses regardless of how they were chunked.  An epoch closes
+        only once every live tenant has reached its boundary; use
+        :meth:`close` for tenants that will send no more data (an empty
+        array is just "nothing yet", and keeps the tenant gating).
+
+        Raises ``ValueError`` on malformed input or data for a closed
+        tenant, and :class:`BackpressureError` (after accepting the
+        batch) when a tenant's buffer exceeds ``max_buffered``.
         """
         if len(batches) != self.n_tenants:
             raise ValueError(f"expected {self.n_tenants} batches, got {len(batches)}")
-        arrs = [np.ascontiguousarray(b, dtype=np.int64).ravel() for b in batches]
-        offsets = np.zeros(self.n_tenants, dtype=np.int64)
+        arrs = [
+            self._validate_batch(b, self.names[i]) for i, b in enumerate(batches)
+        ]
+        for i, arr in enumerate(arrs):
+            if arr.size and self._closed[i]:
+                raise ValueError(
+                    f"tenant {self.names[i]!r} is closed and cannot receive data"
+                )
+        # late-batch accounting: data for a tenant still short of the
+        # current epoch boundary while some other live tenant already
+        # waits at it
+        boundary = (self._epoch + 1) * self.config.epoch_length
+        at_boundary = ~self._closed & (self._received >= boundary)
+        for i, arr in enumerate(arrs):
+            if (
+                arr.size
+                and self._received[i] < boundary
+                and bool(np.any(at_boundary & (np.arange(self.n_tenants) != i)))
+            ):
+                self.metrics.late_batches += 1
+        for i, arr in enumerate(arrs):
+            if arr.size:
+                self._buffers[i].append(arr)
+                self._received[i] += arr.size
+        finalized = self._drain()
+        if self.config.max_buffered is not None:
+            pending = self._received - self._fed
+            over = [
+                f"{self.names[i]!r} ({int(pending[i])} buffered)"
+                for i in range(self.n_tenants)
+                if pending[i] > self.config.max_buffered
+            ]
+            if over:
+                raise BackpressureError(
+                    f"buffer bound {self.config.max_buffered} exceeded for "
+                    f"{', '.join(over)}; feed or close the lagging tenants "
+                    f"before sending more"
+                )
+        return finalized
+
+    def close(self, tenant: int | str) -> list[AllocationDecision]:
+        """Mark a tenant finished; returns any epochs this unblocks.
+
+        A closed tenant stops gating epoch finalization and contributes a
+        zero cost curve to epochs after its last access (matching
+        ``plan_dynamic``'s finished-program semantics).  Closing an
+        already-closed tenant is a no-op.
+        """
+        i = self._tenant_index(tenant)
+        if self._closed[i]:
+            return []
+        self._closed[i] = True
+        return self._drain()
+
+    def finish(self) -> list[AllocationDecision]:
+        """Close every tenant and flush a trailing partial epoch."""
+        self._closed[:] = True
+        finalized = self._drain()
+        if (self._fed > self._epoch * self.config.epoch_length).any():
+            finalized.append(self._finalize_epoch())
+            self._refresh_flow_metrics()
+        return finalized
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> list[AllocationDecision]:
+        """Feed buffers up to the epoch boundary; finalize ready epochs."""
         finalized: list[AllocationDecision] = []
         while True:
             boundary = (self._epoch + 1) * self.config.epoch_length
-            consumed = False
-            for i, arr in enumerate(arrs):
-                take = min(boundary - self._progress[i], arr.size - offsets[i])
-                if take > 0:
-                    chunk = arr[offsets[i] : offsets[i] + take]
-                    self.metrics.samples_seen += self._profilers[i].observe(chunk)
-                    self.metrics.accesses_seen += int(take)
-                    self._progress[i] += take
-                    offsets[i] += take
-                    consumed = True
-            if self._progress.max() >= boundary:
-                finalized.append(self._finalize_epoch())
-            elif not consumed:
+            for i in range(self.n_tenants):
+                self._feed_up_to(i, boundary)
+            live = ~self._closed
+            if live.any():
+                ready = bool((self._fed[live] >= boundary).all())
+            else:  # all closed: every received access is final
+                ready = bool(self._received.max() >= boundary)
+            if not ready:
                 break
+            finalized.append(self._finalize_epoch())
+        self._refresh_flow_metrics()
         return finalized
 
-    def finish(self) -> list[AllocationDecision]:
-        """Flush a trailing partial epoch (stream ended mid-epoch)."""
-        if self._progress.max() > self._epoch * self.config.epoch_length:
-            return [self._finalize_epoch()]
-        return []
+    def _feed_up_to(self, i: int, boundary: int) -> None:
+        buf = self._buffers[i]
+        while buf and self._fed[i] < boundary:
+            arr = buf[0]
+            take = min(int(boundary - self._fed[i]), arr.size)
+            if take == arr.size:
+                chunk = arr
+                buf.popleft()
+            else:
+                chunk = arr[:take]
+                buf[0] = arr[take:]
+            self.metrics.samples_seen += self._profilers[i].observe(chunk)
+            self.metrics.accesses_seen += take
+            self._fed[i] += take
+
+    def _refresh_flow_metrics(self) -> None:
+        pending = self._received - self._fed
+        front = int(self._received.max())
+        self.metrics.buffered_accesses = int(pending.sum())
+        self.metrics.tenant_lag = {
+            name: 0 if self._closed[i] else front - int(self._received[i])
+            for i, name in enumerate(self.names)
+        }
 
     # ------------------------------------------------------------------
-    def _epoch_costs(self) -> tuple[list[np.ndarray], list[np.ndarray], int]:
+    def _epoch_costs(self) -> tuple[list[np.ndarray], list[np.ndarray], int, int]:
         """Per-tenant (miss-count cost, miss-ratio) curves for this epoch."""
         grid = self.config.cache_blocks
         costs: list[np.ndarray] = []
         ratios: list[np.ndarray] = []
         n_total = 0
+        n_longest = 0
         for prof in self._profilers:
             mrc = prof.mrc(grid)
             if mrc is None:  # idle or finished tenant: any allocation is free
@@ -188,11 +364,12 @@ class OnlineController:
                 costs.append(mrc.miss_counts())
                 ratios.append(mrc.ratios)
                 n_total += prof.accesses_seen
-        return costs, ratios, n_total
+                n_longest = max(n_longest, prof.accesses_seen)
+        return costs, ratios, n_total, n_longest
 
     def _finalize_epoch(self) -> AllocationDecision:
         cfg = self.config
-        costs, ratios, n_total = self._epoch_costs()
+        costs, ratios, n_total, n_longest = self._epoch_costs()
         self.metrics.epochs += 1
 
         drift = np.inf if self._solved_ratios is None else max(
@@ -216,7 +393,12 @@ class OnlineController:
             return self._commit(decision)
 
         with self.metrics.resolve_timer:
-            result = self.solver_cache.solve(costs, cfg.cache_blocks)
+            # fingerprint quantum scales with this epoch's real length, so
+            # a short final epoch keeps the same miss-*ratio* lattice as a
+            # full one instead of a coarser miss-count one
+            result = self.solver_cache.solve(
+                costs, cfg.cache_blocks, quantum=cfg.quantum * n_longest
+            )
         self.metrics.resolves += 1
         self.metrics.solver_cache_hits = self.solver_cache.hits
         self.metrics.solver_cache_misses = self.solver_cache.misses
@@ -258,10 +440,6 @@ class OnlineController:
     def _commit(self, decision: AllocationDecision) -> AllocationDecision:
         self._decisions.append(decision)
         self._allocations.append(decision.allocation)
-        # lockstep: the epoch is over for every tenant, including those
-        # that produced fewer (or no) accesses — snap them to the boundary
-        # so the next epoch's profile sees only its own accesses
-        self._progress[:] = (self._epoch + 1) * self.config.epoch_length
         self._epoch += 1
         for prof in self._profilers:
             prof.reset()

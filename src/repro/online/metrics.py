@@ -2,6 +2,7 @@
 
 Counters and timers for everything the streaming pipeline does: accesses
 ingested, samples kept (and the effective sampling rate they imply),
+epoch-alignment buffering (backlog, late batches, per-tenant lag),
 solver-cache traffic, re-solve latency, and allocation churn.  The whole
 state exports as one flat dict (:meth:`OnlineMetrics.snapshot`) so a
 scraper — or a test — can read it atomically.
@@ -23,10 +24,14 @@ class Timer:
 
         with metrics.resolve_timer:
             result = solve(...)
+
+    Only clean exits accumulate: a region that raises counts toward
+    ``errors`` instead of polluting ``mean_s`` with a partial sample.
     """
 
     total_s: float = 0.0
     count: int = 0
+    errors: int = 0
     last_s: float = 0.0
     _t0: float = field(default=0.0, repr=False)
 
@@ -34,7 +39,10 @@ class Timer:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc: object) -> None:
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is not None:
+            self.errors += 1
+            return
         self.last_s = time.perf_counter() - self._t0
         self.total_s += self.last_s
         self.count += 1
@@ -50,15 +58,22 @@ class OnlineMetrics:
 
     ``accesses_seen``/``samples_seen`` come from the profilers (their
     ratio is the *effective* sampling rate, as opposed to the configured
-    one); ``resolves``/``drift_skips`` partition the epochs by whether
-    the DP ran; ``walls_moved``/``hysteresis_holds`` partition the
-    re-solves by whether the new allocation was adopted;
-    ``blocks_moved`` is the total allocation churn (blocks transferred
-    between tenants across all adopted re-allocations).
+    one); ``buffered_accesses``/``late_batches``/``tenant_lag`` describe
+    the epoch-alignment buffers (current backlog, batches that arrived
+    for a tenant other live tenants were already waiting on, and how far
+    each tenant trails the furthest stream); ``resolves``/``drift_skips``
+    partition the epochs by whether the DP ran; ``walls_moved``/
+    ``hysteresis_holds`` partition the re-solves by whether the new
+    allocation was adopted; ``blocks_moved`` is the total allocation
+    churn (blocks transferred between tenants across all adopted
+    re-allocations).
     """
 
     accesses_seen: int = 0
     samples_seen: int = 0
+    buffered_accesses: int = 0
+    late_batches: int = 0
+    tenant_lag: dict[str, int] = field(default_factory=dict)
     epochs: int = 0
     resolves: int = 0
     drift_skips: int = 0
@@ -78,12 +93,23 @@ class OnlineMetrics:
         lookups = self.solver_cache_hits + self.solver_cache_misses
         return self.solver_cache_hits / lookups if lookups else 0.0
 
+    @property
+    def max_tenant_lag(self) -> int:
+        return max(self.tenant_lag.values(), default=0)
+
     def snapshot(self) -> dict[str, float | int]:
-        """One atomic, flat view of every counter and derived ratio."""
-        return {
+        """One atomic, flat view of every counter and derived ratio.
+
+        Per-tenant lags flatten to ``lag[<tenant name>]`` keys so the
+        dict stays scalar-valued for scrapers.
+        """
+        snap: dict[str, float | int] = {
             "accesses_seen": self.accesses_seen,
             "samples_seen": self.samples_seen,
             "effective_sampling_rate": self.effective_sampling_rate,
+            "buffered_accesses": self.buffered_accesses,
+            "late_batches": self.late_batches,
+            "max_tenant_lag": self.max_tenant_lag,
             "epochs": self.epochs,
             "resolves": self.resolves,
             "drift_skips": self.drift_skips,
@@ -96,4 +122,8 @@ class OnlineMetrics:
             "resolve_latency_total_s": self.resolve_timer.total_s,
             "resolve_latency_mean_s": self.resolve_timer.mean_s,
             "resolve_latency_last_s": self.resolve_timer.last_s,
+            "resolve_errors": self.resolve_timer.errors,
         }
+        for name, lag in self.tenant_lag.items():
+            snap[f"lag[{name}]"] = lag
+        return snap

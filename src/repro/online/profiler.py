@@ -84,7 +84,13 @@ class StreamingProfiler:
         self.seed = int(seed)
         self.name = name
         self._exact = sampling_rate >= 1.0
-        self._threshold = np.uint64(min(int(sampling_rate * 2**64), 2**64 - 1))
+        # strict SHARDS predicate: keep iff hash < rate·2^64.  The exact
+        # path bypasses the filter, so for filtered rates (< 1.0) the
+        # product is < 2^64 and fits uint64 without clamping.
+        if self._exact:
+            self._threshold = np.uint64(2**64 - 1)
+        else:
+            self._threshold = np.uint64(int(sampling_rate * 2**64))
         self.reset()
 
     # ------------------------------------------------------------------
@@ -126,7 +132,7 @@ class StreamingProfiler:
             sampled = blocks
             positions = start + np.arange(blocks.size, dtype=np.int64)
         else:
-            keep = _hash64(blocks, self.seed) <= self._threshold
+            keep = _hash64(blocks, self.seed) < self._threshold
             sampled = blocks[keep]
             positions = start + np.flatnonzero(keep)
         self._kept += sampled.size

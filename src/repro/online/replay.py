@@ -17,6 +17,7 @@ dynamic oracle).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -109,6 +110,9 @@ class ReplayReport:
             f"dynamic oracle {self.oracle_miss_ratio:.4f}",
             f"  sampling          {m['samples_seen']:,}/{m['accesses_seen']:,} accesses "
             f"({m['effective_sampling_rate']:.1%} effective)",
+            f"  buffering         {m['buffered_accesses']} buffered, "
+            f"{m['late_batches']} late batches, "
+            f"max tenant lag {m['max_tenant_lag']} accesses",
             f"  solver            {m['resolves']} re-solves, {m['drift_skips']} drift skips, "
             f"cache hit ratio {m['solver_cache_hit_ratio']:.1%}",
             f"  re-solve latency  mean {m['resolve_latency_mean_s'] * 1e3:.2f} ms "
@@ -123,23 +127,46 @@ def replay(
     traces: list[Trace],
     config: ControllerConfig,
     *,
-    batch_size: int | None = None,
+    batch_size: int | Sequence[int] | None = None,
 ) -> ReplayReport:
     """Stream ``traces`` through a fresh controller and evaluate the result.
 
-    ``batch_size`` is the ingestion granularity (defaults to one epoch);
-    the controller's output is invariant to it — batching exists to
-    exercise the streaming path, not to change results.
+    ``batch_size`` is the ingestion granularity — one int for every
+    tenant, or one per tenant to stream them at different speeds
+    (defaults to one epoch each).  The controller's per-tenant buffering
+    makes its output invariant to the batching, aligned or not; batching
+    exists to exercise the streaming path, not to change results.  A
+    trace is closed on the controller as soon as its last access has
+    been sent, so shorter tenants stop gating epoch finalization.
     """
     controller = OnlineController(
         len(traces), config, names=tuple(t.name for t in traces)
     )
-    step = batch_size if batch_size is not None else config.epoch_length
-    if step < 1:
+    if batch_size is None:
+        steps = [config.epoch_length] * len(traces)
+    elif isinstance(batch_size, int):
+        steps = [batch_size] * len(traces)
+    else:
+        steps = [int(s) for s in batch_size]
+        if len(steps) != len(traces):
+            raise ValueError("need one batch size per trace")
+    if any(s < 1 for s in steps):
         raise ValueError("batch_size must be >= 1")
-    longest = max(len(t) for t in traces)
-    for start in range(0, longest, step):
-        controller.ingest([t.blocks[start : start + step] for t in traces])
+    sent = [0] * len(traces)
+    empty = np.empty(0, dtype=np.int64)
+    while any(s < len(t) for s, t in zip(sent, traces)):
+        batches = []
+        for i, t in enumerate(traces):
+            if sent[i] < len(t):
+                batches.append(t.blocks[sent[i] : sent[i] + steps[i]])
+            else:
+                batches.append(empty)
+        controller.ingest(batches)
+        for i, t in enumerate(traces):
+            if sent[i] < len(t):
+                sent[i] = min(sent[i] + steps[i], len(t))
+                if sent[i] >= len(t):
+                    controller.close(i)
     controller.finish()
 
     plan = controller.plan()

@@ -91,6 +91,22 @@ class SolverCache:
         self._store.clear()
 
     # ------------------------------------------------------------ solve
-    def solve(self, costs: Sequence[np.ndarray], budget: int) -> PartitionResult:
-        """Memoized Eq. 15: identical (quantized) instances solve once."""
-        return optimal_partition(costs, budget, memo=self, quantum=self.quantum)
+    def solve(
+        self,
+        costs: Sequence[np.ndarray],
+        budget: int,
+        *,
+        quantum: float | None = None,
+    ) -> PartitionResult:
+        """Memoized Eq. 15: identical (quantized) instances solve once.
+
+        ``quantum`` overrides the constructor's value for this solve —
+        the controller uses it to rescale the lattice by each epoch's
+        *real* access count, so a short final epoch (whose miss-count
+        magnitudes shrink with it) keeps the same miss-ratio resolution
+        as a full one instead of a silently coarser one.
+        """
+        q = self.quantum if quantum is None else float(quantum)
+        if q < 0.0:
+            raise ValueError("quantum must be >= 0")
+        return optimal_partition(costs, budget, memo=self, quantum=q)

@@ -34,7 +34,6 @@ def test_optimize_small(capsys):
 
 def test_export_writes_csvs(tmp_path, capsys, monkeypatch):
     # shrink the study drastically for the smoke test
-    import repro.cli as cli_mod
     from repro.experiments.methodology import ExperimentConfig
 
     small = ExperimentConfig(

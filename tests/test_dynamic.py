@@ -6,7 +6,6 @@ import pytest
 from repro.cachesim.partitioned import simulate_partitioned
 from repro.core.dynamic import EpochPlan, plan_dynamic, plan_static, simulate_plan
 from repro.workloads import cyclic, phased, uniform_random
-from repro.workloads.trace import Trace
 
 
 def test_epoch_plan_validation():

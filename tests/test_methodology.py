@@ -6,7 +6,6 @@ import pytest
 from repro.experiments.methodology import (
     STUDY_SCHEMES,
     ExperimentConfig,
-    build_suite_profile,
     run_study,
 )
 

@@ -1,6 +1,5 @@
 """Tests for the §II multi-cache assignment scenario."""
 
-import numpy as np
 import pytest
 
 from repro.core.multicache import (
@@ -52,7 +51,6 @@ def test_optimal_separates_antagonists():
 
 def test_exhaustiveness_matches_stirling_bound():
     """The search explores exactly the groupings of Eq. 1's space."""
-    fps = _fps()
     # count through the internal generator
     from repro.core.multicache import _groupings_into_at_most
 

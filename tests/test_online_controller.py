@@ -1,11 +1,13 @@
 """Tests for the online controller, replay harness, and serve CLI.
 
-Acceptance anchors (ISSUE 1):
+Acceptance anchors (ISSUE 1 + ISSUE 2):
 
 * with full sampling and zero thresholds the controller's epoch plan is
   *identical* to :func:`repro.core.dynamic.plan_dynamic` on the
-  phase-opposed Figure-1 workload;
-* with sampling enabled its group miss ratio stays within noise of the
+  phase-opposed Figure-1 workload — for any batching, aligned or not;
+* a lagging tenant holds an epoch open instead of having its accesses
+  misattributed to a later epoch (the ISSUE 2 reproducer);
+* with sampling enabled the group miss ratio stays within noise of the
   dynamic oracle on the same workload.
 """
 
@@ -16,11 +18,13 @@ from repro.cli import main
 from repro.core.dynamic import plan_dynamic, plan_static, simulate_plan
 from repro.online.controller import (
     AllocationDecision,
+    BackpressureError,
     ControllerConfig,
     OnlineController,
 )
 from repro.online.replay import phase_opposed_pair, replay, steady_pair
-from repro.workloads.generators import cyclic, uniform_random
+from repro.workloads.generators import cyclic
+from repro.workloads.trace import Trace
 
 
 def _exact_config(cache: int, epoch: int, **kw) -> ControllerConfig:
@@ -129,14 +133,58 @@ def test_solver_cache_amortizes_repeating_phases():
 
 
 # ------------------------------------------------------------- streaming API
-def test_ingest_batch_size_invariance():
+@pytest.mark.parametrize("workload", ["phase-opposed", "steady"])
+def test_ingest_batch_size_invariance_property(workload):
+    """Decisions are identical across batch sizes on both canonical pairs."""
+    if workload == "phase-opposed":
+        traces, seg = phase_opposed_pair()
+    else:
+        traces, seg = steady_pair()
+    base = replay(traces, _exact_config(56, seg)).plan.allocations
+    for bs in (1, 3, seg, 2 * seg + 1):
+        other = replay(traces, _exact_config(56, seg), batch_size=bs).plan.allocations
+        assert np.array_equal(base, other), f"batch size {bs} changed the plan"
+
+
+def test_ingest_invariant_under_uneven_per_tenant_batches():
+    """The ISSUE 2 guarantee: invariance holds for *unaligned* splits too —
+    tenants streaming at different speeds see the same per-epoch plan."""
     traces, seg = phase_opposed_pair()
-    plans = [
-        replay(traces, _exact_config(56, seg), batch_size=bs).plan.allocations
-        for bs in (1, 37, seg, len(traces[0]))
-    ]
-    for other in plans[1:]:
-        assert np.array_equal(plans[0], other)
+    base = replay(traces, _exact_config(56, seg)).plan.allocations
+    for steps in ((1, seg), (3, 2 * seg + 1), (seg // 2 + 1, 5)):
+        got = replay(traces, _exact_config(56, seg), batch_size=steps)
+        assert np.array_equal(base, got.plan.allocations), (
+            f"per-tenant batch sizes {steps} changed the plan"
+        )
+
+
+def test_uneven_batch_reproducer_exact_epoch_attribution():
+    """ISSUE 2 reproducer: tenant 1's second epoch arrives one ingest late.
+
+    The old controller finalized epoch 1 as soon as tenant 0 reached the
+    boundary, solving it with a zero curve for tenant 1 and re-surfacing
+    tenant 1's accesses as a spurious third epoch.  Now the epoch stays
+    open until every live tenant reaches the boundary: exactly 2 epochs,
+    every access attributed to its true epoch, plan bit-identical to
+    plan_dynamic.
+    """
+    L = 4
+    t0 = np.array([0, 1, 2, 0, 0, 1, 2, 0])
+    t1 = np.array([10, 11, 10, 11, 12, 13, 12, 13])
+    ctrl = OnlineController(2, _exact_config(6, L))
+    done = ctrl.ingest([t0, t1[:L]])  # tenant 0 sends 2 epochs, tenant 1 one
+    assert len(done) == 1  # epoch 1 stays open for the laggard
+    assert ctrl.metrics.tenant_lag == {"tenant0": 0, "tenant1": 4}
+    done += ctrl.ingest([np.empty(0, dtype=np.int64), t1[L:]])
+    assert len(done) == 2
+    assert ctrl.metrics.late_batches == 1
+    done += ctrl.finish()
+    assert len(done) == 2  # exactly 2 epochs, no spurious third
+    oracle = plan_dynamic([Trace(t0, name="a"), Trace(t1, name="b")], 6, L)
+    assert np.array_equal(ctrl.plan().allocations, oracle.allocations)
+    # the laggard's epoch-1 accesses were profiled in epoch 1: it is not
+    # starved by a zero cost curve
+    assert ctrl.plan().allocations[1, 1] > 0
 
 
 def test_ingest_cross_boundary_batches_finalize_epochs():
@@ -155,13 +203,71 @@ def test_finish_idempotent_and_empty_plan_rejected():
     ctrl = OnlineController(1, _exact_config(8, 10))
     with pytest.raises(ValueError):
         ctrl.plan()
-    assert ctrl.finish() == []
     ctrl.ingest([cyclic(25, 4).blocks])
     assert len(ctrl.finish()) == 1
     assert ctrl.finish() == []
     assert ctrl.plan().n_epochs == 3
+    # finish closes the stream: further data is a lifecycle error
+    with pytest.raises(ValueError, match="closed"):
+        ctrl.ingest([cyclic(5, 4).blocks])
+    ctrl.ingest([np.empty(0, dtype=np.int64)])  # empty batches stay legal
 
 
+# ------------------------------------------------------------ tenant lifecycle
+def test_close_unblocks_epochs_gated_on_the_laggard():
+    L = 4
+    ctrl = OnlineController(2, _exact_config(6, L))
+    t0 = np.array([0, 1, 2, 0, 0, 1, 2, 0])
+    t1 = np.array([10, 11])
+    assert ctrl.ingest([t0, t1]) == []  # tenant 1 mid-epoch: nothing closes
+    done = ctrl.close(1)  # its 2 accesses are final: epochs 0 and 1 close
+    assert [d.epoch for d in done] == [0, 1]
+    assert ctrl.live_tenants == ("tenant0",)
+    assert ctrl.closed_tenants == ("tenant1",)
+    oracle = plan_dynamic([Trace(t0, name="a"), Trace(t1, name="b")], 6, L)
+    assert np.array_equal(ctrl.plan().allocations, oracle.allocations)
+
+
+def test_close_by_name_and_idempotence():
+    ctrl = OnlineController(2, _exact_config(8, 10), names=("web", "batch"))
+    ctrl.ingest([np.arange(10), np.empty(0, dtype=np.int64)])
+    done = ctrl.close("batch")
+    assert [d.epoch for d in done] == [0]
+    assert ctrl.close("batch") == []  # no-op, not an error
+    assert ctrl.close(1) == []
+    with pytest.raises(ValueError, match="unknown tenant"):
+        ctrl.close("nope")
+    with pytest.raises(ValueError, match="out of range"):
+        ctrl.close(5)
+    with pytest.raises(ValueError, match="closed"):
+        ctrl.ingest([np.empty(0, dtype=np.int64), np.arange(3)])
+
+
+# ------------------------------------------------------------- backpressure
+def test_backpressure_bounds_epoch_alignment_buffers():
+    cfg = ControllerConfig(cache_blocks=4, epoch_length=4, max_buffered=6)
+    ctrl = OnlineController(2, cfg)
+    # tenant 0 runs one epoch ahead: surplus is fed, nothing buffered
+    ctrl.ingest([np.arange(8), np.arange(4)])
+    assert ctrl.buffered_accesses == 0
+    # two more epochs of surplus: 8 accesses past the open epoch boundary
+    with pytest.raises(BackpressureError, match="tenant0"):
+        ctrl.ingest([np.arange(8), np.empty(0, dtype=np.int64)])
+    # the data was accepted, not dropped: feeding the laggard drains it
+    assert ctrl.buffered_accesses == 8
+    assert ctrl.metrics.snapshot()["buffered_accesses"] == 8
+    done = ctrl.ingest([np.empty(0, dtype=np.int64), np.arange(12)])
+    assert [d.epoch for d in done] == [1, 2, 3]
+    assert ctrl.buffered_accesses == 0
+
+
+def test_backpressure_disabled_by_default():
+    ctrl = OnlineController(2, _exact_config(4, 4))
+    ctrl.ingest([np.arange(400), np.empty(0, dtype=np.int64)])  # no limit
+    assert ctrl.buffered_accesses == 400 - 4  # current epoch fed, rest waits
+
+
+# ---------------------------------------------------------------- validation
 def test_controller_validation():
     with pytest.raises(ValueError):
         OnlineController(0, _exact_config(8, 10))
@@ -173,9 +279,23 @@ def test_controller_validation():
         ControllerConfig(cache_blocks=8, epoch_length=0)
     with pytest.raises(ValueError):
         ControllerConfig(cache_blocks=8, epoch_length=10, hysteresis=-1)
-    ctrl = OnlineController(2, _exact_config(8, 10))
     with pytest.raises(ValueError):
+        ControllerConfig(cache_blocks=8, epoch_length=10, max_buffered=0)
+    ctrl = OnlineController(2, _exact_config(8, 10))
+    with pytest.raises(ValueError, match="expected 2 batches"):
         ctrl.ingest([np.zeros(3, dtype=np.int64)])
+
+
+def test_ingest_strict_input_validation():
+    ctrl = OnlineController(1, _exact_config(8, 10))
+    with pytest.raises(ValueError, match="1-D"):
+        ctrl.ingest([np.zeros((2, 2), dtype=np.int64)])
+    with pytest.raises(ValueError, match="integer block ids"):
+        ctrl.ingest([np.array([1.5, 2.5])])
+    with pytest.raises(ValueError, match="negative"):
+        ctrl.ingest([np.array([3, -1])])
+    # a rejected batch must not have mutated any state
+    assert ctrl.metrics.accesses_seen == 0 and ctrl.buffered_accesses == 0
 
 
 def test_metrics_snapshot_contents():
@@ -199,6 +319,16 @@ def test_serve_cli_phase_opposed(capsys):
     out = capsys.readouterr().out
     assert "online" in out and "dynamic oracle" in out
     assert "Per-epoch decisions" in out
+    assert "late batches" in out and "max tenant lag" in out
+
+
+def test_serve_cli_max_buffer_knob(capsys):
+    assert main(["serve", "--batch", "50", "--max-buffer", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "buffering" in out
+    rc = main(["serve", "--max-buffer", "0"])
+    assert rc == 2
+    assert "max_buffered" in capsys.readouterr().err
 
 
 def test_serve_cli_steady_with_knobs(capsys):

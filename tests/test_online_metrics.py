@@ -1,0 +1,68 @@
+"""Tests for the online observability layer (timers, counters, snapshot)."""
+
+import numpy as np
+import pytest
+
+from repro.online.controller import ControllerConfig, OnlineController
+from repro.online.metrics import OnlineMetrics, Timer
+
+
+# ------------------------------------------------------------------- Timer
+def test_timer_accumulates_clean_exits():
+    t = Timer()
+    with t:
+        pass
+    with t:
+        pass
+    assert t.count == 2 and t.errors == 0
+    assert t.total_s >= t.last_s >= 0
+    assert t.mean_s == pytest.approx(t.total_s / 2)
+
+
+def test_timer_ignores_raising_region():
+    """Regression: a raising solve must not pollute the latency mean."""
+    t = Timer()
+    with t:
+        pass
+    total, count, last = t.total_s, t.count, t.last_s
+    with pytest.raises(RuntimeError):
+        with t:
+            raise RuntimeError("solver blew up")
+    assert (t.total_s, t.count, t.last_s) == (total, count, last)
+    assert t.errors == 1
+    assert t.mean_s == pytest.approx(total / count)
+
+
+def test_timer_zero_state():
+    t = Timer()
+    assert t.mean_s == 0.0 and t.count == 0 and t.errors == 0
+
+
+# ---------------------------------------------------------------- snapshot
+def test_snapshot_includes_flow_and_error_counters():
+    m = OnlineMetrics()
+    m.buffered_accesses = 7
+    m.late_batches = 2
+    m.tenant_lag = {"web": 3, "batch": 0}
+    snap = m.snapshot()
+    assert snap["buffered_accesses"] == 7
+    assert snap["late_batches"] == 2
+    assert snap["max_tenant_lag"] == 3
+    assert snap["lag[web]"] == 3 and snap["lag[batch]"] == 0
+    assert snap["resolve_errors"] == 0
+    # flat and scalar-valued, so a scraper can export it directly
+    assert all(isinstance(v, (int, float)) for v in snap.values())
+
+
+def test_controller_snapshot_tracks_buffering_live():
+    ctrl = OnlineController(2, ControllerConfig(cache_blocks=4, epoch_length=4))
+    ctrl.ingest([np.arange(12), np.arange(4)])
+    snap = ctrl.metrics.snapshot()
+    assert snap["buffered_accesses"] == 4  # tenant 0's third epoch waits
+    assert snap["max_tenant_lag"] == 8
+    assert snap["lag[tenant1]"] == 8 and snap["lag[tenant0]"] == 0
+    ctrl.ingest([np.empty(0, dtype=np.int64), np.arange(8)])
+    snap = ctrl.metrics.snapshot()
+    assert snap["buffered_accesses"] == 0
+    assert snap["max_tenant_lag"] == 0
+    assert snap["late_batches"] == 1

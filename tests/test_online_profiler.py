@@ -122,6 +122,30 @@ def test_sampled_mrc_converges_to_full_trace(rate, tol):
     assert 0.5 * rate < block_rate < 2.0 * rate
 
 
+def test_shards_spatial_filter_boundary_is_strict(monkeypatch):
+    """SHARDS (FAST'15) keeps a block iff hash < rate·2^64 — *strict*.
+
+    Regression for the off-by-one where ``observe`` kept ``hash <=
+    threshold``: at ``sampling_rate=0.5`` the threshold is exactly 2^63
+    and a block hashing right onto it must be dropped.
+    """
+    from repro.online import profiler as profiler_mod
+
+    prof = StreamingProfiler(sampling_rate=0.5)
+    assert prof._threshold == np.uint64(1 << 63)  # pin the boundary value
+
+    # make the hash controllable: block id b hashes to b · 2^62, so block
+    # 1 lands below the threshold, block 2 exactly on it, block 3 above
+    monkeypatch.setattr(
+        profiler_mod,
+        "_hash64",
+        lambda blocks, seed: blocks.astype(np.uint64) * np.uint64(1 << 62),
+    )
+    kept = prof.observe(np.array([1, 2, 3], dtype=np.int64))
+    assert kept == 1  # only block 1; the boundary hash 2^63 is excluded
+    assert prof.distinct_sampled == 1
+
+
 def test_sampled_working_set_estimate():
     tr = uniform_random(50_000, 1000, seed=9)
     prof = StreamingProfiler(sampling_rate=0.1, seed=4)

@@ -84,6 +84,43 @@ def test_solver_cache_quantized_hit():
     assert r3 is not r1 and cache.misses == 2
 
 
+def test_solver_cache_per_solve_quantum_override():
+    """A solve may rescale the lattice (short epochs shrink miss counts)."""
+    cache = SolverCache(quantum=100.0)  # constructor scale: full epochs
+    costs = [np.round(c) for c in _costs()]
+    r1 = cache.solve(costs, 20, quantum=1.0)
+    # sub-quantum jitter at the overridden scale still hits...
+    r2 = cache.solve([c + 0.2 for c in costs], 20, quantum=1.0)
+    assert r2 is r1 and cache.hits == 1
+    # ...and beyond-quantum movement at that scale is a genuine miss
+    r3 = cache.solve([c + 50.0 for c in costs], 20, quantum=1.0)
+    assert r3 is not r1 and cache.misses == 2
+    with pytest.raises(ValueError):
+        cache.solve(costs, 20, quantum=-1.0)
+
+
+def test_controller_scales_quantum_by_real_epoch_length(monkeypatch):
+    """Regression: the fingerprint lattice of a *partial* epoch must scale
+    with its actual access count, not the configured epoch_length."""
+    from repro.online.controller import ControllerConfig, OnlineController
+    from repro.online.solver_cache import SolverCache as SC
+
+    seen: list[float] = []
+    orig = SC.solve
+
+    def spy(self, costs, budget, *, quantum=None):
+        seen.append(quantum)
+        return orig(self, costs, budget, quantum=quantum)
+
+    monkeypatch.setattr(SC, "solve", spy)
+    ctrl = OnlineController(
+        1, ControllerConfig(cache_blocks=8, epoch_length=100, quantum=0.5)
+    )
+    ctrl.ingest([np.arange(130) % 7])
+    ctrl.finish()
+    assert seen == [0.5 * 100, 0.5 * 30]  # full epoch, then the 30-access tail
+
+
 def test_solver_cache_lru_eviction():
     cache = SolverCache(max_entries=2)
     a, b, c = _costs(0), _costs(1), _costs(2)

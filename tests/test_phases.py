@@ -9,7 +9,6 @@ from repro.locality.phases import (
     epoch_working_sets,
 )
 from repro.workloads import cyclic, phased, uniform_random
-from repro.workloads.trace import Trace
 
 
 def test_epoch_working_sets_partition_the_trace():

@@ -1,6 +1,5 @@
 """Tests for non-LRU replacement policies (§VIII approximations)."""
 
-import numpy as np
 import pytest
 
 from repro.cachesim.policies import ClockCache, FIFOCache, RandomCache, TreePLRUCache

@@ -11,7 +11,6 @@ from repro.cachesim.shared import (
     simulate_shared,
 )
 from repro.workloads import cyclic, figure1_traces, uniform_random, zipf
-from repro.workloads.interleave import interleave
 
 
 def test_shared_attribution_sums():
@@ -75,7 +74,6 @@ def test_partition_sharing_reduces_to_extremes():
     assert np.array_equal(ffa.misses, shared.misses)
 
     solo = simulate_partition_sharing(ts, [[0], [1]], [16, 16])
-    inter = interleave(ts)
     part = simulate_partitioned(
         [ts[0], ts[1]], [16, 16]
     )

@@ -1,7 +1,6 @@
 """Tests for Table I statistics and the Figure 5/6/7 data series."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.figures import (
     figure5,
@@ -11,7 +10,6 @@ from repro.experiments.figures import (
     sttw_failure_stats,
 )
 from repro.experiments.table1 import (
-    MR_FLOOR,
     format_table,
     improvement_table,
     improvements,
