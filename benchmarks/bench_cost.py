@@ -70,18 +70,24 @@ def bench_footprint_profiling(suite_profile, benchmark):
 
 
 def bench_ablation_pair_memoization(suite_profile, benchmark):
-    """DESIGN.md ablation: pair-curve reuse vs direct per-group folds.
+    """DESIGN.md ablation: FoldCache pair-curve reuse vs direct folds.
 
     Times 100 groups through both paths and reports the speedup; the
-    results must agree exactly.
+    results must agree exactly.  Also checks that the engine's lazy
+    FoldCache memoizes at least as well as the old eager pair tables
+    (which pre-built all 120 pair curves whether needed or not and never
+    memoized the per-group final fold): counting every fold request, the
+    old path's effective hit rate over G groups was
+    ``1 - (120 + G) / (3 G)``.
     """
     from itertools import combinations
 
-    
-    from repro.experiments.methodology import _group_via_pairs, _pair_tables
+    from repro.engine import FoldCache, SweepShared
+    from repro.engine.solver import GroupContext, GroupSolver
 
     costs = [m.miss_counts() for m in suite_profile.mrcs]
     n_units = suite_profile.config.n_units
+    unit_blocks = suite_profile.config.unit_blocks
     groups = list(combinations(range(16), 4))[:100]
 
     def direct():
@@ -89,15 +95,70 @@ def bench_ablation_pair_memoization(suite_profile, benchmark):
                 for g in groups]
 
     def memoized():
-        tables = _pair_tables(costs, combinations(range(16), 2))
-        return [_group_via_pairs(tables, g, n_units)[1] for g in groups]
+        cache = FoldCache(max_entries=4096)
+        solver = GroupSolver(
+            n_units, unit_blocks, schemes=("optimal",),
+            fold_cache=cache, shared=SweepShared(costs=costs), natural="grid",
+        )
+        totals = []
+        for g in groups:
+            ctx = GroupContext(
+                solver,
+                [suite_profile.mrcs[i] for i in g],
+                [suite_profile.footprints[i] for i in g],
+                tuple(g),
+            )
+            alloc = ctx.pair_tree_allocate(costs, "opt")
+            totals.append(sum(float(costs[i][a]) for i, a in zip(g, alloc)))
+        return totals, cache
 
     import time
 
     t0 = time.time()
     d = direct()
     t_direct = time.time() - t0
-    m = benchmark.pedantic(memoized, rounds=1, iterations=1)
+    m, cache = benchmark.pedantic(memoized, rounds=1, iterations=1)
     assert np.allclose(d, m)
+    old_hit_rate = 1.0 - (120 + len(groups)) / (3 * len(groups))
     print(f"\ndirect fold: {t_direct:.2f}s for {len(groups)} groups "
           f"(pair-memoized path timed by the harness above)")
+    print(f"FoldCache hit rate {cache.hit_ratio:.1%} "
+          f"(old eager pair tables: {old_hit_rate:.1%})")
+    assert cache.hit_ratio >= old_hit_rate
+
+
+def bench_parallel_sweep(suite_profile, benchmark):
+    """ISSUE 3 acceptance: the n_jobs=4 sweep matches serial bit-for-bit
+    and, when the host actually has >= 4 CPUs, is >= 2x faster."""
+    import os
+    import time
+
+    from itertools import combinations
+
+    from repro.experiments.methodology import run_study
+
+    groups = list(combinations(range(len(suite_profile.names)), 4))[:400]
+
+    t0 = time.time()
+    serial = run_study(suite_profile, groups=groups, n_jobs=1)
+    t_serial = time.time() - t0
+
+    timing = {}
+
+    def run_parallel():
+        t = time.time()
+        result = run_study(suite_profile, groups=groups, n_jobs=4)
+        timing["wall"] = time.time() - t
+        return result
+
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    t_parallel = timing["wall"]
+
+    assert np.array_equal(serial.group_mr, parallel.group_mr)
+    assert np.array_equal(serial.program_mr, parallel.program_mr)
+    assert np.array_equal(serial.allocations, parallel.allocations)
+    speedup = t_serial / t_parallel
+    print(f"\nserial {t_serial:.2f}s, n_jobs=4 {t_parallel:.2f}s "
+          f"-> {speedup:.2f}x on {os.cpu_count()} CPUs")
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

@@ -5,15 +5,16 @@ The full pipeline of the paper in ~40 lines:
 1. get each program's memory trace (synthetic stand-ins here);
 2. compute its average footprint — the only profile the theory needs;
 3. derive miss-ratio curves (HOTL, §III);
-4. run the optimal-partitioning DP (§V-B) and compare with the classic
-   alternatives.
+4. hand the group to the engine's :class:`~repro.engine.GroupSolver`,
+   which evaluates every registered scheme — the optimal-partitioning DP
+   (§V-B) and the classic alternatives — in one call.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import SCHEMES, evaluate_group
+from repro.engine import GroupSolver, scheme_names
 from repro.locality import MissRatioCurve, average_footprint
 from repro.workloads import make_program
 
@@ -38,10 +39,10 @@ def main() -> None:
         print(f"  {t.name:10s} {t.data_size:6d} blocks ({t.data_size / CACHE_BLOCKS:.2f}x cache)")
 
     # 4. evaluate all six cache-sharing solutions for the group
-    ev = evaluate_group(mrcs, footprints, N_UNITS, UNIT_BLOCKS)
+    ev = GroupSolver(N_UNITS, UNIT_BLOCKS).evaluate(mrcs, footprints)
     print(f"\nCache: {CACHE_BLOCKS} blocks, {N_UNITS} units of {UNIT_BLOCKS}\n")
     print(f"{'scheme':18s} {'group miss ratio':>16s}   per-program allocation (units)")
-    for scheme in SCHEMES:
+    for scheme in scheme_names():
         o = ev.outcomes[scheme]
         alloc = np.array2string(
             np.round(np.asarray(o.allocation, dtype=float), 1), separator=", "

@@ -12,6 +12,11 @@ The package implements the paper end to end:
 * :mod:`repro.core` — the contribution: optimal-partitioning DP (§V-B),
   baseline fairness optimization (§VI), STTW, partition-sharing
   enumeration and search-space combinatorics (§II);
+* :mod:`repro.engine` — the solving layer everything dispatches through:
+  the :class:`~repro.engine.Scheme` registry (the six paper schemes,
+  registered once), the shared :class:`~repro.engine.FoldCache`
+  min-plus/DP memoization, and the :class:`~repro.engine.GroupSolver`
+  facade;
 * :mod:`repro.experiments` — the full §VII evaluation (Table I,
   Figures 5–7, NPA validation);
 * :mod:`repro.online` — the streaming counterpart: incremental sampled
@@ -20,16 +25,26 @@ The package implements the paper end to end:
 
 Quickstart::
 
-    from repro import workloads, locality, core
+    from repro import workloads, locality
+    from repro.engine import GroupSolver
 
     traces = [workloads.make_program(n, 4096) for n in ("lbm", "mcf", "namd", "povray")]
     fps = [locality.average_footprint(t) for t in traces]
-    mrcs = [locality.MissRatioCurve.from_footprint(fp, 4096).resample(16) for fp in fps]
-    result = core.optimal_partition(core.miss_count_costs(mrcs), budget=256)
-    print(result.allocation)
+    mrcs = [locality.MissRatioCurve.from_footprint(fp, 4096).resample(16, 256) for fp in fps]
+    ev = GroupSolver(n_units=256, unit_blocks=16).evaluate(mrcs, fps)
+    print(ev.outcomes["optimal"].allocation)
 """
 
-from repro import cachesim, composition, core, experiments, locality, online, workloads
+from repro import (
+    cachesim,
+    composition,
+    core,
+    engine,
+    experiments,
+    locality,
+    online,
+    workloads,
+)
 
 __version__ = "1.1.0"
 
@@ -37,6 +52,7 @@ __all__ = [
     "cachesim",
     "composition",
     "core",
+    "engine",
     "experiments",
     "locality",
     "online",

@@ -42,7 +42,7 @@ def _cmd_searchspace(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    from repro.core.schemes import SCHEMES, evaluate_group
+    from repro.engine import GroupSolver, scheme_names
     from repro.locality.footprint import average_footprint
     from repro.locality.mrc import MissRatioCurve
     from repro.workloads.spec import make_program
@@ -64,12 +64,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     traces = [make_program(n.strip(), cb) for n in names]
     fps = [average_footprint(t) for t in traces]
     mrcs = [MissRatioCurve.from_footprint(fp, cb).resample(unit, n_units) for fp in fps]
-    ev = evaluate_group(mrcs, fps, n_units, unit)
+    ev = GroupSolver(n_units, unit).evaluate(mrcs, fps)
     print(f"Group: {', '.join(names)}   cache {cb} blocks in {n_units} units")
     header = f"{'scheme':18s} {'group mr':>9s}  allocations (units)"
     print(header)
     print("-" * len(header))
-    for s in SCHEMES:
+    for s in scheme_names():
         o = ev.outcomes[s]
         alloc = ", ".join(f"{a:.1f}" for a in np.atleast_1d(o.allocation))
         print(f"{s:18s} {o.group_miss_ratio:9.4f}  [{alloc}]")
@@ -86,15 +86,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import format_table, improvement_table
 
     cfg = ExperimentConfig.from_env()
+    jobs = args.jobs if args.jobs is not None else cfg.n_jobs
     print(
         f"Running the exhaustive study: {cfg.n_groups} groups of "
         f"{cfg.group_size}, {cfg.n_units} units of {cfg.unit_blocks} blocks"
+        + (f", {jobs} worker processes" if jobs > 1 else "")
     )
     t0 = time.time()
     profile = build_suite_profile(cfg)
     print(f"  profiled {len(profile.names)} programs in {time.time() - t0:.1f}s")
     t0 = time.time()
-    result = run_study(profile, progress=True)
+    result = run_study(profile, progress=True, n_jobs=jobs)
     per_group = (time.time() - t0) / cfg.n_groups
     print(f"  swept {cfg.n_groups} groups in {time.time() - t0:.1f}s "
           f"({per_group * 1e3:.1f} ms/group)\n")
@@ -150,9 +152,10 @@ def _cmd_export(args: argparse.Namespace) -> int:
     )
 
     cfg = ExperimentConfig.from_env()
+    jobs = args.jobs if args.jobs is not None else cfg.n_jobs
     print(f"Running the study ({cfg.n_groups} groups, {cfg.n_units} units)...")
     t0 = time.time()
-    result = run_study(build_suite_profile(cfg))
+    result = run_study(build_suite_profile(cfg), n_jobs=jobs)
     print(f"  done in {time.time() - t0:.1f}s; writing CSVs to {args.out}")
     for path in export_study(result, args.out):
         print(f"  wrote {path}")
@@ -249,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("study", help="the full §VII sweep (REPRO_SCALE=full for 1024 units)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="sweep worker processes (default: REPRO_JOBS or 1)")
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser("validate", help="§VII-C NPA validation")
@@ -260,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("export", help="run the study and write table/figure CSVs")
     p.add_argument("--out", default="results")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="sweep worker processes (default: REPRO_JOBS or 1)")
     p.set_defaults(func=_cmd_export)
 
     p = sub.add_parser(

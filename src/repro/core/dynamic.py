@@ -30,7 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cachesim.stack import COLD, stack_distances
-from repro.core.dp import optimal_partition
+from repro.engine.foldcache import FoldCache
 from repro.locality.mrc import MissRatioCurve
 from repro.locality.phases import epoch_profiles
 from repro.workloads.trace import Trace
@@ -79,15 +79,22 @@ def plan_static(
     traces: Sequence[Trace],
     cache_blocks: int,
     epoch_length: int,
+    *,
+    cache: FoldCache | None = None,
 ) -> EpochPlan:
-    """The §VII baseline: one whole-trace DP, held for every epoch."""
+    """The §VII baseline: one whole-trace DP, held for every epoch.
+
+    ``cache`` lets a caller solving many plans (oracle sweeps, the replay
+    scorer) share one engine :class:`~repro.engine.foldcache.FoldCache`.
+    """
     from repro.locality.footprint import average_footprint
 
     costs = [
         MissRatioCurve.from_footprint(average_footprint(t), cache_blocks).miss_counts()
         for t in traces
     ]
-    alloc = optimal_partition(costs, cache_blocks).allocation
+    solver = cache if cache is not None else FoldCache()
+    alloc = solver.solve(costs, cache_blocks).allocation
     n_epochs = _epoch_count(traces, epoch_length)
     return EpochPlan(np.tile(alloc, (n_epochs, 1)), epoch_length)
 
@@ -96,15 +103,21 @@ def plan_dynamic(
     traces: Sequence[Trace],
     cache_blocks: int,
     epoch_length: int,
+    *,
+    cache: FoldCache | None = None,
 ) -> EpochPlan:
     """Phase-aware plan: profile each epoch, re-run the DP, move the walls.
 
     Epochs where a program is already finished cost it nothing (its cost
-    curve is zero), so the DP hands its share to the survivors.
+    curve is zero), so the DP hands its share to the survivors.  Epoch
+    solves go through an engine :class:`~repro.engine.foldcache.FoldCache`
+    (pass ``cache`` to share one across calls): revisited phases produce
+    byte-identical cost sets and skip the O(P·C²) fold.
     """
     per_program = [epoch_profiles(t, epoch_length) for t in traces]
     n_epochs = _epoch_count(traces, epoch_length)
     allocations = np.zeros((n_epochs, len(traces)), dtype=np.int64)
+    solver = cache if cache is not None else FoldCache(max_entries=max(128, n_epochs))
     for e in range(n_epochs):
         costs = []
         for profiles in per_program:
@@ -115,7 +128,7 @@ def plan_dynamic(
                 )
             else:  # program finished: any allocation costs nothing
                 costs.append(np.zeros(cache_blocks + 1))
-        allocations[e] = optimal_partition(costs, cache_blocks).allocation
+        allocations[e] = solver.solve(costs, cache_blocks).allocation
     return EpochPlan(allocations, epoch_length)
 
 

@@ -14,77 +14,26 @@ sttw               Stone–Thiebaut–Turek–Wolf greedy (1992)
 One :func:`evaluate_group` call produces every scheme's allocation,
 per-program miss ratios, and access-weighted group miss ratio — the raw
 material of Table I and Figures 5–7.
+
+The schemes themselves live in the engine layer
+(:mod:`repro.engine.solver`), registered once in the
+:mod:`repro.engine.registry`; this module is the stable single-group
+entry point (exact natural-partition math, direct DP fold) and
+``SCHEMES`` is the registry-derived name tuple.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
-from repro.composition.corun import predict_corun
-from repro.core.baselines import (
-    equal_allocation,
-    equal_baseline_partition,
-    natural_baseline_partition,
-)
-from repro.core.dp import optimal_partition
-from repro.core.natural import natural_partition_units
-from repro.core.objectives import miss_count_costs
-from repro.core.sttw import sttw_partition
+from repro.engine.registry import scheme_names
+from repro.engine.solver import GroupEvaluation, GroupSolver, SchemeOutcome
 from repro.locality.footprint import FootprintCurve
 from repro.locality.mrc import MissRatioCurve
 
 __all__ = ["SCHEMES", "SchemeOutcome", "GroupEvaluation", "evaluate_group"]
 
-SCHEMES: tuple[str, ...] = (
-    "equal",
-    "natural",
-    "equal_baseline",
-    "natural_baseline",
-    "optimal",
-    "sttw",
-)
-
-
-@dataclass(frozen=True)
-class SchemeOutcome:
-    """One scheme's result for one co-run group."""
-
-    allocation: np.ndarray  # units; fractional for the natural scheme
-    miss_ratios: np.ndarray
-    group_miss_ratio: float
-
-
-@dataclass(frozen=True)
-class GroupEvaluation:
-    """All six schemes for one co-run group."""
-
-    names: tuple[str, ...]
-    n_units: int
-    unit_blocks: int
-    outcomes: dict[str, SchemeOutcome]
-
-    def group_miss_ratio(self, scheme: str) -> float:
-        return self.outcomes[scheme].group_miss_ratio
-
-    def improvement(self, scheme: str, over: str) -> float:
-        """Relative improvement of ``scheme`` over ``over`` (Table I metric).
-
-        Defined as ``mr_over / mr_scheme - 1``: e.g. 0.26 means the paper's
-        "26% better".  Zero when both are zero; infinite when only the
-        reference misses.
-        """
-        a = self.outcomes[scheme].group_miss_ratio
-        b = self.outcomes[over].group_miss_ratio
-        if a <= 0:
-            return 0.0 if b <= 0 else np.inf
-        return b / a - 1.0
-
-
-def _weighted(mrs: np.ndarray, weights: np.ndarray) -> float:
-    return float(np.dot(mrs, weights) / weights.sum())
+SCHEMES: tuple[str, ...] = scheme_names()
 
 
 def evaluate_group(
@@ -93,7 +42,7 @@ def evaluate_group(
     n_units: int,
     unit_blocks: int,
     *,
-    schemes: Sequence[str] = SCHEMES,
+    schemes: Sequence[str] | None = None,
 ) -> GroupEvaluation:
     """Model every requested scheme for one co-run group.
 
@@ -101,52 +50,10 @@ def evaluate_group(
     ratio with ``k`` units); ``footprints`` are the block-level solo
     profiles used for the natural partition.  The group miss ratio is
     weighted by each program's access count (Eq. 15 works in miss counts).
+
+    This is the engine's ``natural="exact"`` single-group path: the
+    natural partition comes from exact footprint composition (bisection),
+    the optimum from the direct left fold.
     """
-    if len(mrcs) != len(footprints):
-        raise ValueError("mrcs and footprints must align")
-    for m in mrcs:
-        if m.capacity < n_units:
-            raise ValueError("every MRC must cover the full cache in units")
-    names = tuple(m.name for m in mrcs)
-    weights = np.array([m.n_accesses for m in mrcs], dtype=np.float64)
-    costs = miss_count_costs(mrcs)
-    cache_blocks = n_units * unit_blocks
-
-    def on_grid(alloc: np.ndarray) -> SchemeOutcome:
-        mrs = np.array([m.ratios[a] for m, a in zip(mrcs, alloc.tolist())])
-        return SchemeOutcome(alloc, mrs, _weighted(mrs, weights))
-
-    outcomes: dict[str, SchemeOutcome] = {}
-    natural_units: np.ndarray | None = None
-
-    for scheme in schemes:
-        if scheme == "equal":
-            outcomes[scheme] = on_grid(equal_allocation(len(mrcs), n_units))
-        elif scheme == "natural":
-            pred = predict_corun(footprints, cache_blocks)
-            outcomes[scheme] = SchemeOutcome(
-                pred.occupancies / unit_blocks,
-                pred.miss_ratios,
-                _weighted(pred.miss_ratios, weights),
-            )
-        elif scheme == "equal_baseline":
-            res = equal_baseline_partition(costs, n_units)
-            outcomes[scheme] = on_grid(res.allocation)
-        elif scheme == "natural_baseline":
-            if natural_units is None:
-                natural_units = natural_partition_units(
-                    footprints, cache_blocks, unit_blocks
-                )
-            res = natural_baseline_partition(costs, n_units, natural_units)
-            outcomes[scheme] = on_grid(res.allocation)
-        elif scheme == "optimal":
-            res = optimal_partition(costs, n_units)
-            outcomes[scheme] = on_grid(res.allocation)
-        elif scheme == "sttw":
-            outcomes[scheme] = on_grid(sttw_partition(costs, n_units))
-        else:
-            raise ValueError(f"unknown scheme {scheme!r}")
-
-    return GroupEvaluation(
-        names=names, n_units=n_units, unit_blocks=unit_blocks, outcomes=outcomes
-    )
+    solver = GroupSolver(n_units, unit_blocks, schemes=schemes, natural="exact")
+    return solver.evaluate(mrcs, footprints)

@@ -1,0 +1,47 @@
+"""The engine layer: one scheme registry + one solve/memoization path.
+
+Everything that turns profiles into allocations — the offline §VII-A
+study, the single-group CLI/`evaluate_group` façade, the dynamic oracle,
+and the online controller — dispatches through this package:
+
+* :mod:`repro.engine.registry` — the :class:`Scheme` registry; the six
+  paper schemes are registered once (by :mod:`repro.engine.solver`) and
+  ``scheme_names()`` is the single source of the scheme tuple;
+* :mod:`repro.engine.foldcache` — :class:`FoldCache`, the shared
+  min-plus/DP memoization (pair curves by identity token, full solves by
+  quantized fingerprint, one LRU + one hit-rate);
+* :mod:`repro.engine.solver` — :class:`GroupSolver`, the facade that
+  evaluates registered schemes for co-run groups, with
+  :class:`SweepShared` carrying suite-level curves across the 1820
+  groups of an exhaustive sweep.
+"""
+
+from repro.engine.foldcache import FoldCache
+from repro.engine.registry import (
+    Scheme,
+    get_scheme,
+    register_scheme,
+    resolve_schemes,
+    scheme_names,
+)
+from repro.engine.solver import (
+    GroupContext,
+    GroupEvaluation,
+    GroupSolver,
+    SchemeOutcome,
+    SweepShared,
+)
+
+__all__ = [
+    "FoldCache",
+    "Scheme",
+    "get_scheme",
+    "register_scheme",
+    "resolve_schemes",
+    "scheme_names",
+    "GroupContext",
+    "GroupEvaluation",
+    "GroupSolver",
+    "SchemeOutcome",
+    "SweepShared",
+]

@@ -1,0 +1,150 @@
+"""FoldCache: one memoization layer for every min-plus fold in the repo.
+
+Before the engine existed the repo had two ad-hoc memoizers for the same
+(min, +) algebra: the §VII-A sweep kept a dict of two-program pair curves
+(`_pair_tables` in the old methodology module) and the online service
+kept an LRU of fingerprinted DP results (`SolverCache`).  FoldCache
+subsumes both:
+
+* :meth:`convolve` memoizes a single pair fold ``a ⊕ b`` — keyed either
+  by an explicit caller token (cheap, for curves with a stable identity,
+  e.g. "suite program i's cost curve") or by a content fingerprint;
+* :meth:`solve` memoizes a complete partitioning DP
+  (:func:`repro.core.dp.optimal_partition`) on quantized cost
+  fingerprints, exactly as the online solver cache always did.
+
+Invariants:
+
+* a hit returns the result computed for the *first* instance that
+  landed in the bucket — bit-identical replay for exact keys
+  (``quantum=0`` or token keys), and within ``P · C · quantum`` of
+  optimal for quantized colliders;
+* entries are LRU-evicted beyond ``max_entries``; hot entries (pair
+  curves touched every group of a sweep) therefore survive the stream
+  of one-shot entries (per-group final folds);
+* ``hits``/``misses`` count every lookup, across both entry kinds, so
+  one hit-rate describes the whole engine's memoization.
+
+The class implements the ``MutableMapping`` subset that
+:func:`repro.core.dp.optimal_partition` expects from its ``memo``
+argument.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.dp import PartitionResult, cost_fingerprint, optimal_partition
+from repro.core.minplus import minplus_convolve
+
+__all__ = ["FoldCache"]
+
+
+class FoldCache:
+    """LRU-bounded memo for min-plus folds and partitioning DP solves.
+
+    Parameters
+    ----------
+    quantum:
+        Cost-curve quantization for :meth:`solve` fingerprints; ``0``
+        requires exact byte equality.  Costs are miss *counts*, so pick
+        the quantum in miss-count units (e.g. ``epsilon * n_accesses``).
+    max_entries:
+        Cached results kept; least-recently-used beyond that are evicted.
+    """
+
+    def __init__(self, *, quantum: float = 0.0, max_entries: int = 128) -> None:
+        if quantum < 0.0:
+            raise ValueError("quantum must be >= 0")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.quantum = float(quantum)
+        self.max_entries = int(max_entries)
+        self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------- mapping
+    def get(self, key: Hashable, default=None):
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        return default
+
+    def __setitem__(self, key: Hashable, value) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------ stats
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    # ------------------------------------------------------------ folds
+    def convolve(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        key: Hashable | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Memoized :func:`repro.core.minplus.minplus_convolve`.
+
+        With an explicit ``key`` the caller asserts that the curve pair's
+        contents are stable for that token over the cache's lifetime (the
+        sweep uses ``(tag, i, j)`` program-identity tokens — no hashing
+        of megabyte curves per lookup).  Without one, the pair is keyed
+        by an exact content fingerprint.
+        """
+        full_key: Hashable = (
+            ("conv", key)
+            if key is not None
+            else ("conv", cost_fingerprint([a, b], 0))
+        )
+        cached = self.get(full_key)
+        if cached is not None:
+            return cached
+        result = minplus_convolve(a, b)
+        self[full_key] = result
+        return result
+
+    # ------------------------------------------------------------ solve
+    def solve(
+        self,
+        costs: Sequence[np.ndarray],
+        budget: int,
+        *,
+        quantum: float | None = None,
+    ) -> PartitionResult:
+        """Memoized Eq. 15: identical (quantized) instances solve once.
+
+        ``quantum`` overrides the constructor's value for this solve —
+        the online controller uses it to rescale the lattice by each
+        epoch's *real* access count, so a short final epoch (whose
+        miss-count magnitudes shrink with it) keeps the same miss-ratio
+        resolution as a full one instead of a silently coarser one.
+        """
+        q = self.quantum if quantum is None else float(quantum)
+        if q < 0.0:
+            raise ValueError("quantum must be >= 0")
+        return optimal_partition(costs, budget, memo=self, quantum=q)

@@ -1,0 +1,94 @@
+"""The Scheme registry: every cache-sharing solution is one named entry.
+
+A *scheme* is a rule that turns one co-run group's profiles into an
+allocation and its predicted miss ratios.  The paper studies six; the
+repo used to hard-code them three times (the `core.schemes` façade, the
+§VII-A study driver, and their parallel `SCHEMES`/`STUDY_SCHEMES` name
+tuples).  The registry makes a scheme a single registration:
+
+    @register_scheme("my_scheme")
+    def _solve_my_scheme(ctx: GroupContext) -> SchemeOutcome:
+        ...
+
+Contract for a scheme's ``solve`` callable:
+
+* it receives a :class:`repro.engine.solver.GroupContext` — the group's
+  miss-ratio curves, footprints, cost curves, grid geometry, and the
+  engine's shared :class:`~repro.engine.foldcache.FoldCache`, with
+  expensive artifacts (natural-partition prediction, pair-tree folds)
+  computed lazily and shared between schemes of the same group;
+* it returns a :class:`repro.engine.solver.SchemeOutcome` (allocation in
+  units — fractional allowed —, per-program miss ratios, and the
+  access-weighted group miss ratio);
+* it must be deterministic: the sweep relies on bit-identical replay.
+
+Registration order defines presentation order everywhere (tables,
+figures, CLI output): :func:`scheme_names` is the single source of the
+scheme tuple that ``SCHEMES`` and ``STUDY_SCHEMES`` used to duplicate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.solver import GroupContext, SchemeOutcome
+
+__all__ = ["Scheme", "register_scheme", "get_scheme", "scheme_names", "resolve_schemes"]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One registered cache-sharing solution."""
+
+    name: str
+    solve: Callable[["GroupContext"], "SchemeOutcome"]
+
+
+_REGISTRY: "OrderedDict[str, Scheme]" = OrderedDict()
+
+
+def register_scheme(
+    name: str,
+    solve: Callable[["GroupContext"], "SchemeOutcome"] | None = None,
+    *,
+    replace: bool = False,
+):
+    """Register a scheme under ``name``; usable directly or as a decorator.
+
+    Re-registering an existing name raises unless ``replace=True`` (a
+    typo'd duplicate silently shadowing a paper scheme would corrupt
+    every downstream table).
+    """
+
+    def _register(fn: Callable[["GroupContext"], "SchemeOutcome"]) -> Callable:
+        if not name:
+            raise ValueError("scheme name must be non-empty")
+        if name in _REGISTRY and not replace:
+            raise ValueError(f"scheme {name!r} is already registered")
+        _REGISTRY[name] = Scheme(name=name, solve=fn)
+        return fn
+
+    return _register if solve is None else _register(solve)
+
+
+def get_scheme(name: str) -> Scheme:
+    """Look up one scheme; unknown names raise ``ValueError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}") from None
+
+
+def scheme_names() -> tuple[str, ...]:
+    """Every registered scheme, in registration (= presentation) order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_schemes(names: Sequence[str] | None = None) -> Iterable[Scheme]:
+    """The schemes for ``names`` (all registered ones when ``None``)."""
+    if names is None:
+        return tuple(_REGISTRY.values())
+    return tuple(get_scheme(n) for n in names)

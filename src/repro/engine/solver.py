@@ -1,0 +1,366 @@
+"""GroupSolver: the one solving facade behind every profile→MRC→solve path.
+
+Layer diagram (bottom-up):
+
+    minplus / dp            the (min,+) kernel and Eq. 15/16 DP
+    FoldCache               one memo for pair curves + fingerprinted solves
+    Scheme registry         named solutions with a single solve contract
+    GroupSolver             facade: context construction + scheme dispatch
+    -------------------------------------------------------------------
+    evaluate_group | run_study | plan_static/plan_dynamic |
+    OnlineController | cli.py | examples      (all dispatch through here)
+
+A :class:`GroupSolver` owns the grid geometry (``n_units`` allocation
+units of ``unit_blocks`` cache blocks), an optional shared
+:class:`~repro.engine.foldcache.FoldCache`, and two precision/speed
+strategy knobs that the callers need:
+
+* ``natural`` — ``"exact"`` solves the Natural Cache Partition by exact
+  footprint composition + bisection (single-group calls);  ``"grid"``
+  uses the precomputed-knot :class:`~repro.composition.corun.CorunSolver`
+  (the sweep's fast path);
+* ``shared`` — a :class:`SweepShared` bundle of suite-level cost curves.
+  When present and the group size is 4, the unconstrained and
+  equal-baseline DPs run as the pair-tree fold ((a⊕b)⊕(c⊕d)) with the
+  120 two-program curves memoized in the FoldCache and shared across
+  all 1820 groups of the §VII-A sweep.
+
+Every scheme sees the group through a :class:`GroupContext`, which
+computes shared artifacts lazily (cost curves once, the co-run solver
+once for the two natural-partition schemes, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.composition.corun import CoRunPrediction, CorunSolver, predict_corun
+from repro.core.baselines import (
+    equal_allocation,
+    equal_baseline_partition,
+    natural_baseline_partition,
+)
+from repro.core.dp import optimal_partition
+from repro.core.natural import natural_partition_units, round_to_units
+from repro.core.objectives import miss_count_costs
+from repro.core.sttw import sttw_partition
+from repro.engine.foldcache import FoldCache
+from repro.engine.registry import register_scheme, resolve_schemes
+from repro.locality.footprint import FootprintCurve
+from repro.locality.mrc import MissRatioCurve
+
+__all__ = [
+    "SchemeOutcome",
+    "GroupEvaluation",
+    "SweepShared",
+    "GroupContext",
+    "GroupSolver",
+]
+
+
+@dataclass(frozen=True)
+class SchemeOutcome:
+    """One scheme's result for one co-run group."""
+
+    allocation: np.ndarray  # units; fractional for the natural scheme
+    miss_ratios: np.ndarray
+    group_miss_ratio: float
+
+
+@dataclass(frozen=True)
+class GroupEvaluation:
+    """Every requested scheme's outcome for one co-run group."""
+
+    names: tuple[str, ...]
+    n_units: int
+    unit_blocks: int
+    outcomes: dict[str, SchemeOutcome]
+
+    def group_miss_ratio(self, scheme: str) -> float:
+        return self.outcomes[scheme].group_miss_ratio
+
+    def improvement(self, scheme: str, over: str) -> float:
+        """Relative improvement of ``scheme`` over ``over`` (Table I metric).
+
+        Defined as ``mr_over / mr_scheme - 1``: e.g. 0.26 means the paper's
+        "26% better".  Zero when both are zero; infinite when only the
+        reference misses.
+        """
+        a = self.outcomes[scheme].group_miss_ratio
+        b = self.outcomes[over].group_miss_ratio
+        if a <= 0:
+            return 0.0 if b <= 0 else np.inf
+        return b / a - 1.0
+
+
+@dataclass(frozen=True)
+class SweepShared:
+    """Suite-level cost curves shared by every group of one sweep.
+
+    ``costs[i]`` is program ``i``'s unconstrained miss-count curve on the
+    unit grid; ``eq_costs`` the §VI equal-baseline masked curves (present
+    only when the sweep includes the equal-baseline scheme).  Groups
+    reference these by program index, which is what lets the FoldCache
+    key pair folds by identity instead of content.
+    """
+
+    costs: list[np.ndarray]
+    eq_costs: list[np.ndarray] | None = None
+
+
+def _weighted(mrs: np.ndarray, weights: np.ndarray) -> float:
+    return float(np.dot(mrs, weights) / weights.sum())
+
+
+class GroupContext:
+    """Lazily-computed artifacts of one co-run group, handed to schemes."""
+
+    def __init__(
+        self,
+        solver: "GroupSolver",
+        mrcs: Sequence[MissRatioCurve],
+        footprints: Sequence[FootprintCurve],
+        members: tuple[int, ...] | None,
+    ) -> None:
+        self.solver = solver
+        self.mrcs = tuple(mrcs)
+        self.footprints = tuple(footprints)
+        self.members = members
+        self.n_units = solver.n_units
+        self.unit_blocks = solver.unit_blocks
+        self.cache_blocks = solver.n_units * solver.unit_blocks
+        self.fold_cache = solver.fold_cache
+        self._costs: list[np.ndarray] | None = None
+        self._weights: np.ndarray | None = None
+        self._corun: CorunSolver | None = None
+        self._natural_pred: CoRunPrediction | None = None
+        self._natural_units: np.ndarray | None = None
+
+    @property
+    def n_programs(self) -> int:
+        return len(self.mrcs)
+
+    @property
+    def pair_sharing(self) -> bool:
+        """True when the pair-tree fold over suite-level curves applies."""
+        return (
+            self.solver.shared is not None
+            and self.members is not None
+            and self.n_programs == 4
+        )
+
+    @property
+    def costs(self) -> list[np.ndarray]:
+        """Per-program miss-count curves on the unit grid (Eq. 15 costs)."""
+        if self._costs is None:
+            shared = self.solver.shared
+            if shared is not None and self.members is not None:
+                self._costs = [shared.costs[i] for i in self.members]
+            else:
+                self._costs = miss_count_costs(self.mrcs)
+        return self._costs
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Access counts — the group-miss-ratio weights (Eq. 15)."""
+        if self._weights is None:
+            self._weights = np.array(
+                [m.n_accesses for m in self.mrcs], dtype=np.float64
+            )
+        return self._weights
+
+    # ------------------------------------------------- natural partition
+    @property
+    def corun_solver(self) -> CorunSolver:
+        """The grid-mode co-run solver, built once per group."""
+        if self._corun is None:
+            self._corun = CorunSolver(self.footprints, max_cache=self.cache_blocks)
+        return self._corun
+
+    def natural_prediction(self) -> CoRunPrediction:
+        """Shared-cache (free-for-all) prediction under the NPA."""
+        if self._natural_pred is None:
+            if self.solver.natural == "grid":
+                self._natural_pred = self.corun_solver.predict(self.cache_blocks)
+            else:
+                self._natural_pred = predict_corun(self.footprints, self.cache_blocks)
+        return self._natural_pred
+
+    def natural_units(self) -> np.ndarray:
+        """The unit-rounded Natural Cache Partition (§V-A)."""
+        if self._natural_units is None:
+            if self.solver.natural == "grid":
+                occ = self.corun_solver.occupancies(self.cache_blocks)
+                self._natural_units = round_to_units(
+                    occ / self.unit_blocks, self.n_units
+                )
+            else:
+                self._natural_units = natural_partition_units(
+                    self.footprints, self.cache_blocks, self.unit_blocks
+                )
+        return self._natural_units
+
+    # ----------------------------------------------------------- solving
+    def pair_tree_allocate(self, suite_costs: list[np.ndarray], tag: str) -> np.ndarray:
+        """Optimal 4-way allocation as ((a⊕b)⊕(c⊕d)) over suite curves.
+
+        The two pair curves are FoldCache entries keyed by program
+        identity, so they are computed once per sweep and shared across
+        every group containing that pair (the memoization the old
+        methodology module carried privately).
+        """
+        assert self.members is not None and len(self.members) == 4
+        a, b, c, d = self.members
+        cache = self.fold_cache
+        assert cache is not None
+        val_ab, split_ab = cache.convolve(
+            suite_costs[a], suite_costs[b], key=("pair", tag, a, b)
+        )
+        val_cd, split_cd = cache.convolve(
+            suite_costs[c], suite_costs[d], key=("pair", tag, c, d)
+        )
+        budget = self.n_units
+        total, split = cache.convolve(val_ab, val_cd, key=("tree", tag, self.members))
+        if not np.isfinite(total[budget]):
+            raise ValueError(f"no feasible allocation at budget {budget}")
+        k_ab = int(split[budget])
+        k_cd = budget - k_ab
+        alloc = np.empty(4, dtype=np.int64)
+        alloc[0] = split_ab[k_ab]
+        alloc[1] = k_ab - alloc[0]
+        alloc[2] = split_cd[k_cd]
+        alloc[3] = k_cd - alloc[2]
+        return alloc
+
+    def solve_partition(self, costs: Sequence[np.ndarray]) -> np.ndarray:
+        """Direct left-fold DP (Eq. 15/16) at the unit-grid budget."""
+        if self.fold_cache is not None:
+            return self.fold_cache.solve(costs, self.n_units).allocation
+        return optimal_partition(costs, self.n_units).allocation
+
+    def grid_outcome(self, alloc: np.ndarray) -> SchemeOutcome:
+        """Score an integer unit allocation on each member's solo curve."""
+        mrs = np.array([m.ratios[a] for m, a in zip(self.mrcs, alloc.tolist())])
+        return SchemeOutcome(alloc, mrs, _weighted(mrs, self.weights))
+
+
+class GroupSolver:
+    """Facade: evaluate registered schemes for co-run groups.
+
+    One instance per *setting* (grid geometry + strategy), reused across
+    any number of groups; the FoldCache carries whatever is shareable
+    between them.
+    """
+
+    def __init__(
+        self,
+        n_units: int,
+        unit_blocks: int,
+        *,
+        schemes: Sequence[str] | None = None,
+        fold_cache: FoldCache | None = None,
+        shared: SweepShared | None = None,
+        natural: str = "exact",
+    ) -> None:
+        if n_units < 1 or unit_blocks < 1:
+            raise ValueError("n_units and unit_blocks must be >= 1")
+        if natural not in ("exact", "grid"):
+            raise ValueError("natural must be 'exact' or 'grid'")
+        if shared is not None and fold_cache is None:
+            fold_cache = FoldCache(max_entries=max(256, 4 * len(shared.costs) ** 2))
+        self.n_units = int(n_units)
+        self.unit_blocks = int(unit_blocks)
+        self.schemes = resolve_schemes(schemes)
+        self.fold_cache = fold_cache
+        self.shared = shared
+        self.natural = natural
+
+    def evaluate(
+        self,
+        mrcs: Sequence[MissRatioCurve],
+        footprints: Sequence[FootprintCurve],
+        *,
+        members: tuple[int, ...] | None = None,
+    ) -> GroupEvaluation:
+        """Model every configured scheme for one co-run group.
+
+        ``mrcs`` must be on the allocation-unit grid (``ratios[k]`` =
+        miss ratio with ``k`` units); ``footprints`` are the block-level
+        solo profiles used for the natural partition.  ``members`` are
+        the group's program indices into the sweep's suite, required to
+        use a :class:`SweepShared` bundle.
+        """
+        if len(mrcs) != len(footprints):
+            raise ValueError("mrcs and footprints must align")
+        for m in mrcs:
+            if m.capacity < self.n_units:
+                raise ValueError("every MRC must cover the full cache in units")
+        ctx = GroupContext(self, mrcs, footprints, members)
+        outcomes = {s.name: s.solve(ctx) for s in self.schemes}
+        return GroupEvaluation(
+            names=tuple(m.name for m in mrcs),
+            n_units=self.n_units,
+            unit_blocks=self.unit_blocks,
+            outcomes=outcomes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The six paper schemes (§VII-A), registered once.  Registration order is
+# the presentation order of every table and figure.
+# ---------------------------------------------------------------------------
+
+
+@register_scheme("equal")
+def _solve_equal(ctx: GroupContext) -> SchemeOutcome:
+    """Each program gets C/P units (the "socialist" allocation)."""
+    return ctx.grid_outcome(equal_allocation(ctx.n_programs, ctx.n_units))
+
+
+@register_scheme("natural")
+def _solve_natural(ctx: GroupContext) -> SchemeOutcome:
+    """Free-for-all sharing = the Natural Cache Partition (§V-A)."""
+    pred = ctx.natural_prediction()
+    return SchemeOutcome(
+        pred.occupancies / ctx.unit_blocks,
+        pred.miss_ratios,
+        _weighted(pred.miss_ratios, ctx.weights),
+    )
+
+
+@register_scheme("equal_baseline")
+def _solve_equal_baseline(ctx: GroupContext) -> SchemeOutcome:
+    """§VI optimization with equal-partition fairness thresholds."""
+    if ctx.pair_sharing and ctx.solver.shared.eq_costs is not None:
+        alloc = ctx.pair_tree_allocate(ctx.solver.shared.eq_costs, "eq")
+    else:
+        alloc = equal_baseline_partition(ctx.costs, ctx.n_units).allocation
+    return ctx.grid_outcome(alloc)
+
+
+@register_scheme("natural_baseline")
+def _solve_natural_baseline(ctx: GroupContext) -> SchemeOutcome:
+    """§VI optimization with natural-partition fairness thresholds."""
+    alloc = natural_baseline_partition(
+        ctx.costs, ctx.n_units, ctx.natural_units()
+    ).allocation
+    return ctx.grid_outcome(alloc)
+
+
+@register_scheme("optimal")
+def _solve_optimal(ctx: GroupContext) -> SchemeOutcome:
+    """The unconstrained DP optimum (Eq. 15)."""
+    if ctx.pair_sharing:
+        alloc = ctx.pair_tree_allocate(ctx.solver.shared.costs, "opt")
+    else:
+        alloc = ctx.solve_partition(ctx.costs)
+    return ctx.grid_outcome(alloc)
+
+
+@register_scheme("sttw")
+def _solve_sttw(ctx: GroupContext) -> SchemeOutcome:
+    """Stone–Thiebaut–Turek–Wolf greedy (1992) — the convexity-bound rival."""
+    return ctx.grid_outcome(sttw_partition(ctx.costs, ctx.n_units))

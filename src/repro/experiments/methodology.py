@@ -6,31 +6,40 @@ The paper enumerates *all* C(16, 4) = 1820 four-program subsets of its
 §VII-B).  This module reproduces that pipeline:
 
 1. profile every program once (footprint → unit-grid miss-ratio curve);
-2. sweep every group, evaluating all six schemes;
+2. sweep every group through the engine's
+   :class:`~repro.engine.solver.GroupSolver` (all registered schemes);
 3. return a :class:`StudyResult` holding per-group and per-program miss
    ratios — the raw data behind Table I and Figures 5–7.
 
 The unconstrained and equal-baseline DPs are accelerated by *pair-curve
 memoization*: the min-plus fold is associative, so the 120 two-program
 combined curves are shared across all 1820 groups (a ~3x saving measured
-by ``benchmarks/bench_cost.py``).
+by ``benchmarks/bench_cost.py``).  The engine's
+:class:`~repro.engine.foldcache.FoldCache` carries them, keyed by
+program identity via the sweep's :class:`~repro.engine.solver.SweepShared`
+suite-curve bundle.
+
+Groups are independent, so the sweep parallelizes: set
+``ExperimentConfig.n_jobs`` (or ``run_study(..., n_jobs=...)``, or
+``REPRO_JOBS`` in the environment) to fan contiguous group chunks out to
+worker processes.  Chunks are merged by their start index, so the result
+is bit-identical to the serial sweep regardless of completion order.
 """
 
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.composition.corun import CorunSolver
 from repro.core.baselines import equal_allocation
-from repro.core.minplus import minplus_convolve
-from repro.core.natural import round_to_units
 from repro.core.objectives import constrained_costs
-from repro.core.sttw import sttw_partition
+from repro.engine.registry import resolve_schemes, scheme_names
+from repro.engine.solver import GroupSolver, SweepShared
 from repro.locality.footprint import FootprintCurve, average_footprint
 from repro.locality.mrc import MissRatioCurve
 from repro.workloads.spec import SPEC_NAMES, make_suite
@@ -44,14 +53,9 @@ __all__ = [
     "run_study",
 ]
 
-STUDY_SCHEMES: tuple[str, ...] = (
-    "equal",
-    "natural",
-    "equal_baseline",
-    "natural_baseline",
-    "optimal",
-    "sttw",
-)
+# The registry defines the scheme tuple once; this module used to carry
+# its own copy of the six names (and `core.schemes` another).
+STUDY_SCHEMES: tuple[str, ...] = scheme_names()
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,9 @@ class ExperimentConfig:
     the same 4-program × 16-program exhaustive structure at a laptop-friendly
     grid; set ``REPRO_SCALE=full`` (see :func:`ExperimentConfig.from_env`)
     for the paper's 1024-unit grid.
+
+    ``n_jobs`` is the sweep's worker-process count (1 = in-process
+    serial); the result is bit-identical either way.
     """
 
     cache_blocks: int = 4096
@@ -70,12 +77,15 @@ class ExperimentConfig:
     group_size: int = 4
     names: tuple[str, ...] = SPEC_NAMES
     length_scale: float = 1.0
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.cache_blocks % self.unit_blocks != 0:
             raise ValueError("cache_blocks must be a multiple of unit_blocks")
         if not 2 <= self.group_size <= len(self.names):
             raise ValueError("group_size must be between 2 and the suite size")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
 
     @property
     def n_units(self) -> int:
@@ -89,10 +99,14 @@ class ExperimentConfig:
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
-        """Default (fast) scale, or the paper's 1024-unit grid when ``REPRO_SCALE=full``."""
+        """Default (fast) scale, or the paper's 1024-unit grid when ``REPRO_SCALE=full``.
+
+        ``REPRO_JOBS`` sets the sweep's worker count at either scale.
+        """
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
         if os.environ.get("REPRO_SCALE", "").lower() == "full":
-            return cls(cache_blocks=16384, unit_blocks=16)
-        return cls()
+            return cls(cache_blocks=16384, unit_blocks=16, n_jobs=jobs)
+        return cls(n_jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -162,41 +176,94 @@ class StudyResult:
         return self.program_mr[rows, member, self.scheme_index(scheme)]
 
 
-def _pair_tables(
-    costs: Sequence[np.ndarray], pairs: Iterable[tuple[int, int]]
-) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
-    """Memoized two-program min-plus curves (value, split) for the sweep."""
-    return {
-        (i, j): minplus_convolve(costs[i], costs[j]) for i, j in pairs
-    }
+def _sweep_solver(profile: SuiteProfile, schemes: tuple[str, ...]) -> GroupSolver:
+    """The engine facade for one sweep: suite curves shared, grid natural.
+
+    The :class:`~repro.engine.solver.SweepShared` bundle holds every
+    program's unconstrained cost curve (and, when the equal baseline is
+    requested, its §VI masked counterpart — per-program thresholds depend
+    only on the group-independent equal share, so they memoize across
+    groups too).  The solver's FoldCache then shares pair folds across
+    all groups containing a pair.
+    """
+    cfg = profile.config
+    costs = [m.miss_counts() for m in profile.mrcs]
+    eq_costs = None
+    if "equal_baseline" in schemes:
+        eq_alloc = equal_allocation(cfg.group_size, cfg.n_units)
+        thresholds = [float(c[eq_alloc[0]]) for c in costs]
+        eq_costs = constrained_costs(costs, thresholds)
+    shared = SweepShared(costs=costs, eq_costs=eq_costs)
+    return GroupSolver(
+        cfg.n_units,
+        cfg.unit_blocks,
+        schemes=schemes,
+        shared=shared,
+        natural="grid",
+    )
 
 
-def _group_via_pairs(
-    pair_tables: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]],
-    members: tuple[int, int, int, int],
-    budget: int,
-) -> tuple[np.ndarray, float]:
-    """Optimal 4-way allocation using two pair curves and one final fold."""
-    a, b, c, d = members
-    val_ab, split_ab = pair_tables[(a, b)]
-    val_cd, split_cd = pair_tables[(c, d)]
-    total, split = minplus_convolve(val_ab, val_cd)
-    k_ab = int(split[budget])
-    k_cd = budget - k_ab
-    alloc = np.empty(4, dtype=np.int64)
-    alloc[0] = split_ab[k_ab]
-    alloc[1] = k_ab - alloc[0]
-    alloc[2] = split_cd[k_cd]
-    alloc[3] = k_cd - alloc[2]
-    return alloc, float(total[budget])
+def _sweep_chunk(
+    profile: SuiteProfile,
+    schemes: tuple[str, ...],
+    solver: GroupSolver,
+    groups: Sequence[tuple[int, ...]],
+    *,
+    progress_base: int = 0,
+    progress_total: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate a contiguous run of groups; returns the chunk's arrays."""
+    P = profile.config.group_size
+    n_s = len(schemes)
+    group_mr = np.full((len(groups), n_s), np.nan)
+    program_mr = np.full((len(groups), P, n_s), np.nan)
+    allocations = np.full((len(groups), P, n_s), np.nan)
+    for g, members in enumerate(groups):
+        members = tuple(members)
+        ev = solver.evaluate(
+            [profile.mrcs[i] for i in members],
+            [profile.footprints[i] for i in members],
+            members=members,
+        )
+        for s, scheme in enumerate(schemes):
+            out = ev.outcomes[scheme]
+            allocations[g, :, s] = out.allocation
+            program_mr[g, :, s] = out.miss_ratios
+            group_mr[g, s] = out.group_miss_ratio
+        done = progress_base + g + 1
+        if progress_total and done % 200 == 0:  # pragma: no cover - console aid
+            print(f"  swept {done}/{progress_total} groups")
+    return group_mr, program_mr, allocations
+
+
+# Worker-process state for the parallel sweep: the profile and solver are
+# built once per worker (via the pool initializer) rather than pickled
+# with every chunk; each worker grows its own FoldCache of pair curves.
+_POOL_STATE: dict = {}
+
+
+def _pool_init(profile: SuiteProfile, schemes: tuple[str, ...]) -> None:
+    _POOL_STATE["profile"] = profile
+    _POOL_STATE["schemes"] = schemes
+    _POOL_STATE["solver"] = _sweep_solver(profile, schemes)
+
+
+def _pool_sweep(
+    task: tuple[int, tuple[tuple[int, ...], ...]],
+) -> tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    start, chunk = task
+    return start, _sweep_chunk(
+        _POOL_STATE["profile"], _POOL_STATE["schemes"], _POOL_STATE["solver"], chunk
+    )
 
 
 def run_study(
     profile: SuiteProfile,
     *,
-    schemes: Sequence[str] = STUDY_SCHEMES,
+    schemes: Sequence[str] | None = None,
     groups: Sequence[tuple[int, ...]] | None = None,
     progress: bool = False,
+    n_jobs: int | None = None,
 ) -> StudyResult:
     """Sweep all co-run groups under every requested scheme.
 
@@ -204,115 +271,66 @@ def run_study(
     (the paper's exhaustive design).  Group miss ratios are weighted by
     access counts; individual miss ratios come from each program's solo
     curve at its allocation, per the Natural Partition Assumption.
+
+    ``n_jobs`` overrides ``profile.config.n_jobs``; with more than one
+    job the groups are split into contiguous chunks swept by worker
+    processes and merged by start index — same result, less wall clock.
     """
     cfg = profile.config
-    n_units = cfg.n_units
-    unit = cfg.unit_blocks
-    costs = [m.miss_counts() for m in profile.mrcs]
-    weights = np.array([m.n_accesses for m in profile.mrcs], dtype=np.float64)
+    scheme_tuple = STUDY_SCHEMES if schemes is None else tuple(schemes)
+    resolve_schemes(scheme_tuple)  # fail on unknown names before any work
     all_groups = (
-        list(groups)
+        [tuple(g) for g in groups]
         if groups is not None
         else list(combinations(range(len(profile.names)), cfg.group_size))
     )
     if any(len(g) != cfg.group_size for g in all_groups):
         raise ValueError("every group must match config.group_size")
     n_g, P = len(all_groups), cfg.group_size
-    n_s = len(schemes)
-    group_mr = np.full((n_g, n_s), np.nan)
-    program_mr = np.full((n_g, P, n_s), np.nan)
-    allocations = np.full((n_g, P, n_s), np.nan)
+    n_s = len(scheme_tuple)
 
-    need_pairs = P == 4 and ("optimal" in schemes or "equal_baseline" in schemes)
-    pair_opt = pair_eq = None
-    eq_costs: list[np.ndarray] = []
-    if "equal_baseline" in schemes:
-        eq_alloc = equal_allocation(P, n_units)
-        # per-program thresholds depend only on the (group-independent)
-        # equal share, so the masked curves memoize across groups too
-        thresholds = [float(c[eq_alloc[0]]) for c in costs]
-        eq_costs = constrained_costs(costs, thresholds)
-    if need_pairs:
-        pairs = list(combinations(range(len(costs)), 2))
-        if "optimal" in schemes:
-            pair_opt = _pair_tables(costs, pairs)
-        if "equal_baseline" in schemes:
-            pair_eq = _pair_tables(eq_costs, pairs)
+    jobs = cfg.n_jobs if n_jobs is None else int(n_jobs)
+    if jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    jobs = min(jobs, n_g) if n_g else 1
 
-    natural_needed = "natural" in schemes or "natural_baseline" in schemes
-
-    for g, members in enumerate(all_groups):
-        members = tuple(members)
-        g_costs = [costs[i] for i in members]
-        g_weights = weights[list(members)]
-        g_mrcs = [profile.mrcs[i] for i in members]
-
-        solver: CorunSolver | None = None
-        natural_units: np.ndarray | None = None
-        if natural_needed:
-            g_fps = [profile.footprints[i] for i in members]
-            solver = CorunSolver(g_fps, max_cache=cfg.cache_blocks)
-
-        def record(s: int, alloc_units: np.ndarray, mrs: np.ndarray) -> None:
-            allocations[g, :, s] = alloc_units
-            program_mr[g, :, s] = mrs
-            group_mr[g, s] = float(np.dot(mrs, g_weights) / g_weights.sum())
-
-        def grid_mrs(alloc: np.ndarray) -> np.ndarray:
-            return np.array(
-                [m.ratios[a] for m, a in zip(g_mrcs, alloc.tolist())]
-            )
-
-        for s, scheme in enumerate(schemes):
-            if scheme == "equal":
-                alloc = equal_allocation(P, n_units)
-                record(s, alloc, grid_mrs(alloc))
-            elif scheme == "natural":
-                assert solver is not None
-                pred = solver.predict(cfg.cache_blocks)
-                record(s, pred.occupancies / unit, pred.miss_ratios)
-            elif scheme == "optimal":
-                if pair_opt is not None:
-                    alloc, _ = _group_via_pairs(pair_opt, members, n_units)
-                else:
-                    from repro.core.dp import optimal_partition
-
-                    alloc = optimal_partition(g_costs, n_units).allocation
-                record(s, alloc, grid_mrs(alloc))
-            elif scheme == "equal_baseline":
-                if pair_eq is not None:
-                    alloc, _ = _group_via_pairs(pair_eq, members, n_units)
-                else:
-                    from repro.core.baselines import equal_baseline_partition
-
-                    alloc = equal_baseline_partition(g_costs, n_units).allocation
-                record(s, alloc, grid_mrs(alloc))
-            elif scheme == "natural_baseline":
-                assert solver is not None
-                if natural_units is None:
-                    occ = solver.occupancies(cfg.cache_blocks)
-                    natural_units = round_to_units(occ / unit, n_units)
-                from repro.core.baselines import natural_baseline_partition
-
-                alloc = natural_baseline_partition(
-                    g_costs, n_units, natural_units
-                ).allocation
-                record(s, alloc, grid_mrs(alloc))
-            elif scheme == "sttw":
-                alloc = sttw_partition(g_costs, n_units)
-                record(s, alloc, grid_mrs(alloc))
-            else:
-                raise ValueError(f"unknown scheme {scheme!r}")
-
-        if progress and (g + 1) % 200 == 0:  # pragma: no cover - console aid
-            print(f"  swept {g + 1}/{n_g} groups")
+    if jobs == 1:
+        solver = _sweep_solver(profile, scheme_tuple)
+        group_mr, program_mr, allocations = _sweep_chunk(
+            profile,
+            scheme_tuple,
+            solver,
+            all_groups,
+            progress_total=n_g if progress else 0,
+        )
+    else:
+        group_mr = np.full((n_g, n_s), np.nan)
+        program_mr = np.full((n_g, P, n_s), np.nan)
+        allocations = np.full((n_g, P, n_s), np.nan)
+        chunk_size = (n_g + jobs - 1) // jobs
+        tasks = [
+            (start, tuple(all_groups[start : start + chunk_size]))
+            for start in range(0, n_g, chunk_size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_pool_init,
+            initargs=(profile, scheme_tuple),
+        ) as pool:
+            for start, (gm, pm, al) in pool.map(_pool_sweep, tasks):
+                stop = start + gm.shape[0]
+                group_mr[start:stop] = gm
+                program_mr[start:stop] = pm
+                allocations[start:stop] = al
+                if progress:  # pragma: no cover - console aid
+                    print(f"  swept {stop}/{n_g} groups")
 
     # census of *material* convexity violations (tolerance filters the
     # sampling noise; what remains are real plateau-then-cliff structures)
     violations = np.array([m.convexity_violations(tol=1e-3) for m in profile.mrcs])
     return StudyResult(
         profile=profile,
-        schemes=tuple(schemes),
+        schemes=scheme_tuple,
         groups=np.array(all_groups, dtype=np.int64),
         group_mr=group_mr,
         program_mr=program_mr,

@@ -16,97 +16,25 @@ entirely.  A hit returns the result computed for the first instance in
 the bucket — optimal for it, and within ``P · C · quantum`` total cost
 of optimal for every collider.
 
-The class implements the ``MutableMapping`` subset that
-:func:`repro.core.dp.optimal_partition` expects from its ``memo``
-argument, adding LRU eviction and hit/miss statistics.
+The behaviour lives in the engine's :class:`~repro.engine.foldcache.FoldCache`
+(one memoization layer for every min-plus fold in the repo); this module
+keeps the online-facing name and docs.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Sequence
-
-import numpy as np
-
-from repro.core.dp import PartitionResult, optimal_partition
+from repro.engine.foldcache import FoldCache
 
 __all__ = ["SolverCache"]
 
 
-class SolverCache:
+class SolverCache(FoldCache):
     """LRU memo for :func:`repro.core.dp.optimal_partition`.
 
-    Parameters
-    ----------
-    quantum:
-        Cost-curve quantization for fingerprinting; ``0`` requires exact
-        byte equality.  Costs are miss *counts*, so pick the quantum in
-        miss-count units (e.g. ``quantum = epsilon * n_accesses``).
-    max_entries:
-        Cached results kept; least-recently-used beyond that are evicted.
+    An alias of the engine's :class:`~repro.engine.foldcache.FoldCache`
+    under the online service's historical name: the controller only uses
+    the :meth:`~repro.engine.foldcache.FoldCache.solve` side (quantized
+    fingerprints → cached :class:`~repro.core.dp.PartitionResult`), with
+    the per-solve ``quantum`` override rescaling the lattice by each
+    epoch's real access count.
     """
-
-    def __init__(self, *, quantum: float = 0.0, max_entries: int = 128) -> None:
-        if quantum < 0.0:
-            raise ValueError("quantum must be >= 0")
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.quantum = float(quantum)
-        self.max_entries = int(max_entries)
-        self._store: OrderedDict[bytes, PartitionResult] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-
-    # ---------------------------------------------------------- mapping
-    def get(self, key: bytes, default: PartitionResult | None = None) -> PartitionResult | None:
-        if key in self._store:
-            self.hits += 1
-            self._store.move_to_end(key)
-            return self._store[key]
-        self.misses += 1
-        return default
-
-    def __setitem__(self, key: bytes, value: PartitionResult) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
-
-    def __contains__(self, key: bytes) -> bool:
-        return key in self._store
-
-    def __len__(self) -> int:
-        return len(self._store)
-
-    # ------------------------------------------------------------ stats
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def clear(self) -> None:
-        self._store.clear()
-
-    # ------------------------------------------------------------ solve
-    def solve(
-        self,
-        costs: Sequence[np.ndarray],
-        budget: int,
-        *,
-        quantum: float | None = None,
-    ) -> PartitionResult:
-        """Memoized Eq. 15: identical (quantized) instances solve once.
-
-        ``quantum`` overrides the constructor's value for this solve —
-        the controller uses it to rescale the lattice by each epoch's
-        *real* access count, so a short final epoch (whose miss-count
-        magnitudes shrink with it) keeps the same miss-ratio resolution
-        as a full one instead of a silently coarser one.
-        """
-        q = self.quantum if quantum is None else float(quantum)
-        if q < 0.0:
-            raise ValueError("quantum must be >= 0")
-        return optimal_partition(costs, budget, memo=self, quantum=q)
