@@ -120,10 +120,13 @@ def bench_ablation_pair_memoization(suite_profile, benchmark):
     m, cache = benchmark.pedantic(memoized, rounds=1, iterations=1)
     assert np.allclose(d, m)
     old_hit_rate = 1.0 - (120 + len(groups)) / (3 * len(groups))
+    st = cache.stats()
     print(f"\ndirect fold: {t_direct:.2f}s for {len(groups)} groups "
           f"(pair-memoized path timed by the harness above)")
-    print(f"FoldCache hit rate {cache.hit_ratio:.1%} "
-          f"(old eager pair tables: {old_hit_rate:.1%})")
+    print(f"FoldCache: {st['hits']:,} hits / {st['lookups']:,} lookups "
+          f"({st['hit_ratio']:.1%}; old eager pair tables: {old_hit_rate:.1%}), "
+          f"{st['entries']:,}/{st['max_entries']:,} entries, "
+          f"{st['evictions']:,} evictions")
     assert cache.hit_ratio >= old_hit_rate
 
 
@@ -160,5 +163,10 @@ def bench_parallel_sweep(suite_profile, benchmark):
     speedup = t_serial / t_parallel
     print(f"\nserial {t_serial:.2f}s, n_jobs=4 {t_parallel:.2f}s "
           f"-> {speedup:.2f}x on {os.cpu_count()} CPUs")
+    st = parallel.fold_cache_stats
+    print(f"fold cache (merged across {st['workers']} workers): "
+          f"{st['hits']:,} hits / {st['lookups']:,} lookups "
+          f"({st['hit_ratio']:.1%}), {st['entries']:,} entries, "
+          f"{st['evictions']:,} evictions")
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 2.0

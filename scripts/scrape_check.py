@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI smoke check: scrape a running ``repro-cps serve --metrics-port``.
+
+Polls ``/healthz`` until the service is up, scrapes ``/metrics`` twice,
+and validates the exposition both times with the same consumer-side
+checks the tests use (:func:`repro.obs.prom.validate_exposition`):
+counters named ``*_total`` and non-negative, histogram buckets
+cumulative with ``+Inf == _count``, no malformed or duplicate samples —
+then asserts no counter went backwards between the two scrapes and that
+the families the dashboards bind to are present.
+
+Usage: scrape_check.py URL  (e.g. http://127.0.0.1:9178)
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.prom import check_counters_monotone, validate_exposition
+
+REQUIRED_FAMILIES = (
+    "repro_epochs_total",
+    "repro_resolves_total",
+    "repro_accesses_ingested_total",
+    "repro_solver_cache_hits_total",
+    "repro_solver_cache_misses_total",
+    "repro_resolve_latency_seconds",
+)
+
+
+def get(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode("utf-8")
+
+
+def wait_healthy(base: str, deadline_s: float = 30.0) -> dict:
+    t0 = time.time()
+    last: Exception | None = None
+    while time.time() - t0 < deadline_s:
+        try:
+            health = json.loads(get(f"{base}/healthz"))
+            if health.get("status") == "ok":
+                return health
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            last = exc
+        time.sleep(0.5)
+    raise SystemExit(f"service at {base} never became healthy: {last}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base = sys.argv[1].rstrip("/")
+    health = wait_healthy(base)
+    print(f"healthz ok (uptime {health['uptime_s']}s)")
+
+    first = validate_exposition(get(f"{base}/metrics"))
+    time.sleep(1.0)
+    second = validate_exposition(get(f"{base}/metrics"))
+    print(f"scraped {len(first)} -> {len(second)} valid families")
+
+    missing = [f for f in REQUIRED_FAMILIES if f not in second]
+    if missing:
+        raise SystemExit(f"missing required families: {missing}")
+    check_counters_monotone(first, second)
+
+    hist = second["repro_resolve_latency_seconds"]["samples"]
+    count = hist[("repro_resolve_latency_seconds_count", ())]
+    total = hist[("repro_resolve_latency_seconds_sum", ())]
+    print(f"resolve latency histogram: count={count:.0f} sum={total:.6f}s")
+    if count > 0 and total < 0:
+        raise SystemExit("histogram sum is negative")
+    print("scrape check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

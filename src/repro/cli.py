@@ -8,7 +8,13 @@ Subcommands mirror the paper's workflow:
 * ``validate``    — §VII-C NPA validation against the simulator;
 * ``figure1``     — the motivating partition-sharing example;
 * ``serve``       — stream a workload through the online allocation
-  service (:mod:`repro.online`) and score it against the offline optima.
+  service (:mod:`repro.online`) and score it against the offline optima;
+  ``--metrics-port`` exposes Prometheus ``/metrics`` + ``/healthz``
+  while it runs, ``--metrics-out`` dumps the final snapshot and epoch
+  time-series as JSON, ``--trace-out`` journals spans as JSONL;
+* ``top``         — the live terminal view of the controller: per-tenant
+  allocation bars, miss-ratio sparklines, lag and solver counters,
+  redrawn as each epoch closes.
 """
 
 from __future__ import annotations
@@ -87,6 +93,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
     cfg = ExperimentConfig.from_env()
     jobs = args.jobs if args.jobs is not None else cfg.n_jobs
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(journal=args.trace_out)
     print(
         f"Running the exhaustive study: {cfg.n_groups} groups of "
         f"{cfg.group_size}, {cfg.n_units} units of {cfg.unit_blocks} blocks"
@@ -96,10 +107,19 @@ def _cmd_study(args: argparse.Namespace) -> int:
     profile = build_suite_profile(cfg)
     print(f"  profiled {len(profile.names)} programs in {time.time() - t0:.1f}s")
     t0 = time.time()
-    result = run_study(profile, progress=True, n_jobs=jobs)
+    result = run_study(profile, progress=True, n_jobs=jobs, tracer=tracer)
     per_group = (time.time() - t0) / cfg.n_groups
     print(f"  swept {cfg.n_groups} groups in {time.time() - t0:.1f}s "
-          f"({per_group * 1e3:.1f} ms/group)\n")
+          f"({per_group * 1e3:.1f} ms/group)")
+    fc = result.fold_cache_stats
+    if fc:
+        print(f"  fold cache: {fc['hits']:,} hits / {fc['lookups']:,} lookups "
+              f"({fc['hit_ratio']:.1%} hit ratio), {fc['entries']:,} entries, "
+              f"{fc['evictions']:,} evictions, {fc['workers']} worker(s)")
+    if tracer is not None:
+        tracer.close()
+        print(f"  wrote span journal to {args.trace_out}")
+    print()
     print("Table I — improvement of Optimal over each method:")
     print(format_table(improvement_table(result)))
     print("\nSTTW convexity failures:", sttw_failure_stats(result))
@@ -189,9 +209,10 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serve_setup(args: argparse.Namespace):
+    """Workload + controller config shared by ``serve`` and ``top``."""
     from repro.online.controller import ControllerConfig
-    from repro.online.replay import phase_opposed_pair, replay, steady_pair
+    from repro.online.replay import phase_opposed_pair, steady_pair
 
     if args.workload == "phase-opposed":
         traces, epoch = phase_opposed_pair(loops=args.loops)
@@ -199,38 +220,117 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         traces, epoch = steady_pair()
     if args.epoch is not None:
         epoch = args.epoch
+    config = ControllerConfig(
+        cache_blocks=args.cache_blocks,
+        epoch_length=epoch,
+        sampling_rate=args.rate,
+        drift_threshold=args.drift,
+        hysteresis=args.hysteresis,
+        quantum=args.quantum,
+        max_buffered=args.max_buffer,
+        seed=args.seed,
+    )
+    if args.batch < 1:
+        raise ValueError("--batch must be >= 1")
+    return traces, config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.online.replay import replay
+
     try:
-        config = ControllerConfig(
-            cache_blocks=args.cache_blocks,
-            epoch_length=epoch,
-            sampling_rate=args.rate,
-            drift_threshold=args.drift,
-            hysteresis=args.hysteresis,
-            quantum=args.quantum,
-            max_buffered=args.max_buffer,
-            seed=args.seed,
-        )
+        traces, config = _serve_setup(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.batch < 1:
-        print("error: --batch must be >= 1", file=sys.stderr)
-        return 2
+    registry = server = tracer = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsServer, Registry
+
+        registry = Registry()
+        server = MetricsServer(registry, port=args.metrics_port).start()
+        print(f"metrics on {server.url}/metrics (health: {server.url}/healthz)")
+    if args.trace_out is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(journal=args.trace_out)
     print(
         f"Serving the {args.workload} workload online "
         f"({', '.join(t.name for t in traces)}; cache {args.cache_blocks} blocks, "
         f"sampling {args.rate:.0%}):"
     )
-    report = replay(traces, config, batch_size=args.batch)
-    print(report.summary())
-    print("\nPer-epoch decisions:")
-    print(f"{'epoch':>5s} {'allocation':>16s} {'solved':>6s} {'moved':>5s} "
-          f"{'drift':>8s} {'gain':>8s}")
-    for d in report.decisions:
-        alloc = "/".join(str(int(a)) for a in d.allocation)
-        drift = "   --" if not np.isfinite(d.drift) else f"{d.drift:8.4f}"
-        print(f"{d.epoch:5d} {alloc:>16s} {str(d.resolved):>6s} "
-              f"{str(d.moved):>5s} {drift:>8s} {d.predicted_gain:8.4f}")
+    try:
+        report = replay(
+            traces, config, batch_size=args.batch, registry=registry, tracer=tracer
+        )
+        print(report.summary())
+        print("\nPer-epoch decisions:")
+        print(f"{'epoch':>5s} {'allocation':>16s} {'solved':>6s} {'moved':>5s} "
+              f"{'drift':>8s} {'gain':>8s}")
+        for d in report.decisions:
+            alloc = "/".join(str(int(a)) for a in d.allocation)
+            drift = "   --" if not np.isfinite(d.drift) else f"{d.drift:8.4f}"
+            print(f"{d.epoch:5d} {alloc:>16s} {str(d.resolved):>6s} "
+                  f"{str(d.moved):>5s} {drift:>8s} {d.predicted_gain:8.4f}")
+        if args.metrics_out is not None:
+            import json
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"metrics": report.metrics, "timeseries": report.timeseries},
+                    fh,
+                    indent=2,
+                )
+                fh.write("\n")
+            print(f"\nwrote metrics snapshot + epoch time-series to {args.metrics_out}")
+        if args.trace_out is not None:
+            print(f"wrote span journal to {args.trace_out}")
+        if server is not None and args.linger > 0:
+            print(f"holding /metrics open for {args.linger:.0f}s (final snapshot)...")
+            time.sleep(args.linger)
+    finally:
+        if server is not None:
+            server.stop()
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.console import ANSI_HOME_CLEAR, render_dashboard
+    from repro.online.controller import OnlineController
+    from repro.online.replay import stream
+
+    try:
+        traces, config = _serve_setup(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    controller = OnlineController(
+        len(traces), config, names=tuple(t.name for t in traces)
+    )
+    use_ansi = sys.stdout.isatty() and not args.plain
+    header = (
+        f"repro-cps top — {args.workload} workload, "
+        f"cache {config.cache_blocks} blocks, epoch {config.epoch_length} accesses"
+    )
+    for _ in stream(traces, controller, batch_size=args.batch):
+        frame = render_dashboard(
+            controller.timeseries,
+            controller.metrics.snapshot(),
+            cache_blocks=config.cache_blocks,
+        )
+        if use_ansi:
+            sys.stdout.write(f"{ANSI_HOME_CLEAR}{header}\n\n{frame}\n")
+        else:
+            print(header)
+            print()
+            print(frame)
+            print("-" * 78)
+        sys.stdout.flush()
+        if args.refresh > 0:
+            time.sleep(args.refresh)
+    print(f"\nfinished: {controller.metrics.epochs} epochs")
     return 0
 
 
@@ -254,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("study", help="the full §VII sweep (REPRO_SCALE=full for 1024 units)")
     p.add_argument("--jobs", type=int, default=None,
                    help="sweep worker processes (default: REPRO_JOBS or 1)")
+    p.add_argument("--trace-out", default=None,
+                   help="journal sweep/solver spans to this path as JSONL")
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser("validate", help="§VII-C NPA validation")
@@ -269,30 +371,54 @@ def main(argv: list[str] | None = None) -> int:
                    help="sweep worker processes (default: REPRO_JOBS or 1)")
     p.set_defaults(func=_cmd_export)
 
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workload", choices=("phase-opposed", "steady"), default="phase-opposed"
+        )
+        p.add_argument("--cache-blocks", type=int, default=56)
+        p.add_argument("--epoch", type=int, default=None,
+                       help="epoch length in accesses (default: the workload's phase)")
+        p.add_argument("--rate", type=float, default=1.0, help="spatial sampling rate")
+        p.add_argument("--drift", type=float, default=0.0,
+                       help="re-solve only when mean-L1 MRC drift exceeds this")
+        p.add_argument("--hysteresis", type=float, default=0.0,
+                       help="min predicted group-miss-ratio gain to move walls")
+        p.add_argument("--quantum", type=float, default=0.0,
+                       help="solver-cache fingerprint quantization (miss-ratio units)")
+        p.add_argument("--batch", type=int, default=64, help="ingest batch size")
+        p.add_argument("--max-buffer", type=int, default=None,
+                       help="per-tenant bound on epoch-alignment buffering "
+                            "(accesses; raises backpressure beyond it)")
+        p.add_argument("--loops", type=int, default=6,
+                       help="phase swaps in the phase-opposed workload")
+        p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser(
         "serve", help="replay a workload through the online allocation service"
     )
-    p.add_argument(
-        "--workload", choices=("phase-opposed", "steady"), default="phase-opposed"
-    )
-    p.add_argument("--cache-blocks", type=int, default=56)
-    p.add_argument("--epoch", type=int, default=None,
-                   help="epoch length in accesses (default: the workload's phase)")
-    p.add_argument("--rate", type=float, default=1.0, help="spatial sampling rate")
-    p.add_argument("--drift", type=float, default=0.0,
-                   help="re-solve only when mean-L1 MRC drift exceeds this")
-    p.add_argument("--hysteresis", type=float, default=0.0,
-                   help="min predicted group-miss-ratio gain to move walls")
-    p.add_argument("--quantum", type=float, default=0.0,
-                   help="solver-cache fingerprint quantization (miss-ratio units)")
-    p.add_argument("--batch", type=int, default=64, help="ingest batch size")
-    p.add_argument("--max-buffer", type=int, default=None,
-                   help="per-tenant bound on epoch-alignment buffering "
-                        "(accesses; raises backpressure beyond it)")
-    p.add_argument("--loops", type=int, default=6,
-                   help="phase swaps in the phase-opposed workload")
-    p.add_argument("--seed", type=int, default=0)
+    add_workload_args(p)
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="expose Prometheus /metrics and /healthz on this port "
+                        "while the replay runs (0 picks a free port)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the final metrics snapshot and epoch time-series "
+                        "to this path as JSON")
+    p.add_argument("--trace-out", default=None,
+                   help="journal controller/solver spans to this path as JSONL")
+    p.add_argument("--linger", type=float, default=0.0,
+                   help="keep /metrics up this many seconds after the replay "
+                        "so scrapers can collect the final snapshot")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard of the online controller"
+    )
+    add_workload_args(p)
+    p.add_argument("--refresh", type=float, default=0.0,
+                   help="pause this many seconds between epoch frames")
+    p.add_argument("--plain", action="store_true",
+                   help="print frames sequentially instead of redrawing in place")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("profile", help="locality summary of catalog programs")
     p.add_argument("--programs", default="lbm,mcf,povray")

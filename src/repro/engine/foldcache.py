@@ -25,6 +25,14 @@ Invariants:
 * ``hits``/``misses`` count every lookup, across both entry kinds, so
   one hit-rate describes the whole engine's memoization.
 
+Observability: :meth:`FoldCache.stats` is the canonical flat view of the
+counters (surfaced by ``run_study`` results and the cost benchmarks);
+:meth:`FoldCache.register_with` binds them to callback metrics in a
+:class:`~repro.obs.prom.Registry`; a ``tracer`` (default: the no-op
+:data:`~repro.obs.trace.NULL_TRACER`) records a span around every
+*computed* pair fold (hits stay span-free) and every DP solve (tagged
+``hit`` when the memo supplied the result).
+
 The class implements the ``MutableMapping`` subset that
 :func:`repro.core.dp.optimal_partition` expects from its ``memo``
 argument.
@@ -39,6 +47,7 @@ import numpy as np
 
 from repro.core.dp import PartitionResult, cost_fingerprint, optimal_partition
 from repro.core.minplus import minplus_convolve
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["FoldCache"]
 
@@ -54,18 +63,25 @@ class FoldCache:
         the quantum in miss-count units (e.g. ``epsilon * n_accesses``).
     max_entries:
         Cached results kept; least-recently-used beyond that are evicted.
+    tracer:
+        Span tracer recording computed folds/solves; the default no-op
+        tracer keeps the uninstrumented cost.
     """
 
-    def __init__(self, *, quantum: float = 0.0, max_entries: int = 128) -> None:
+    def __init__(
+        self, *, quantum: float = 0.0, max_entries: int = 128, tracer=None
+    ) -> None:
         if quantum < 0.0:
             raise ValueError("quantum must be >= 0")
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.quantum = float(quantum)
         self.max_entries = int(max_entries)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._store: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ---------------------------------------------------------- mapping
     def get(self, key: Hashable, default=None):
@@ -81,6 +97,7 @@ class FoldCache:
         self._store.move_to_end(key)
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
+            self.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._store
@@ -99,6 +116,39 @@ class FoldCache:
 
     def clear(self) -> None:
         self._store.clear()
+
+    def stats(self) -> dict[str, float | int]:
+        """Flat counter snapshot: the one hit-rate of the whole engine."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "hit_ratio": self.hit_ratio,
+            "entries": len(self._store),
+            "max_entries": self.max_entries,
+            "evictions": self.evictions,
+        }
+
+    def register_with(self, registry, *, prefix: str = "repro_solver_cache"):
+        """Bind the live counters to callback metrics in ``registry``.
+
+        Registers ``<prefix>_{hits,misses,evictions}_total`` counters and
+        a ``<prefix>_entries`` gauge, all reading this cache at scrape
+        time.  Returns the registry for chaining.
+        """
+        registry.counter(
+            f"{prefix}_hits_total", "FoldCache lookups served from the memo."
+        ).set_function(lambda: self.hits)
+        registry.counter(
+            f"{prefix}_misses_total", "FoldCache lookups that had to compute."
+        ).set_function(lambda: self.misses)
+        registry.counter(
+            f"{prefix}_evictions_total", "FoldCache LRU evictions."
+        ).set_function(lambda: self.evictions)
+        registry.gauge(
+            f"{prefix}_entries", "FoldCache entries currently resident."
+        ).set_function(lambda: len(self._store))
+        return registry
 
     # ------------------------------------------------------------ folds
     def convolve(
@@ -124,7 +174,8 @@ class FoldCache:
         cached = self.get(full_key)
         if cached is not None:
             return cached
-        result = minplus_convolve(a, b)
+        with self.tracer.span("foldcache.convolve", size=int(a.size)):
+            result = minplus_convolve(a, b)
         self[full_key] = result
         return result
 
@@ -147,4 +198,10 @@ class FoldCache:
         q = self.quantum if quantum is None else float(quantum)
         if q < 0.0:
             raise ValueError("quantum must be >= 0")
-        return optimal_partition(costs, budget, memo=self, quantum=q)
+        hits_before = self.hits
+        with self.tracer.span(
+            "foldcache.solve", n_costs=len(costs), budget=int(budget)
+        ) as span:
+            result = optimal_partition(costs, budget, memo=self, quantum=q)
+            span.set(hit=self.hits > hits_before)
+        return result

@@ -49,6 +49,7 @@ from repro.core.objectives import miss_count_costs
 from repro.core.sttw import sttw_partition
 from repro.engine.foldcache import FoldCache
 from repro.engine.registry import register_scheme, resolve_schemes
+from repro.obs.trace import NULL_TRACER
 from repro.locality.footprint import FootprintCurve
 from repro.locality.mrc import MissRatioCurve
 
@@ -264,13 +265,17 @@ class GroupSolver:
         fold_cache: FoldCache | None = None,
         shared: SweepShared | None = None,
         natural: str = "exact",
+        tracer=None,
     ) -> None:
         if n_units < 1 or unit_blocks < 1:
             raise ValueError("n_units and unit_blocks must be >= 1")
         if natural not in ("exact", "grid"):
             raise ValueError("natural must be 'exact' or 'grid'")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if shared is not None and fold_cache is None:
-            fold_cache = FoldCache(max_entries=max(256, 4 * len(shared.costs) ** 2))
+            fold_cache = FoldCache(
+                max_entries=max(256, 4 * len(shared.costs) ** 2), tracer=self.tracer
+            )
         self.n_units = int(n_units)
         self.unit_blocks = int(unit_blocks)
         self.schemes = resolve_schemes(schemes)
@@ -299,7 +304,14 @@ class GroupSolver:
             if m.capacity < self.n_units:
                 raise ValueError("every MRC must cover the full cache in units")
         ctx = GroupContext(self, mrcs, footprints, members)
-        outcomes = {s.name: s.solve(ctx) for s in self.schemes}
+        with self.tracer.span(
+            "solver.evaluate",
+            group=list(members) if members is not None else [m.name for m in mrcs],
+        ):
+            outcomes = {}
+            for s in self.schemes:
+                with self.tracer.span(f"solver.scheme.{s.name}"):
+                    outcomes[s.name] = s.solve(ctx)
         return GroupEvaluation(
             names=tuple(m.name for m in mrcs),
             n_units=self.n_units,

@@ -24,6 +24,13 @@ Groups are independent, so the sweep parallelizes: set
 ``REPRO_JOBS`` in the environment) to fan contiguous group chunks out to
 worker processes.  Chunks are merged by their start index, so the result
 is bit-identical to the serial sweep regardless of completion order.
+
+Observability: pass ``run_study(..., tracer=...)`` to record one
+``sweep.chunk`` span per contiguous chunk (in the parallel sweep each
+worker runs its own tracer and its spans are merged into the parent
+trace on join, tagged with the worker's chunk); the engine-level
+FoldCache counters are aggregated across workers into
+:attr:`StudyResult.fold_cache_stats` either way.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.core.baselines import equal_allocation
 from repro.core.objectives import constrained_costs
 from repro.engine.registry import resolve_schemes, scheme_names
 from repro.engine.solver import GroupSolver, SweepShared
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.locality.footprint import FootprintCurve, average_footprint
 from repro.locality.mrc import MissRatioCurve
 from repro.workloads.spec import SPEC_NAMES, make_suite
@@ -154,6 +162,10 @@ class StudyResult:
     program_mr: np.ndarray
     allocations: np.ndarray
     convexity_violations: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Engine FoldCache counters of the sweep (summed across workers in a
+    #: parallel run, plus ``workers``): the memoization behaviour behind
+    #: the wall-clock numbers, surfaced instead of staying bench-internal.
+    fold_cache_stats: dict = field(default_factory=dict)
 
     def scheme_index(self, scheme: str) -> int:
         return self.schemes.index(scheme)
@@ -176,7 +188,9 @@ class StudyResult:
         return self.program_mr[rows, member, self.scheme_index(scheme)]
 
 
-def _sweep_solver(profile: SuiteProfile, schemes: tuple[str, ...]) -> GroupSolver:
+def _sweep_solver(
+    profile: SuiteProfile, schemes: tuple[str, ...], tracer=None
+) -> GroupSolver:
     """The engine facade for one sweep: suite curves shared, grid natural.
 
     The :class:`~repro.engine.solver.SweepShared` bundle holds every
@@ -200,7 +214,19 @@ def _sweep_solver(profile: SuiteProfile, schemes: tuple[str, ...]) -> GroupSolve
         schemes=schemes,
         shared=shared,
         natural="grid",
+        tracer=tracer,
     )
+
+
+def _merge_cache_stats(stats: Sequence[dict]) -> dict:
+    """Sum FoldCache counters across sweep workers into one view."""
+    merged: dict = {
+        k: sum(s[k] for s in stats)
+        for k in ("hits", "misses", "lookups", "entries", "evictions")
+    }
+    merged["hit_ratio"] = merged["hits"] / merged["lookups"] if merged["lookups"] else 0.0
+    merged["workers"] = len(stats)
+    return merged
 
 
 def _sweep_chunk(
@@ -238,23 +264,35 @@ def _sweep_chunk(
 
 # Worker-process state for the parallel sweep: the profile and solver are
 # built once per worker (via the pool initializer) rather than pickled
-# with every chunk; each worker grows its own FoldCache of pair curves.
+# with every chunk; each worker grows its own FoldCache of pair curves
+# and, when tracing is on, its own Tracer (a live tracer with an open
+# journal cannot cross the process boundary — span dicts can).
 _POOL_STATE: dict = {}
 
 
-def _pool_init(profile: SuiteProfile, schemes: tuple[str, ...]) -> None:
+def _pool_init(
+    profile: SuiteProfile, schemes: tuple[str, ...], trace: bool = False
+) -> None:
     _POOL_STATE["profile"] = profile
     _POOL_STATE["schemes"] = schemes
-    _POOL_STATE["solver"] = _sweep_solver(profile, schemes)
+    _POOL_STATE["tracer"] = Tracer() if trace else NULL_TRACER
+    _POOL_STATE["solver"] = _sweep_solver(profile, schemes, _POOL_STATE["tracer"])
 
 
 def _pool_sweep(
     task: tuple[int, tuple[tuple[int, ...], ...]],
-) -> tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+) -> tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray], dict, list[dict]]:
     start, chunk = task
-    return start, _sweep_chunk(
-        _POOL_STATE["profile"], _POOL_STATE["schemes"], _POOL_STATE["solver"], chunk
-    )
+    tracer = _POOL_STATE["tracer"]
+    with tracer.span("sweep.chunk", start=start, size=len(chunk)):
+        arrays = _sweep_chunk(
+            _POOL_STATE["profile"], _POOL_STATE["schemes"], _POOL_STATE["solver"], chunk
+        )
+    # stats are cumulative per worker *process*; tag them so the parent
+    # can keep one (final) snapshot per worker even if a worker happened
+    # to process several chunks
+    stats = {**_POOL_STATE["solver"].fold_cache.stats(), "pid": os.getpid()}
+    return start, arrays, stats, tracer.drain()
 
 
 def run_study(
@@ -264,6 +302,7 @@ def run_study(
     groups: Sequence[tuple[int, ...]] | None = None,
     progress: bool = False,
     n_jobs: int | None = None,
+    tracer=None,
 ) -> StudyResult:
     """Sweep all co-run groups under every requested scheme.
 
@@ -275,8 +314,13 @@ def run_study(
     ``n_jobs`` overrides ``profile.config.n_jobs``; with more than one
     job the groups are split into contiguous chunks swept by worker
     processes and merged by start index — same result, less wall clock.
+
+    ``tracer`` records ``sweep.chunk`` spans (and, inside them, the
+    engine's solver/fold spans); worker spans are merged into it as each
+    chunk joins.  Tracing changes timings only, never results.
     """
     cfg = profile.config
+    tracer = tracer if tracer is not None else NULL_TRACER
     scheme_tuple = STUDY_SCHEMES if schemes is None else tuple(schemes)
     resolve_schemes(scheme_tuple)  # fail on unknown names before any work
     all_groups = (
@@ -295,14 +339,17 @@ def run_study(
     jobs = min(jobs, n_g) if n_g else 1
 
     if jobs == 1:
-        solver = _sweep_solver(profile, scheme_tuple)
-        group_mr, program_mr, allocations = _sweep_chunk(
-            profile,
-            scheme_tuple,
-            solver,
-            all_groups,
-            progress_total=n_g if progress else 0,
-        )
+        solver = _sweep_solver(profile, scheme_tuple, tracer)
+        with tracer.span("sweep.chunk", start=0, size=n_g):
+            group_mr, program_mr, allocations = _sweep_chunk(
+                profile,
+                scheme_tuple,
+                solver,
+                all_groups,
+                progress_total=n_g if progress else 0,
+            )
+        cache_stats = solver.fold_cache.stats() if solver.fold_cache else {}
+        cache_stats = {**cache_stats, "workers": 1}
     else:
         group_mr = np.full((n_g, n_s), np.nan)
         program_mr = np.full((n_g, P, n_s), np.nan)
@@ -312,18 +359,30 @@ def run_study(
             (start, tuple(all_groups[start : start + chunk_size]))
             for start in range(0, n_g, chunk_size)
         ]
+        worker_stats: dict[int, dict] = {}
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_pool_init,
-            initargs=(profile, scheme_tuple),
+            initargs=(profile, scheme_tuple, tracer.enabled),
         ) as pool:
-            for start, (gm, pm, al) in pool.map(_pool_sweep, tasks):
+            for start, (gm, pm, al), stats, spans in pool.map(_pool_sweep, tasks):
                 stop = start + gm.shape[0]
                 group_mr[start:stop] = gm
                 program_mr[start:stop] = pm
                 allocations[start:stop] = al
+                # snapshots from the same worker are cumulative; keep the
+                # furthest-along one (map yields in submission order, not
+                # completion order, so compare rather than overwrite)
+                pid = stats.pop("pid")
+                if (
+                    pid not in worker_stats
+                    or stats["lookups"] >= worker_stats[pid]["lookups"]
+                ):
+                    worker_stats[pid] = stats
+                tracer.adopt(spans, worker=f"chunk{start}")
                 if progress:  # pragma: no cover - console aid
                     print(f"  swept {stop}/{n_g} groups")
+        cache_stats = _merge_cache_stats(list(worker_stats.values()))
 
     # census of *material* convexity violations (tolerance filters the
     # sampling noise; what remains are real plateau-then-cliff structures)
@@ -336,4 +395,5 @@ def run_study(
         program_mr=program_mr,
         allocations=allocations,
         convexity_violations=violations,
+        fold_cache_stats=cache_stats,
     )

@@ -1,0 +1,55 @@
+"""Unified telemetry: spans, Prometheus exposition, epoch time-series.
+
+The service pipeline (engine → sweep → online controller) is operated
+through three complementary views, all dependency-free:
+
+* :mod:`repro.obs.trace` — span tracing: nested, monotonic-clock
+  intervals around solves, folds, epochs and sweep chunks; bounded
+  in-memory ring + optional JSONL journal; a shared no-op
+  :data:`~repro.obs.trace.NULL_TRACER` keeps the disabled hot paths at
+  their uninstrumented cost;
+* :mod:`repro.obs.prom` — counter/gauge/histogram primitives with
+  Prometheus text-format exposition (plus the parser/validator the
+  tests and CI scrape-check consume);
+* :mod:`repro.obs.timeseries` — per-epoch ring buffers of tenant
+  allocation, miss ratio, lag and resolve latency;
+* :mod:`repro.obs.server` — the ``/metrics`` + ``/healthz`` endpoint on
+  a stdlib ``http.server`` thread (``repro-cps serve --metrics-port``);
+* :mod:`repro.obs.console` — the ``repro-cps top`` frame renderer.
+
+The library convention: every instrumentable class takes a ``tracer``
+(default :data:`~repro.obs.trace.NULL_TRACER`) and offers a
+``register_with(registry)`` that binds its live counters to callback
+metrics — observability is opt-in per call site and zero-cost when off.
+"""
+
+from repro.obs.prom import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    check_counters_monotone,
+    parse_exposition,
+    validate_exposition,
+)
+from repro.obs.server import MetricsServer
+from repro.obs.timeseries import EpochTimeSeries
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "LATENCY_BUCKETS",
+    "parse_exposition",
+    "validate_exposition",
+    "check_counters_monotone",
+    "MetricsServer",
+    "EpochTimeSeries",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,102 @@
+"""Terminal rendering for ``repro-cps top``.
+
+A pure string renderer: :func:`render_dashboard` turns a controller's
+epoch time-series and metrics snapshot into one fixed-width frame —
+per-tenant allocation bars, miss-ratio sparklines and lag, then the
+service counters (re-solves, cache hit ratio, latency, churn).  The CLI
+redraws the frame per epoch; keeping the renderer free of I/O and ANSI
+state makes it directly testable and usable in logs.
+"""
+
+from __future__ import annotations
+
+from repro.obs.timeseries import EpochTimeSeries
+
+__all__ = ["render_dashboard", "sparkline", "bar"]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
+
+
+def sparkline(values, *, width: int = 24, lo: float = 0.0, hi: float | None = None) -> str:
+    """Last ``width`` values as a unicode sparkline (empty input → '')."""
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    top = max(vals) if hi is None else hi
+    span = top - lo
+    if span <= 0:
+        return _SPARKS[0] * len(vals)
+    out = []
+    for v in vals:
+        frac = min(max((v - lo) / span, 0.0), 1.0)
+        out.append(_SPARKS[min(int(frac * len(_SPARKS)), len(_SPARKS) - 1)])
+    return "".join(out)
+
+
+def bar(fraction: float, *, width: int = 20) -> str:
+    """A ``[####----]``-style meter for a 0..1 fraction."""
+    frac = min(max(float(fraction), 0.0), 1.0)
+    filled = int(round(frac * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_dashboard(
+    series: EpochTimeSeries,
+    snapshot: dict,
+    *,
+    cache_blocks: int,
+    history: int = 24,
+) -> str:
+    """One frame of the ``top`` view.
+
+    ``series`` is the controller's epoch ring, ``snapshot`` its
+    ``OnlineMetrics.snapshot()``; ``cache_blocks`` scales the allocation
+    bars.  Returns a plain multi-line string (no ANSI codes — the CLI
+    owns screen control).
+    """
+    rows = series.last(1)
+    lines: list[str] = []
+    if not rows:
+        lines.append("waiting for the first epoch...")
+    else:
+        row = rows[0]
+        lines.append(
+            f"epoch {row['epoch']:>4d}   "
+            f"{'re-solved' if row['resolved'] else 'drift-skip':>10s}   "
+            f"{'walls moved' if row['moved'] else 'walls held':>11s}   "
+            f"drift {row['drift']:.4f}" if row["drift"] != float("inf")
+            else f"epoch {row['epoch']:>4d}   re-solved   first solve"
+        )
+        lines.append("")
+        lines.append(
+            f"{'tenant':>10s} {'alloc':>6s} {'share':22s} "
+            f"{'miss ratio':>10s} {'trend (' + str(history) + ' epochs)':24s} {'lag':>7s}"
+        )
+        for i, name in enumerate(series.names):
+            alloc = row["allocation"][i]
+            mr = row["miss_ratio"][i]
+            lag = row["lag"][i]
+            trend = sparkline(series.series("miss_ratio", tenant=i), width=history, hi=1.0)
+            lines.append(
+                f"{name:>10.10s} {alloc:6.0f} [{bar(alloc / cache_blocks)}] "
+                f"{mr:10.4f} {trend:24s} {lag:7d}"
+            )
+    lines.append("")
+    lines.append(
+        f"epochs {snapshot['epochs']:>5d}   re-solves {snapshot['resolves']:>5d}   "
+        f"drift skips {snapshot['drift_skips']:>5d}   "
+        f"cache hits {snapshot['solver_cache_hit_ratio']:6.1%}"
+    )
+    lines.append(
+        f"resolve latency mean {snapshot['resolve_latency_mean_s'] * 1e3:7.2f} ms   "
+        f"last {snapshot['resolve_latency_last_s'] * 1e3:7.2f} ms   "
+        f"resolve trend {sparkline(series.series('resolve_s'), width=history)}"
+    )
+    lines.append(
+        f"walls moved {snapshot['walls_moved']:>4d}   "
+        f"blocks moved {snapshot['blocks_moved']:>6d}   "
+        f"hysteresis holds {snapshot['hysteresis_holds']:>4d}   "
+        f"sampling {snapshot['effective_sampling_rate']:6.1%}"
+    )
+    return "\n".join(lines)

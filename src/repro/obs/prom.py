@@ -1,0 +1,401 @@
+"""Prometheus text-format exposition, stdlib only.
+
+The service layer exports its counters through the Prometheus exposition
+format (text version 0.0.4) — the lingua franca of the systems this
+repo's related work operates in (LFOC steers clustering from scraped
+per-application cache metrics; Memshare sizes arenas from hit-rate
+telemetry).  A real client library is a dependency we don't take; the
+subset needed here is small and fully specified:
+
+* :class:`Counter` — monotone; exposition name must end in ``_total``;
+* :class:`Gauge` — settable; both support **callback** values
+  (``set_function``) so live objects (``OnlineMetrics``, ``FoldCache``)
+  stay the single source of truth and the registry reads them at scrape
+  time instead of being double-counted into a parallel store;
+* :class:`Histogram` — explicit upper-inclusive buckets with cumulative
+  counts, ``_sum`` and ``_count`` series; this replaces the bare
+  ``Timer`` mean for resolve latency (a mean hides the tail; the paper's
+  0.21 s/group figure is only comparable bucket by bucket);
+* :class:`Registry` — owns name uniqueness and renders ``/metrics``.
+
+The module also ships :func:`parse_exposition` and
+:func:`validate_exposition` — the consumer side — used by the schema
+tests and the CI scrape smoke-check, so the format promise is pinned
+from both directions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "LATENCY_BUCKETS",
+    "parse_exposition",
+    "validate_exposition",
+    "check_counters_monotone",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds): sub-ms solver-cache hits up through
+#: the paper's ~0.21 s/group full-grid DP and stragglers beyond it.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(v: float) -> str:
+    if isinstance(v, bool):  # bool is an int subclass; be explicit
+        return "1" if v else "0"
+    f = float(v)
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared shape: a named family rendering one ``# TYPE`` block."""
+
+    TYPE = "untyped"
+
+    def __init__(self, name: str, help: str, *, labelnames: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        for ln in labelnames:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"invalid label name {ln!r}")
+        self.labelnames = tuple(labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+        self._fn: Callable[[], float | Mapping] | None = None
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    # -------------------------------------------------------------- data
+    def _key(self, labels: Mapping[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[ln]) for ln in self.labelnames)
+
+    def set_function(self, fn: Callable[[], float | Mapping]) -> None:
+        """Read the value(s) at scrape time instead of storing them.
+
+        Unlabeled metrics take a ``() -> number`` callback; labeled ones
+        a ``() -> {label_value(s): number}`` mapping (keys are a single
+        label value, or a tuple matching ``labelnames``).  Series absent
+        from one scrape's mapping disappear from the exposition — which
+        is exactly how closed tenants stop being scraped.
+        """
+        self._fn = fn
+
+    def _samples(self) -> list[tuple[tuple[str, ...], float]]:
+        if self._fn is None:
+            return sorted(self._values.items())
+        value = self._fn()
+        if isinstance(value, Mapping):
+            out = []
+            for k, v in value.items():
+                key = (str(k),) if not isinstance(k, tuple) else tuple(str(x) for x in k)
+                if len(key) != len(self.labelnames):
+                    raise ValueError(f"{self.name}: callback key {k!r} arity mismatch")
+                out.append((key, float(v)))
+            return sorted(out)
+        if self.labelnames:
+            raise ValueError(f"{self.name}: labeled metric callback must return a mapping")
+        return [((), float(value))]
+
+    # --------------------------------------------------------- rendering
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.TYPE}",
+        ]
+        for key, value in self._samples():
+            labels = dict(zip(self.labelnames, key))
+            lines.append(f"{self.name}{_format_labels(labels)} {_format_value(value)}")
+        return "\n".join(lines)
+
+
+class Counter(_Metric):
+    """Monotone event count.  Exposition names must end in ``_total``."""
+
+    TYPE = "counter"
+
+    def __init__(self, name: str, help: str, *, labelnames: Sequence[str] = ()) -> None:
+        if not name.endswith("_total"):
+            raise ValueError(f"counter {name!r} must end in '_total'")
+        super().__init__(name, help, labelnames=labelnames)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        if self.labelnames or self._fn is not None:
+            raise ValueError("value is only defined for plain unlabeled counters")
+        return self._values[()]
+
+
+class Gauge(_Metric):
+    """A value that can go either way (backlog, entries, lag)."""
+
+    TYPE = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram(_Metric):
+    """Explicit-bucket histogram (cumulative, upper-inclusive edges).
+
+    ``observe(v)`` lands ``v`` in every bucket whose upper bound ``le``
+    satisfies ``v <= le`` (Prometheus semantics — a value exactly on a
+    bucket edge belongs to that bucket), plus the implicit ``+Inf``
+    bucket; ``_sum`` and ``_count`` accumulate alongside.
+    """
+
+    TYPE = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        *,
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        edges = sorted(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("need at least one bucket")
+        if any(not math.isfinite(b) for b in edges):
+            raise ValueError("bucket edges must be finite (+Inf is implicit)")
+        if len(set(edges)) != len(edges):
+            raise ValueError("bucket edges must be distinct")
+        self.buckets = tuple(edges)
+        self._counts = [0] * (len(edges) + 1)  # non-cumulative; +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.buckets, float(value))] += 1
+        self.sum += float(value)
+        self.count += 1
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Cumulative counts per edge, ending with the ``+Inf`` total."""
+        out, running = [], 0
+        for c in self._counts:
+            running += c
+            out.append(running)
+        return tuple(out)
+
+    def render(self) -> str:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.TYPE}",
+        ]
+        cumulative = self.bucket_counts()
+        for edge, c in zip(self.buckets, cumulative):
+            lines.append(f'{self.name}_bucket{{le="{_format_value(edge)}"}} {c}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return "\n".join(lines)
+
+
+class Registry:
+    """Name-unique collection of metrics; renders the ``/metrics`` page."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def register(self, metric: _Metric) -> _Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str, **kw) -> Counter:
+        return self.register(Counter(name, help, **kw))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, **kw) -> Gauge:
+        return self.register(Gauge(name, help, **kw))  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str, **kw) -> Histogram:
+        return self.register(Histogram(name, help, **kw))  # type: ignore[return-value]
+
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._metrics)
+
+    def render(self) -> str:
+        """The full exposition page (text format 0.0.4, trailing newline)."""
+        blocks = [m.render() for m in self._metrics.values()]
+        return "\n".join(blocks) + "\n" if blocks else ""
+
+
+# ---------------------------------------------------------------------------
+# Consumer side: parse + validate, shared by tests and the CI scrape check.
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse a text-format page into ``{family: {"type", "samples"}}``.
+
+    ``samples`` maps ``(sample_name, labels_tuple)`` to the float value;
+    histogram ``_bucket``/``_sum``/``_count`` series fold into their base
+    family.  Raises ``ValueError`` on anything malformed — this is a
+    validator first and a parser second.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            _, _, name, mtype = parts
+            if mtype not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {mtype!r}")
+            types[name] = mtype
+            families.setdefault(name, {"type": mtype, "samples": {}})["type"] = mtype
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group("name")
+        labels: tuple[tuple[str, str], ...] = ()
+        if m.group("labels"):
+            labels = tuple(
+                (k, v) for k, v in _LABEL_PAIR_RE.findall(m.group("labels"))
+            )
+        value = _parse_value(m.group("value"))
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        fam = families.setdefault(family, {"type": types.get(family, "untyped"), "samples": {}})
+        key = (name, labels)
+        if key in fam["samples"]:
+            raise ValueError(f"line {lineno}: duplicate sample {key}")
+        fam["samples"][key] = value
+    return families
+
+
+def validate_exposition(text: str) -> dict[str, dict]:
+    """Parse and enforce the format's semantic promises.
+
+    Beyond syntactic validity: counter families end in ``_total`` and are
+    non-negative; every histogram's bucket series is cumulative
+    non-decreasing, its ``+Inf`` bucket equals ``_count``, and ``_sum``
+    is present.  Returns the parsed families for further checks.
+    """
+    families = parse_exposition(text)
+    for name, fam in families.items():
+        if fam["type"] == "counter":
+            if not name.endswith("_total"):
+                raise ValueError(f"counter {name!r} must end in '_total'")
+            for key, v in fam["samples"].items():
+                if v < 0:
+                    raise ValueError(f"counter sample {key} is negative")
+        elif fam["type"] == "histogram":
+            buckets = sorted(
+                (
+                    (_parse_value(dict(labels)["le"]), v)
+                    for (sname, labels), v in fam["samples"].items()
+                    if sname == f"{name}_bucket"
+                ),
+                key=lambda kv: kv[0],
+            )
+            if not buckets or buckets[-1][0] != math.inf:
+                raise ValueError(f"histogram {name!r} is missing its +Inf bucket")
+            counts = [v for _, v in buckets]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                raise ValueError(f"histogram {name!r} buckets are not cumulative")
+            count = fam["samples"].get((f"{name}_count", ()))
+            if count is None or (f"{name}_sum", ()) not in fam["samples"]:
+                raise ValueError(f"histogram {name!r} is missing _sum/_count")
+            if counts[-1] != count:
+                raise ValueError(
+                    f"histogram {name!r}: +Inf bucket {counts[-1]} != count {count}"
+                )
+    return families
+
+
+def check_counters_monotone(before: dict[str, dict], after: dict[str, dict]) -> None:
+    """Assert no counter went backwards between two parsed scrapes."""
+    for name, fam in before.items():
+        if fam["type"] != "counter" or name not in after:
+            continue
+        for key, v0 in fam["samples"].items():
+            v1 = after[name]["samples"].get(key)
+            if v1 is not None and v1 < v0:
+                raise ValueError(f"counter {key} went backwards: {v0} -> {v1}")

@@ -1,0 +1,111 @@
+"""The scrape endpoint: ``/metrics`` and ``/healthz`` on a stdlib server.
+
+A :class:`MetricsServer` wraps one :class:`~repro.obs.prom.Registry`
+behind a daemon-threaded ``http.server`` — no framework, no event loop.
+``repro-cps serve --metrics-port`` runs one next to the controller so a
+Prometheus scraper (or ``curl``) can watch a live replay; port ``0``
+binds an ephemeral port (tests read it back from :attr:`port`).
+
+The handler renders the registry at request time, so callback-backed
+metrics (see :meth:`repro.obs.prom._Metric.set_function`) always expose
+the live values without any push step in the hot path — the service pays
+for observability only when someone is actually looking.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.prom import Registry
+
+__all__ = ["MetricsServer", "CONTENT_TYPE"]
+
+#: Prometheus text exposition format version 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve a registry's exposition on ``/metrics`` (+ ``/healthz``).
+
+    Parameters
+    ----------
+    registry:
+        The metric registry rendered per scrape.
+    port:
+        TCP port; ``0`` picks an ephemeral one (see :attr:`port`).
+    host:
+        Bind address; loopback by default — exposing beyond the host is
+        a deployment decision, not a library default.
+    """
+
+    def __init__(self, registry: Registry, *, port: int = 0, host: str = "127.0.0.1") -> None:
+        self.registry = registry
+        self._started = time.monotonic()
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = server.registry.render().encode("utf-8")
+                    self._reply(200, CONTENT_TYPE, body)
+                elif path == "/healthz":
+                    body = json.dumps(
+                        {
+                            "status": "ok",
+                            "uptime_s": round(time.monotonic() - server._started, 3),
+                        }
+                    ).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args) -> None:  # silence per-request noise
+                return None
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after requesting an ephemeral one)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,126 @@
+"""Epoch-indexed time-series rings for the online controller.
+
+One-shot snapshots (``OnlineMetrics.snapshot()``) answer "where is the
+service now"; operating a live allocator also needs "what has it been
+doing" — did the walls oscillate, which tenant's miss ratio spiked when
+its lag grew, is resolve latency drifting up as profiles widen.  The
+:class:`EpochTimeSeries` records one row per finalized epoch — per-tenant
+allocation, miss ratio and lag, plus the epoch's resolve latency, drift
+and decision flags — in a bounded ring, so memory is O(capacity · tenants)
+no matter how long the service runs.
+
+The ring is the data source for :class:`~repro.online.replay.ReplayReport`
+exports, ``repro-cps serve --metrics-out`` JSON dumps, and the
+``repro-cps top`` terminal view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["EpochTimeSeries"]
+
+#: Per-tenant fields of one epoch row.
+TENANT_FIELDS = ("allocation", "miss_ratio", "lag")
+#: Scalar fields of one epoch row.
+EPOCH_FIELDS = ("resolve_s", "drift", "resolved", "moved")
+
+
+class EpochTimeSeries:
+    """Bounded per-epoch history of one controller instance.
+
+    Parameters
+    ----------
+    names:
+        Tenant names; every recorded row carries one value per tenant
+        for each of :data:`TENANT_FIELDS`.
+    capacity:
+        Epoch rows retained; older rows age out.
+    """
+
+    def __init__(self, names: Sequence[str], *, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.names = tuple(names)
+        self.capacity = int(capacity)
+        self._rows: deque[dict] = deque(maxlen=self.capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ----------------------------------------------------------- writing
+    def record(
+        self,
+        epoch: int,
+        *,
+        allocation: Sequence[float],
+        miss_ratio: Sequence[float],
+        lag: Sequence[int],
+        resolve_s: float,
+        drift: float,
+        resolved: bool,
+        moved: bool,
+    ) -> None:
+        """Append one epoch's row (evicting the oldest beyond capacity)."""
+        n = len(self.names)
+        if not (len(allocation) == len(miss_ratio) == len(lag) == n):
+            raise ValueError(f"per-tenant fields must have {n} entries")
+        if len(self._rows) == self.capacity:
+            self.dropped += 1
+        self._rows.append(
+            {
+                "epoch": int(epoch),
+                "allocation": [float(a) for a in allocation],
+                "miss_ratio": [float(m) for m in miss_ratio],
+                "lag": [int(v) for v in lag],
+                "resolve_s": float(resolve_s),
+                "drift": float(drift),
+                "resolved": bool(resolved),
+                "moved": bool(moved),
+            }
+        )
+
+    # ----------------------------------------------------------- reading
+    @property
+    def epochs(self) -> np.ndarray:
+        """Epoch indices of the retained rows, oldest first."""
+        return np.array([r["epoch"] for r in self._rows], dtype=np.int64)
+
+    def series(self, field: str, tenant: str | int | None = None) -> np.ndarray:
+        """One field's values across the retained epochs.
+
+        Per-tenant fields (:data:`TENANT_FIELDS`) require ``tenant`` (name
+        or index); scalar fields (:data:`EPOCH_FIELDS`) forbid it.
+        """
+        if field in TENANT_FIELDS:
+            if tenant is None:
+                raise ValueError(f"field {field!r} is per-tenant; pass tenant=")
+            i = self.names.index(tenant) if isinstance(tenant, str) else int(tenant)
+            if not 0 <= i < len(self.names):
+                raise ValueError(f"tenant index {i} out of range")
+            return np.array([r[field][i] for r in self._rows], dtype=np.float64)
+        if field in EPOCH_FIELDS:
+            if tenant is not None:
+                raise ValueError(f"field {field!r} is not per-tenant")
+            return np.array([r[field] for r in self._rows], dtype=np.float64)
+        raise ValueError(f"unknown field {field!r}")
+
+    def last(self, n: int = 1) -> list[dict]:
+        """The most recent ``n`` rows, oldest first (for dashboards)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rows = list(self._rows)
+        return [dict(r) for r in rows[max(len(rows) - n, 0):]]
+
+    def to_dict(self) -> dict:
+        """JSON-able export: tenant names, capacity bookkeeping, rows."""
+        return {
+            "tenants": list(self.names),
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "rows": [dict(r) for r in self._rows],
+        }

@@ -1,0 +1,270 @@
+"""Span tracing: where the engine's time actually goes.
+
+A :class:`Tracer` records *spans* — named, nested, monotonic-clock
+intervals — around the operations worth explaining to an operator:
+a ``GroupSolver`` evaluation, a ``FoldCache`` fold, a controller epoch,
+one chunk of the parallel §VII-A sweep.  Spans land in a bounded
+in-memory ring (old spans age out; memory is O(capacity), never O(run
+length)) and, optionally, in a JSONL journal for offline analysis
+(``repro-cps serve --trace-out`` / ``study --trace-out``).
+
+Design constraints, in order:
+
+1. **zero cost when off** — the default tracer everywhere is
+   :data:`NULL_TRACER`, whose ``span()`` returns one shared no-op
+   context manager: no allocation, no clock read, no branch in the
+   instrumented hot paths beyond the method call itself;
+2. **mergeable** — the parallel sweep's worker processes each run their
+   own tracer and ship exported span dicts back with their chunk
+   results; :meth:`Tracer.adopt` folds them into the parent trace with
+   fresh ids and a ``worker`` tag, so one trace describes the whole run;
+3. **flat and greppable** — a span exports as one JSON object per line
+   with ``name``/``start``/``end``/``dur_ms``/``id``/``parent``/
+   ``attrs``; no schema registry, no proto.
+
+Nesting is tracked per tracer with an explicit stack (the engine is
+single-threaded per process; worker processes get their own tracer), so
+``parent`` links reconstruct the call tree without any thread-local
+magic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One named interval on the monotonic clock, with tree structure."""
+
+    name: str
+    start: float
+    end: float = 0.0
+    span_id: int = 0
+    parent_id: int | None = None
+    worker: str | None = None
+    attrs: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def to_dict(self) -> dict:
+        d = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "dur_ms": self.duration_s * 1e3,
+            "id": self.span_id,
+            "parent": self.parent_id,
+        }
+        if self.worker is not None:
+            d["worker"] = self.worker
+        if self.attrs:
+            d["attrs"] = self.attrs
+        if self.events:
+            d["events"] = self.events
+        return d
+
+
+class _ActiveSpan:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self.span)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            self.span.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self._tracer._pop(self.span)
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.span.attrs.update(attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time event inside the span."""
+        ev: dict = {"name": name, "t": time.monotonic()}
+        if attrs:
+            ev.update(attrs)
+        self.span.events.append(ev)
+
+
+class _NullSpan:
+    """The shared no-op span: enter/exit/set/event all do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the same shared no-op.
+
+    Library code takes a tracer argument defaulting to
+    :data:`NULL_TRACER` and calls it unconditionally; the no-op keeps
+    the disabled path free of clock reads and allocations, which is what
+    lets the DP and sweep hot loops stay instrumented without a
+    measurable throughput cost.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def spans(self) -> tuple[Span, ...]:
+        return ()
+
+    def export(self) -> list[dict]:
+        return []
+
+    def drain(self) -> list[dict]:
+        return []
+
+    def adopt(self, spans: list[dict], *, worker: str | None = None) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer: bounded ring + optional JSONL journal.
+
+    Parameters
+    ----------
+    capacity:
+        Completed spans kept in memory; older spans age out (the journal,
+        if any, keeps everything).
+    journal:
+        Path (or open text file) receiving one JSON object per completed
+        span.  Lines are written on span exit and flushed on
+        :meth:`close`, so a crashed run still leaves a usable journal.
+    """
+
+    enabled = True
+
+    def __init__(self, *, capacity: int = 4096, journal: str | IO[str] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: deque[Span] = deque(maxlen=self.capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._journal: IO[str] | None
+        self._owns_journal = isinstance(journal, str)
+        if isinstance(journal, str):
+            self._journal = open(journal, "w", encoding="utf-8")
+        else:
+            self._journal = journal
+        self.dropped = 0  # spans aged out of the ring
+
+    # ------------------------------------------------------------- spans
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a span; use as a context manager around the timed region."""
+        s = Span(name=name, start=time.monotonic(), attrs=attrs)
+        return _ActiveSpan(self, s)
+
+    def _push(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.monotonic()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # out-of-order exit: drop whatever the span orphaned
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+        self._record(span)
+
+    def _record(self, span: Span) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(span)
+        if self._journal is not None:
+            self._journal.write(json.dumps(span.to_dict()) + "\n")
+
+    # ----------------------------------------------------------- reading
+    def spans(self) -> tuple[Span, ...]:
+        """Completed spans still in the ring, oldest first."""
+        return tuple(self._ring)
+
+    def export(self) -> list[dict]:
+        """The ring as JSON-able dicts (the journal line format)."""
+        return [s.to_dict() for s in self.spans()]
+
+    def drain(self) -> list[dict]:
+        """Export the ring and clear it (worker-to-parent handoff)."""
+        out = self.export()
+        self._ring.clear()
+        return out
+
+    def adopt(self, spans: list[dict], *, worker: str | None = None) -> None:
+        """Merge spans exported by another tracer (a sweep worker).
+
+        Ids are remapped into this tracer's id space — parent links
+        *within* the adopted batch survive, and the batch is tagged with
+        ``worker`` so merged traces stay attributable.
+        """
+        remap: dict[int, int] = {}
+        for d in spans:
+            new_id = self._next_id
+            self._next_id += 1
+            remap[int(d["id"])] = new_id
+        for d in spans:
+            parent = d.get("parent")
+            s = Span(
+                name=d["name"],
+                start=d["start"],
+                end=d["end"],
+                span_id=remap[int(d["id"])],
+                parent_id=remap.get(int(parent)) if parent is not None else None,
+                worker=worker if worker is not None else d.get("worker"),
+                attrs=dict(d.get("attrs", {})),
+                events=list(d.get("events", [])),
+            )
+            self._record(s)
+
+    def close(self) -> None:
+        """Flush (and, if this tracer opened it, close) the journal."""
+        if self._journal is not None:
+            self._journal.flush()
+            if self._owns_journal:
+                self._journal.close()
+            self._journal = None

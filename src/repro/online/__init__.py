@@ -32,6 +32,7 @@ from repro.online.replay import (
     phase_opposed_pair,
     replay,
     steady_pair,
+    stream,
 )
 from repro.online.solver_cache import SolverCache
 
@@ -47,5 +48,6 @@ __all__ = [
     "phase_opposed_pair",
     "replay",
     "steady_pair",
+    "stream",
     "SolverCache",
 ]

@@ -35,6 +35,13 @@ the controller reproduces ``plan_dynamic`` exactly — for *any* batching,
 aligned or not — the equivalence the test-suite pins down; nonzero knobs
 trade fidelity for work, which the :mod:`~repro.online.metrics` counters
 quantify.
+
+Observability: every epoch appends one row to a bounded
+:class:`~repro.obs.timeseries.EpochTimeSeries` (per-tenant allocation,
+miss ratio, lag; resolve latency, drift, decision flags); a ``tracer``
+records ``controller.epoch``/``controller.resolve`` spans (no-op by
+default); :meth:`OnlineController.register_metrics` binds the counters
+to a Prometheus registry for ``repro-cps serve --metrics-port``.
 """
 
 from __future__ import annotations
@@ -45,6 +52,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dynamic import EpochPlan
+from repro.obs.timeseries import EpochTimeSeries
+from repro.obs.trace import NULL_TRACER
 from repro.online.metrics import OnlineMetrics
 from repro.online.profiler import StreamingProfiler
 from repro.online.solver_cache import SolverCache
@@ -135,6 +144,8 @@ class OnlineController:
         config: ControllerConfig,
         *,
         names: tuple[str, ...] | None = None,
+        tracer=None,
+        timeseries_capacity: int = 1024,
     ) -> None:
         if n_tenants < 1:
             raise ValueError("need at least one tenant")
@@ -143,9 +154,12 @@ class OnlineController:
         self.config = config
         self.names = names or tuple(f"tenant{i}" for i in range(n_tenants))
         self.metrics = OnlineMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.timeseries = EpochTimeSeries(self.names, capacity=timeseries_capacity)
         self.solver_cache = SolverCache(
             quantum=config.quantum * config.epoch_length,
             max_entries=config.cache_entries,
+            tracer=self.tracer,
         )
         self._profilers = [
             StreamingProfiler(
@@ -194,6 +208,28 @@ class OnlineController:
     def buffered_accesses(self) -> int:
         """Accesses received but not yet attributed to an epoch."""
         return int((self._received - self._fed).sum())
+
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry, *, prefix: str = "repro"):
+        """Expose this controller on a :class:`~repro.obs.prom.Registry`.
+
+        Binds the :class:`~repro.online.metrics.OnlineMetrics` counters
+        (including the resolve-latency histogram), the solver cache's
+        hit/miss/eviction counters, and a per-tenant allocation gauge.
+        Returns the registry for chaining.
+        """
+        self.metrics.register_with(registry, prefix=prefix)
+        self.solver_cache.register_with(registry, prefix=f"{prefix}_solver_cache")
+        registry.gauge(
+            f"{prefix}_tenant_allocation_blocks",
+            "Standing per-tenant allocation in cache blocks.",
+            labelnames=("tenant",),
+        ).set_function(
+            lambda: {}
+            if self._current is None
+            else {n: int(a) for n, a in zip(self.names, self._current)}
+        )
+        return registry
 
     # ------------------------------------------------------------------
     def _tenant_index(self, tenant: int | str) -> int:
@@ -340,12 +376,27 @@ class OnlineController:
 
     def _refresh_flow_metrics(self) -> None:
         pending = self._received - self._fed
-        front = int(self._received.max())
         self.metrics.buffered_accesses = int(pending.sum())
+        # lag is a live-tenant concept: closed tenants are pruned (not
+        # zeroed) so scrapers never see dead series, and the reference
+        # front is the furthest *live* stream — a long-finished tenant
+        # must not make every survivor look permanently behind
+        live = ~self._closed
+        front = int(self._received[live].max()) if live.any() else 0
         self.metrics.tenant_lag = {
-            name: 0 if self._closed[i] else front - int(self._received[i])
+            name: front - int(self._received[i])
             for i, name in enumerate(self.names)
+            if live[i]
         }
+
+    def _tenant_lags(self) -> list[int]:
+        """Per-tenant lag including closed tenants (as 0), for the ring."""
+        live = ~self._closed
+        front = int(self._received[live].max()) if live.any() else 0
+        return [
+            0 if self._closed[i] else front - int(self._received[i])
+            for i in range(self.n_tenants)
+        ]
 
     # ------------------------------------------------------------------
     def _epoch_costs(self) -> tuple[list[np.ndarray], list[np.ndarray], int, int]:
@@ -369,75 +420,103 @@ class OnlineController:
 
     def _finalize_epoch(self) -> AllocationDecision:
         cfg = self.config
-        costs, ratios, n_total, n_longest = self._epoch_costs()
-        self.metrics.epochs += 1
+        with self.tracer.span("controller.epoch", epoch=self._epoch) as espan:
+            costs, ratios, n_total, n_longest = self._epoch_costs()
+            self.metrics.epochs += 1
 
-        drift = np.inf if self._solved_ratios is None else max(
-            float(np.mean(np.abs(r - prev)))
-            for r, prev in zip(ratios, self._solved_ratios)
-        )
-        if (
-            self._current is not None
-            and self._solved_ratios is not None
-            and drift < cfg.drift_threshold
-        ):
-            self.metrics.drift_skips += 1
-            decision = AllocationDecision(
-                epoch=self._epoch,
-                allocation=self._current.copy(),
-                resolved=False,
-                moved=False,
-                drift=drift,
-                predicted_gain=0.0,
+            drift = np.inf if self._solved_ratios is None else max(
+                float(np.mean(np.abs(r - prev)))
+                for r, prev in zip(ratios, self._solved_ratios)
             )
-            return self._commit(decision)
-
-        with self.metrics.resolve_timer:
-            # fingerprint quantum scales with this epoch's real length, so
-            # a short final epoch keeps the same miss-*ratio* lattice as a
-            # full one instead of a coarser miss-count one
-            result = self.solver_cache.solve(
-                costs, cfg.cache_blocks, quantum=cfg.quantum * n_longest
-            )
-        self.metrics.resolves += 1
-        self.metrics.solver_cache_hits = self.solver_cache.hits
-        self.metrics.solver_cache_misses = self.solver_cache.misses
-        self._solved_ratios = ratios
-
-        candidate = result.allocation
-        moved = self._current is None or not np.array_equal(candidate, self._current)
-        gain = 0.0
-        if self._current is not None and moved:
-            standing = sum(float(c[a]) for c, a in zip(costs, self._current))
-            gain = (standing - result.total_cost) / max(n_total, 1)
-            if gain < cfg.hysteresis:
-                self.metrics.hysteresis_holds += 1
+            if (
+                self._current is not None
+                and self._solved_ratios is not None
+                and drift < cfg.drift_threshold
+            ):
+                self.metrics.drift_skips += 1
+                espan.set(resolved=False, moved=False)
                 decision = AllocationDecision(
                     epoch=self._epoch,
                     allocation=self._current.copy(),
-                    resolved=True,
+                    resolved=False,
                     moved=False,
                     drift=drift,
-                    predicted_gain=gain,
+                    predicted_gain=0.0,
                 )
-                return self._commit(decision)
-        if moved and self._current is not None:
-            self.metrics.walls_moved += 1
-            self.metrics.blocks_moved += int(
-                np.abs(candidate - self._current).sum() // 2
-            )
-        self._current = candidate.copy()
-        decision = AllocationDecision(
-            epoch=self._epoch,
-            allocation=candidate.copy(),
-            resolved=True,
-            moved=moved,
-            drift=drift,
-            predicted_gain=gain,
-        )
-        return self._commit(decision)
+                return self._commit(decision, ratios, resolve_s=0.0)
 
-    def _commit(self, decision: AllocationDecision) -> AllocationDecision:
+            with self.tracer.span("controller.resolve", epoch=self._epoch):
+                with self.metrics.resolve_timer:
+                    # fingerprint quantum scales with this epoch's real
+                    # length, so a short final epoch keeps the same
+                    # miss-*ratio* lattice as a full one instead of a
+                    # coarser miss-count one
+                    result = self.solver_cache.solve(
+                        costs, cfg.cache_blocks, quantum=cfg.quantum * n_longest
+                    )
+            resolve_s = self.metrics.resolve_timer.last_s
+            self.metrics.resolves += 1
+            self.metrics.solver_cache_hits = self.solver_cache.hits
+            self.metrics.solver_cache_misses = self.solver_cache.misses
+            self._solved_ratios = ratios
+
+            candidate = result.allocation
+            moved = self._current is None or not np.array_equal(candidate, self._current)
+            gain = 0.0
+            if self._current is not None and moved:
+                standing = sum(float(c[a]) for c, a in zip(costs, self._current))
+                gain = (standing - result.total_cost) / max(n_total, 1)
+                if gain < cfg.hysteresis:
+                    self.metrics.hysteresis_holds += 1
+                    espan.set(resolved=True, moved=False)
+                    decision = AllocationDecision(
+                        epoch=self._epoch,
+                        allocation=self._current.copy(),
+                        resolved=True,
+                        moved=False,
+                        drift=drift,
+                        predicted_gain=gain,
+                    )
+                    return self._commit(decision, ratios, resolve_s=resolve_s)
+            if moved and self._current is not None:
+                self.metrics.walls_moved += 1
+                self.metrics.blocks_moved += int(
+                    np.abs(candidate - self._current).sum() // 2
+                )
+                espan.event(
+                    "walls_moved",
+                    blocks=int(np.abs(candidate - self._current).sum() // 2),
+                )
+            self._current = candidate.copy()
+            espan.set(resolved=True, moved=moved)
+            decision = AllocationDecision(
+                epoch=self._epoch,
+                allocation=candidate.copy(),
+                resolved=True,
+                moved=moved,
+                drift=drift,
+                predicted_gain=gain,
+            )
+            return self._commit(decision, ratios, resolve_s=resolve_s)
+
+    def _commit(
+        self,
+        decision: AllocationDecision,
+        ratios: list[np.ndarray],
+        *,
+        resolve_s: float,
+    ) -> AllocationDecision:
+        alloc = decision.allocation
+        self.timeseries.record(
+            decision.epoch,
+            allocation=alloc.tolist(),
+            miss_ratio=[float(r[int(a)]) for r, a in zip(ratios, alloc)],
+            lag=self._tenant_lags(),
+            resolve_s=resolve_s,
+            drift=decision.drift,
+            resolved=decision.resolved,
+            moved=decision.moved,
+        )
         self._decisions.append(decision)
         self._allocations.append(decision.allocation)
         self._epoch += 1

@@ -6,6 +6,13 @@ epoch-alignment buffering (backlog, late batches, per-tenant lag),
 solver-cache traffic, re-solve latency, and allocation churn.  The whole
 state exports as one flat dict (:meth:`OnlineMetrics.snapshot`) so a
 scraper — or a test — can read it atomically.
+
+For Prometheus scraping, :meth:`OnlineMetrics.register_with` binds every
+counter to a callback metric in a :class:`~repro.obs.prom.Registry` and
+upgrades resolve latency from a bare mean to an explicit-bucket
+histogram (``repro_resolve_latency_seconds``) fed by the
+:class:`Timer` — the live dataclass stays the single source of truth;
+the registry reads it at scrape time.
 """
 
 from __future__ import annotations
@@ -27,12 +34,17 @@ class Timer:
 
     Only clean exits accumulate: a region that raises counts toward
     ``errors`` instead of polluting ``mean_s`` with a partial sample.
+
+    ``histogram`` optionally mirrors every clean sample into a
+    :class:`~repro.obs.prom.Histogram`, giving scrapers the latency
+    *distribution* where the dataclass alone only keeps the mean/last.
     """
 
     total_s: float = 0.0
     count: int = 0
     errors: int = 0
     last_s: float = 0.0
+    histogram: object | None = field(default=None, repr=False, compare=False)
     _t0: float = field(default=0.0, repr=False)
 
     def __enter__(self) -> "Timer":
@@ -46,6 +58,8 @@ class Timer:
         self.last_s = time.perf_counter() - self._t0
         self.total_s += self.last_s
         self.count += 1
+        if self.histogram is not None:
+            self.histogram.observe(self.last_s)
 
     @property
     def mean_s(self) -> float:
@@ -127,3 +141,60 @@ class OnlineMetrics:
         for name, lag in self.tenant_lag.items():
             snap[f"lag[{name}]"] = lag
         return snap
+
+    def register_with(self, registry, *, prefix: str = "repro"):
+        """Bind every counter to callback metrics in ``registry``.
+
+        Counter-natured fields become ``<prefix>_*_total`` counters,
+        instantaneous ones gauges; per-tenant lag becomes a labeled
+        gauge (``<prefix>_tenant_lag{tenant=...}``) whose series follow
+        :attr:`tenant_lag` — a pruned (closed) tenant stops being
+        scraped.  Resolve latency is exposed as an explicit-bucket
+        histogram wired into :attr:`resolve_timer`, which starts
+        recording the distribution from registration on.  Returns the
+        registry for chaining.
+        """
+        counters = {
+            "accesses_ingested": ("accesses_seen", "Accesses attributed to epochs."),
+            "samples_kept": ("samples_seen", "Accesses kept by the spatial filter."),
+            "late_batches": ("late_batches", "Batches that arrived for a lagging tenant."),
+            "epochs": ("epochs", "Epochs finalized."),
+            "resolves": ("resolves", "Epochs whose DP ran."),
+            "drift_skips": ("drift_skips", "Epochs skipped by the drift damper."),
+            "walls_moved": ("walls_moved", "Re-solves whose allocation was adopted."),
+            "hysteresis_holds": (
+                "hysteresis_holds",
+                "Re-solves held back by the hysteresis damper.",
+            ),
+            "blocks_moved": ("blocks_moved", "Total allocation churn in blocks."),
+            "resolve_errors": (
+                "resolve_timer.errors",
+                "Solves that raised instead of completing.",
+            ),
+        }
+        for name, (attr, help_text) in counters.items():
+            if "." in attr:
+                obj_attr, leaf = attr.split(".")
+                fn = (lambda o=obj_attr, a=leaf: getattr(getattr(self, o), a))
+            else:
+                fn = (lambda a=attr: getattr(self, a))
+            registry.counter(f"{prefix}_{name}_total", help_text).set_function(fn)
+        registry.gauge(
+            f"{prefix}_buffered_accesses",
+            "Accesses received but not yet attributed to an epoch.",
+        ).set_function(lambda: self.buffered_accesses)
+        registry.gauge(
+            f"{prefix}_effective_sampling_rate",
+            "Observed samples/accesses ratio.",
+        ).set_function(lambda: self.effective_sampling_rate)
+        registry.gauge(
+            f"{prefix}_tenant_lag",
+            "Accesses by which a live tenant trails the furthest live stream.",
+            labelnames=("tenant",),
+        ).set_function(lambda: dict(self.tenant_lag))
+        hist = registry.histogram(
+            f"{prefix}_resolve_latency_seconds",
+            "Wall-clock latency of epoch DP re-solves.",
+        )
+        self.resolve_timer.histogram = hist
+        return registry

@@ -16,8 +16,8 @@ dynamic oracle).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -26,7 +26,13 @@ from repro.online.controller import AllocationDecision, ControllerConfig, Online
 from repro.workloads.generators import cyclic, phased, uniform_random, zipf
 from repro.workloads.trace import Trace
 
-__all__ = ["ReplayReport", "replay", "phase_opposed_pair", "steady_pair"]
+__all__ = [
+    "ReplayReport",
+    "replay",
+    "stream",
+    "phase_opposed_pair",
+    "steady_pair",
+]
 
 
 def phase_opposed_pair(
@@ -79,7 +85,14 @@ def steady_pair(
 
 @dataclass(frozen=True)
 class ReplayReport:
-    """Online run vs. its offline references, plus service metrics."""
+    """Online run vs. its offline references, plus service metrics.
+
+    ``timeseries`` is the controller's epoch ring exported as a JSON-able
+    dict (see :meth:`repro.obs.timeseries.EpochTimeSeries.to_dict`): one
+    row per epoch with per-tenant allocation/miss-ratio/lag and the
+    epoch's resolve latency — the history behind the ``metrics``
+    snapshot's point-in-time counters.
+    """
 
     plan: EpochPlan
     decisions: tuple[AllocationDecision, ...]
@@ -87,6 +100,7 @@ class ReplayReport:
     static: PlanResult
     oracle: PlanResult
     metrics: dict[str, float | int]
+    timeseries: dict = field(default_factory=dict)
 
     @property
     def online_miss_ratio(self) -> float:
@@ -123,27 +137,24 @@ class ReplayReport:
         return "\n".join(lines)
 
 
-def replay(
+def stream(
     traces: list[Trace],
-    config: ControllerConfig,
+    controller: OnlineController,
     *,
     batch_size: int | Sequence[int] | None = None,
-) -> ReplayReport:
-    """Stream ``traces`` through a fresh controller and evaluate the result.
+) -> Iterator[AllocationDecision]:
+    """Drive ``controller`` with ``traces``, yielding decisions as epochs close.
 
-    ``batch_size`` is the ingestion granularity — one int for every
-    tenant, or one per tenant to stream them at different speeds
-    (defaults to one epoch each).  The controller's per-tenant buffering
-    makes its output invariant to the batching, aligned or not; batching
-    exists to exercise the streaming path, not to change results.  A
-    trace is closed on the controller as soon as its last access has
-    been sent, so shorter tenants stop gating epoch finalization.
+    The streaming loop shared by :func:`replay` and ``repro-cps top``:
+    batches are sent per tenant at the requested granularity, each trace
+    is closed as soon as its last access has been sent (so shorter
+    tenants stop gating epoch finalization), and a trailing partial
+    epoch is flushed at the end.  Decisions are yielded in epoch order
+    the moment the controller finalizes them — a live consumer (the
+    ``top`` dashboard) sees each epoch as it happens.
     """
-    controller = OnlineController(
-        len(traces), config, names=tuple(t.name for t in traces)
-    )
     if batch_size is None:
-        steps = [config.epoch_length] * len(traces)
+        steps = [controller.config.epoch_length] * len(traces)
     elif isinstance(batch_size, int):
         steps = [batch_size] * len(traces)
     else:
@@ -161,13 +172,43 @@ def replay(
                 batches.append(t.blocks[sent[i] : sent[i] + steps[i]])
             else:
                 batches.append(empty)
-        controller.ingest(batches)
+        yield from controller.ingest(batches)
         for i, t in enumerate(traces):
             if sent[i] < len(t):
                 sent[i] = min(sent[i] + steps[i], len(t))
                 if sent[i] >= len(t):
-                    controller.close(i)
-    controller.finish()
+                    yield from controller.close(i)
+    yield from controller.finish()
+
+
+def replay(
+    traces: list[Trace],
+    config: ControllerConfig,
+    *,
+    batch_size: int | Sequence[int] | None = None,
+    registry=None,
+    tracer=None,
+) -> ReplayReport:
+    """Stream ``traces`` through a fresh controller and evaluate the result.
+
+    ``batch_size`` is the ingestion granularity — one int for every
+    tenant, or one per tenant to stream them at different speeds
+    (defaults to one epoch each).  The controller's per-tenant buffering
+    makes its output invariant to the batching, aligned or not; batching
+    exists to exercise the streaming path, not to change results.
+
+    ``registry`` (a :class:`~repro.obs.prom.Registry`) gets the
+    controller's metrics registered before the stream starts, so a
+    scraper watching ``/metrics`` sees the run live; ``tracer`` records
+    the controller's epoch/resolve spans.
+    """
+    controller = OnlineController(
+        len(traces), config, names=tuple(t.name for t in traces), tracer=tracer
+    )
+    if registry is not None:
+        controller.register_metrics(registry)
+    for _ in stream(traces, controller, batch_size=batch_size):
+        pass
 
     plan = controller.plan()
     cb, L = config.cache_blocks, config.epoch_length
@@ -178,4 +219,5 @@ def replay(
         static=simulate_plan(traces, plan_static(traces, cb, L)),
         oracle=simulate_plan(traces, plan_dynamic(traces, cb, L)),
         metrics=controller.metrics.snapshot(),
+        timeseries=controller.timeseries.to_dict(),
     )

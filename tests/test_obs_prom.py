@@ -1,0 +1,173 @@
+"""Prometheus exposition primitives: metric semantics and the validator."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    check_counters_monotone,
+    parse_exposition,
+    validate_exposition,
+)
+
+
+# ------------------------------------------------------------------ counters
+def test_counter_increments_and_renders():
+    c = Counter("repro_epochs_total", "Epochs finalized.")
+    c.inc()
+    c.inc(2)
+    assert c.value == 3
+    text = c.render()
+    assert "# TYPE repro_epochs_total counter" in text
+    assert "repro_epochs_total 3" in text
+
+
+def test_counter_name_must_end_in_total():
+    with pytest.raises(ValueError):
+        Counter("repro_epochs", "bad name")
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter("repro_x_total", "x")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_callback_counter_reads_live_value():
+    state = {"n": 0}
+    c = Counter("repro_live_total", "live")
+    c.set_function(lambda: state["n"])
+    state["n"] = 7
+    assert "repro_live_total 7" in c.render()
+
+
+# -------------------------------------------------------------------- gauges
+def test_labeled_gauge_callback_series_can_disappear():
+    lag = {"a": 3, "b": 1}
+    g = Gauge("repro_tenant_lag", "lag", labelnames=("tenant",))
+    g.set_function(lambda: dict(lag))
+    text = g.render()
+    assert 'repro_tenant_lag{tenant="a"} 3' in text
+    assert 'repro_tenant_lag{tenant="b"} 1' in text
+    del lag["a"]  # tenant closed: its series must vanish from the next scrape
+    text = g.render()
+    assert 'tenant="a"' not in text
+    assert 'repro_tenant_lag{tenant="b"} 1' in text
+
+
+def test_label_values_are_escaped():
+    g = Gauge("repro_g", "g", labelnames=("name",))
+    g.set(1, name='we"ird\\x')
+    parsed = parse_exposition(g.render() + "\n")
+    ((_, labels),) = parsed["repro_g"]["samples"].keys()
+    assert dict(labels)["name"] == r"we\"ird\\x"
+
+
+# ---------------------------------------------------------------- histograms
+def test_histogram_bucket_edges_are_upper_inclusive():
+    h = Histogram("repro_lat_seconds", "lat", buckets=(0.1, 0.5, 1.0))
+    h.observe(0.1)   # exactly on an edge -> that bucket, not the next
+    h.observe(0.05)
+    h.observe(0.7)
+    h.observe(2.0)   # beyond the last edge -> +Inf only
+    assert h.bucket_counts() == (2, 2, 3, 4)
+    assert h.count == 4
+    assert h.sum == pytest.approx(2.85)
+
+
+def test_histogram_renders_cumulative_buckets_sum_count():
+    h = Histogram("repro_lat_seconds", "lat", buckets=(0.25, 0.5))
+    h.observe(0.2)
+    h.observe(0.3)
+    text = h.render()
+    assert 'repro_lat_seconds_bucket{le="0.25"} 1' in text
+    assert 'repro_lat_seconds_bucket{le="0.5"} 2' in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
+    assert "repro_lat_seconds_sum 0.5" in text
+    assert "repro_lat_seconds_count 2" in text
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("repro_h", "h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("repro_h", "h", buckets=(0.1, 0.1))
+    with pytest.raises(ValueError):
+        Histogram("repro_h", "h", buckets=(0.1, math.inf))
+
+
+def test_default_latency_buckets_cover_the_paper_scale():
+    # sub-ms cache hits up through the ~0.21 s/group full DP
+    assert LATENCY_BUCKETS[0] <= 0.001
+    assert any(b >= 0.25 for b in LATENCY_BUCKETS)
+    assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+# ------------------------------------------------------------------ registry
+def test_registry_rejects_duplicate_names():
+    reg = Registry()
+    reg.counter("repro_a_total", "a")
+    with pytest.raises(ValueError):
+        reg.counter("repro_a_total", "again")
+
+
+def test_registry_render_roundtrips_through_validator():
+    reg = Registry()
+    reg.counter("repro_a_total", "a").inc(2)
+    reg.gauge("repro_b", "b").set(-1.5)
+    reg.histogram("repro_c_seconds", "c", buckets=(0.1, 1.0)).observe(0.5)
+    families = validate_exposition(reg.render())
+    assert set(families) == {"repro_a_total", "repro_b", "repro_c_seconds"}
+    assert families["repro_a_total"]["type"] == "counter"
+    assert families["repro_c_seconds"]["type"] == "histogram"
+
+
+# ----------------------------------------------------------------- validator
+def test_validate_rejects_noncumulative_histogram():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="0.1"} 5\n'
+        'h_bucket{le="+Inf"} 3\n'
+        "h_sum 1.0\n"
+        "h_count 3\n"
+    )
+    with pytest.raises(ValueError, match="cumulative"):
+        validate_exposition(bad)
+
+
+def test_validate_rejects_inf_bucket_count_mismatch():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="0.1"} 1\n'
+        'h_bucket{le="+Inf"} 3\n'
+        "h_sum 1.0\n"
+        "h_count 4\n"
+    )
+    with pytest.raises(ValueError, match="count"):
+        validate_exposition(bad)
+
+
+def test_validate_rejects_negative_counter():
+    bad = "# TYPE x_total counter\nx_total -1\n"
+    with pytest.raises(ValueError, match="negative"):
+        validate_exposition(bad)
+
+
+def test_parse_rejects_malformed_lines_and_duplicates():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_exposition("!!nonsense!!\n")
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_exposition("a 1\na 2\n")
+
+
+def test_check_counters_monotone():
+    t0 = parse_exposition("# TYPE a_total counter\na_total 3\n")
+    t1 = parse_exposition("# TYPE a_total counter\na_total 5\n")
+    check_counters_monotone(t0, t1)  # forward: fine
+    with pytest.raises(ValueError, match="backwards"):
+        check_counters_monotone(t1, t0)

@@ -1,0 +1,108 @@
+"""Epoch time-series ring: recording, field access, bounded retention."""
+
+import numpy as np
+import pytest
+
+from repro.obs import EpochTimeSeries
+
+
+def _fill(ts, n, *, tenants=2):
+    for e in range(n):
+        ts.record(
+            e,
+            allocation=[10 + e] * tenants,
+            miss_ratio=[0.1 * e] * tenants,
+            lag=[e] * tenants,
+            resolve_s=0.001 * e,
+            drift=0.01 * e,
+            resolved=e % 2 == 0,
+            moved=e % 3 == 0,
+        )
+
+
+def test_record_and_series_by_tenant_name_or_index():
+    ts = EpochTimeSeries(("a", "b"))
+    ts.record(
+        0,
+        allocation=[16, 40],
+        miss_ratio=[0.5, 0.1],
+        lag=[0, 3],
+        resolve_s=0.002,
+        drift=float("inf"),
+        resolved=True,
+        moved=True,
+    )
+    assert len(ts) == 1
+    np.testing.assert_array_equal(ts.epochs, [0])
+    assert ts.series("allocation", tenant="b")[0] == 40
+    assert ts.series("allocation", tenant=1)[0] == 40
+    assert ts.series("miss_ratio", tenant="a")[0] == pytest.approx(0.5)
+    assert ts.series("lag", tenant="b")[0] == 3
+    assert ts.series("resolve_s")[0] == pytest.approx(0.002)
+    assert np.isinf(ts.series("drift")[0])
+    assert ts.series("resolved")[0] == 1.0
+
+
+def test_field_validation():
+    ts = EpochTimeSeries(("a",))
+    _fill(ts, 1, tenants=1)
+    with pytest.raises(ValueError, match="per-tenant"):
+        ts.series("allocation")
+    with pytest.raises(ValueError, match="not per-tenant"):
+        ts.series("drift", tenant="a")
+    with pytest.raises(ValueError, match="unknown field"):
+        ts.series("bogus")
+    with pytest.raises(ValueError):
+        ts.series("lag", tenant="nobody")
+
+
+def test_record_rejects_wrong_arity():
+    ts = EpochTimeSeries(("a", "b"))
+    with pytest.raises(ValueError, match="2 entries"):
+        ts.record(
+            0,
+            allocation=[1],
+            miss_ratio=[0.1, 0.2],
+            lag=[0, 0],
+            resolve_s=0.0,
+            drift=0.0,
+            resolved=False,
+            moved=False,
+        )
+
+
+def test_ring_retention_and_drop_accounting():
+    ts = EpochTimeSeries(("a", "b"), capacity=4)
+    _fill(ts, 10)
+    assert len(ts) == 4
+    assert ts.dropped == 6
+    np.testing.assert_array_equal(ts.epochs, [6, 7, 8, 9])
+    # series reflect only retained rows
+    assert len(ts.series("resolve_s")) == 4
+
+
+def test_last_returns_copies_oldest_first():
+    ts = EpochTimeSeries(("a", "b"))
+    _fill(ts, 5)
+    rows = ts.last(3)
+    assert [r["epoch"] for r in rows] == [2, 3, 4]
+    rows[0]["epoch"] = 999  # mutating the copy must not corrupt the ring
+    assert ts.last(3)[0]["epoch"] == 2
+    assert ts.last(0) == []
+
+
+def test_to_dict_is_json_able_and_complete():
+    import json
+
+    ts = EpochTimeSeries(("a", "b"), capacity=8)
+    _fill(ts, 3)
+    d = ts.to_dict()
+    assert d["tenants"] == ["a", "b"]
+    assert d["capacity"] == 8
+    assert d["dropped"] == 0
+    assert len(d["rows"]) == 3
+    assert set(d["rows"][0]) == {
+        "epoch", "allocation", "miss_ratio", "lag",
+        "resolve_s", "drift", "resolved", "moved",
+    }
+    json.dumps(d)  # must serialize without a custom encoder

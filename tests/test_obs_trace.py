@@ -1,0 +1,123 @@
+"""Span tracer: nesting, ring bounds, journal, worker adoption."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+def test_span_records_name_duration_and_attrs():
+    tr = Tracer()
+    with tr.span("solve", budget=56) as s:
+        s.set(hit=True)
+    spans = tr.spans()
+    assert len(spans) == 1
+    sp = spans[0]
+    assert sp.name == "solve"
+    assert sp.attrs == {"budget": 56, "hit": True}
+    assert sp.end >= sp.start
+    assert sp.duration_s >= 0.0
+
+
+def test_nesting_sets_parent_links():
+    tr = Tracer()
+    with tr.span("outer"):
+        with tr.span("inner"):
+            pass
+        with tr.span("sibling"):
+            pass
+    by_name = {s.name: s for s in tr.spans()}
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["sibling"].parent_id == by_name["outer"].span_id
+    # children complete (and record) before the parent
+    names = [s.name for s in tr.spans()]
+    assert names == ["inner", "sibling", "outer"]
+
+
+def test_events_are_timestamped_inside_the_span():
+    tr = Tracer()
+    with tr.span("epoch") as s:
+        s.event("walls_moved", blocks=3)
+    (sp,) = tr.spans()
+    (ev,) = sp.events
+    assert ev["name"] == "walls_moved"
+    assert ev["blocks"] == 3
+    assert sp.start <= ev["t"] <= sp.end
+
+
+def test_exception_tags_span_and_propagates():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("boom"):
+            raise RuntimeError("no")
+    (sp,) = tr.spans()
+    assert sp.attrs["error"] == "RuntimeError"
+
+
+def test_ring_is_bounded_and_counts_drops():
+    tr = Tracer(capacity=3)
+    for i in range(5):
+        with tr.span(f"s{i}"):
+            pass
+    assert [s.name for s in tr.spans()] == ["s2", "s3", "s4"]
+    assert tr.dropped == 2
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_journal_writes_one_json_line_per_span(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tr = Tracer(journal=str(path))
+    with tr.span("a", k=1):
+        with tr.span("b"):
+            pass
+    tr.close()
+    lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+    assert [d["name"] for d in lines] == ["b", "a"]
+    assert lines[1]["attrs"] == {"k": 1}
+    assert lines[0]["parent"] == lines[1]["id"]
+    assert all("dur_ms" in d for d in lines)
+
+
+def test_adopt_remaps_ids_and_tags_worker():
+    worker = Tracer()
+    with worker.span("chunk"):
+        with worker.span("solve"):
+            pass
+    exported = worker.drain()
+    assert worker.spans() == ()
+
+    parent = Tracer()
+    with parent.span("study"):
+        pass
+    parent.adopt(exported, worker="w0")
+    by_name = {s.name: s for s in parent.spans()}
+    # fresh ids, no collision with the parent's own spans
+    ids = [s.span_id for s in parent.spans()]
+    assert len(set(ids)) == len(ids)
+    # intra-batch parent link survives the remap
+    assert by_name["solve"].parent_id == by_name["chunk"].span_id
+    assert by_name["chunk"].worker == "w0"
+    assert by_name["solve"].worker == "w0"
+    assert by_name["study"].worker is None
+
+
+def test_null_tracer_is_inert_and_shared():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    s1 = NULL_TRACER.span("anything", x=1)
+    s2 = NULL_TRACER.span("other")
+    assert s1 is s2  # one shared no-op object, no per-call allocation
+    with s1 as s:
+        s.set(a=1)
+        s.event("e")
+    assert NULL_TRACER.spans() == ()
+    assert NULL_TRACER.export() == []
+    assert NULL_TRACER.drain() == []
+    NULL_TRACER.adopt([{"id": 1}])
+    NULL_TRACER.close()

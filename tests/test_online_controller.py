@@ -349,3 +349,62 @@ def test_optimize_rejects_indivisible_units(capsys):
     assert rc == 2
     err = capsys.readouterr().err
     assert "divisible" in err
+
+
+# ------------------------------------------------------------- observability
+def test_closed_tenants_pruned_from_tenant_lag():
+    """A closed tenant must stop exporting a lag series — and must not
+    drag the lag reference front for the survivors."""
+    ctrl = OnlineController(2, _exact_config(8, 4), names=("web", "batch"))
+    ctrl.ingest([np.arange(8), np.arange(4)])
+    assert set(ctrl.metrics.tenant_lag) == {"web", "batch"}
+    assert ctrl.metrics.tenant_lag["batch"] == 4
+    ctrl.close("batch")
+    # dead series gone; live tenant measured against live streams only
+    assert set(ctrl.metrics.tenant_lag) == {"web"}
+    assert ctrl.metrics.tenant_lag["web"] == 0
+    assert ctrl.metrics.max_tenant_lag == 0
+    snap = ctrl.metrics.snapshot()
+    assert "lag[batch]" not in snap and snap["lag[web]"] == 0
+    ctrl.close("web")
+    assert ctrl.metrics.tenant_lag == {}
+
+
+def test_controller_timeseries_records_every_epoch():
+    traces, seg = phase_opposed_pair(loops=4)
+    report = replay(traces, _exact_config(56, seg))
+    ts = report.timeseries
+    assert ts["tenants"] == [t.name for t in traces]
+    assert len(ts["rows"]) == len(report.decisions) > 0
+    for row, d in zip(ts["rows"], report.decisions):
+        assert row["epoch"] == d.epoch
+        assert row["allocation"] == [float(a) for a in d.allocation]
+        assert row["resolved"] == d.resolved and row["moved"] == d.moved
+        assert sum(row["allocation"]) == 56
+        assert all(0.0 <= m <= 1.0 for m in row["miss_ratio"])
+        assert row["resolve_s"] >= 0.0
+    # resolve_s is the actual solve latency on resolved epochs, 0 on skips
+    resolved_rows = [r for r in ts["rows"] if r["resolved"]]
+    assert sum(r["resolve_s"] for r in resolved_rows) == pytest.approx(
+        report.metrics["resolve_latency_total_s"]
+    )
+
+
+def test_controller_tracer_spans_cover_epochs_and_resolves():
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    traces, seg = phase_opposed_pair(loops=4)
+    replay(traces, _exact_config(56, seg), tracer=tracer)
+    epochs = [s for s in tracer.spans() if s.name == "controller.epoch"]
+    resolves = [s for s in tracer.spans() if s.name == "controller.resolve"]
+    assert [s.attrs["epoch"] for s in epochs] == list(range(len(epochs)))
+    epoch_ids = {s.span_id for s in epochs}
+    assert resolves and all(s.parent_id in epoch_ids for s in resolves)
+    # wall-move events mirror the walls_moved counter: the initial
+    # allocation is "moved" but not a wall move, so epoch 0 carries none
+    moved = [s for s in epochs if s.attrs.get("moved") and s.attrs["epoch"] > 0]
+    assert moved and all(
+        any(ev["name"] == "walls_moved" for ev in s.events) for s in moved
+    )
+    assert not any(ev["name"] == "walls_moved" for ev in epochs[0].events)
