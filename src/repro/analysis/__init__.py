@@ -1,0 +1,58 @@
+"""repro.analysis — the project's own static contract checker (repro-lint).
+
+The repo's guarantees (bit-exact sweep replay, the ``repro.engine``
+facade, monotonic-clock latency, Prometheus naming, picklable pool
+workers) are invariants no off-the-shelf linter can know about.  This
+package encodes each one as an AST rule (``RL001``–``RL008``), run by a
+single-walk engine with inline line-scoped suppressions and text/JSON
+reporters, surfaced as ``repro-cps lint``.
+
+Typical use::
+
+    from repro.analysis import lint_paths, render_text
+
+    findings = lint_paths(["src"])
+    print(render_text(findings))
+
+Importing this package registers the full rule catalog (the import of
+:mod:`repro.analysis.rules` below is the registration side effect, the
+same pattern :mod:`repro.core.schemes` uses for solver schemes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers RL001–RL008)
+from repro.analysis.engine import (
+    PARSE_ERROR_ID,
+    FileContext,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    Rule,
+    get_rule,
+    register_rule,
+    resolve_rules,
+    rule_ids,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "rule_ids",
+]

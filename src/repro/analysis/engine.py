@@ -1,0 +1,219 @@
+"""The lint driver: one AST walk per file, rules fan out per node type.
+
+``repro-lint`` is a *contract* checker, not a style checker: every rule
+encodes an invariant the repo's correctness story depends on (bit-exact
+sweep replay, the engine facade, monotonic-clock latency, Prometheus
+naming).  The driver's job is mechanical:
+
+1. parse the file with :mod:`ast` (a syntax error is itself reported,
+   as ``RL000``, rather than crashing the run);
+2. collect inline suppressions — ``# repro-lint: disable=RL001`` or
+   ``disable=RL001,RL005`` on the *first line of the flagged
+   statement* suppresses those rules for that line only (there is no
+   file- or block-scoped escape hatch, by design: a contract you need
+   to opt out of wholesale is a contract to renegotiate in review);
+3. walk the tree once, dispatching each node to the rules that declared
+   interest in its class, then filter suppressed findings.
+
+The per-file cost is one parse + one walk regardless of rule count, so
+adding rules stays O(nodes), and findings come back in source order.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, resolve_rules
+
+__all__ = ["FileContext", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9, ]+)")
+
+#: Pseudo-rule id for files the parser rejects.
+PARSE_ERROR_ID = "RL000"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the file being linted.
+
+    ``module_parts`` are the dotted-module components derived from the
+    path (``.../src/repro/engine/solver.py`` → ``("repro", "engine",
+    "solver")``); rules scoped to a subpackage (RL003's engine
+    exemption, RL004's numeric packages) test membership on it rather
+    than re-deriving paths.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    module_parts: tuple[str, ...]
+    findings: list[Finding] = field(default_factory=list)
+    #: line -> rule ids suppressed on that line (``{"all"}`` matches any).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: child node -> parent node, for rules that need enclosure (RL006).
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def report(self, node: ast.AST, rule: Rule, message: str) -> None:
+        """Record one violation at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=rule.id,
+                message=message,
+            )
+        )
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self.parents.get(node)
+
+    def in_subpackage(self, *names: str) -> bool:
+        """True when the file lives under ``repro/<name>/`` for any name."""
+        parts = self.module_parts
+        for i, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[i + 1] in names:
+                return True
+        return False
+
+
+def _module_parts(path: str) -> tuple[str, ...]:
+    """Dotted-module components of ``path``, anchored at a ``repro`` dir.
+
+    Falls back to the bare stem for paths outside any ``repro`` tree
+    (rule fixtures in temp dirs), so subpackage-scoped rules simply
+    don't fire there unless the fixture mimics the layout.
+    """
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        return tuple(parts[parts.index("repro"):])
+    return (Path(path).stem,)
+
+
+def _collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Per-line suppressed rule ids from ``# repro-lint: disable=...``.
+
+    Only real COMMENT tokens count — a docstring or string literal that
+    merely *mentions* the marker must not suppress anything (this module's
+    own docstring being exhibit A).
+    """
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unreachable after a successful ast.parse; stay safe
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _SUPPRESS_RE.search(tok.string)
+        if m is not None:
+            ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+            if ids:
+                out[tok.start[0]] = ids
+    return out
+
+
+def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    The unit every caller reduces to: :func:`lint_file` reads then
+    delegates here, and the fixture tests feed bad/good snippets through
+    it directly.  Returns findings in source order, already filtered
+    through the inline suppressions.
+    """
+    rule_classes = resolve_rules(None) if rules is None else tuple(rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                rule_id=PARSE_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module_parts=_module_parts(path),
+        suppressions=_collect_suppressions(source),
+        parents=_build_parents(tree),
+    )
+    active = [cls() for cls in rule_classes]
+    dispatch: dict[type, list[Rule]] = {}
+    for rule in active:
+        rule.start_file(ctx)
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            rule.check(node, ctx)
+    for rule in active:
+        rule.finish_file(ctx)
+    kept = [
+        f
+        for f in ctx.findings
+        if not ({f.rule_id, "all"} & ctx.suppressions.get(f.line, set()))
+    ]
+    return sorted(kept)
+
+
+def lint_file(path: str | Path, *, rules: Sequence[type[Rule]] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Missing paths raise ``FileNotFoundError`` — a CI gate that silently
+    lints nothing is worse than one that fails loudly.
+    """
+    seen: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            seen.update(p.rglob("*.py"))
+        elif p.is_file():
+            seen.add(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings in path order."""
+    findings: list[Finding] = []
+    for p in iter_python_files(paths):
+        findings.extend(lint_file(p, rules=rules))
+    return findings

@@ -1,0 +1,43 @@
+"""The unit of lint output: one :class:`Finding` per contract violation.
+
+A finding is a plain, ordered, hashable record — ``path:line:col RLxxx
+message`` — so reporters, tests, and the suppression filter can treat
+results as data (sort them, diff them, count them by rule) without any
+knowledge of the rule that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is by location first (path, line, column) and rule id last,
+    which is the order reporters print in: a file reads top to bottom
+    regardless of which rules fired.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, str | int]:
+        """The JSON-reporter shape of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,102 @@
+"""The rule registry: every project contract is one named ``RLxxx`` entry.
+
+Mirrors the engine's scheme registry (:mod:`repro.engine.registry`): a
+rule registers once under a stable id, ``rule_ids()`` is the single
+source of the rule tuple, and the CLI's ``--select``/``--list-rules``
+resolve through :func:`resolve_rules`.  Registration order is the
+presentation order of the rule catalog (docs, ``--list-rules``).
+
+Contract for a rule class:
+
+* class attributes ``id`` (``RLxxx``), ``name`` (kebab-case slug), and
+  ``contract`` (one sentence: the invariant the rule encodes);
+* ``node_types`` lists the AST node classes the engine should dispatch
+  to :meth:`Rule.check`; the engine walks each file's tree exactly once
+  and fans nodes out to every interested rule;
+* optional :meth:`Rule.start_file` / :meth:`Rule.finish_file` hooks for
+  per-file state (RL008 collects module-level defs this way);
+* rules report via ``ctx.report(node, message, rule)`` and must be
+  deterministic: same source in, same findings out, in source order.
+
+A fresh rule *instance* is created per file, so per-file state on
+``self`` needs no reset discipline.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import TYPE_CHECKING, ClassVar, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import ast
+
+    from repro.analysis.engine import FileContext
+
+__all__ = ["Rule", "register_rule", "get_rule", "rule_ids", "resolve_rules"]
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+
+class Rule:
+    """Base class for one static contract check.
+
+    Subclasses override :meth:`check` (per dispatched node) and may
+    override the file hooks.  The base implementations do nothing, so a
+    rule only implements the hooks it needs.
+    """
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    contract: ClassVar[str] = ""
+    #: AST node classes dispatched to :meth:`check`.
+    node_types: ClassVar[tuple[type, ...]] = ()
+
+    def start_file(self, ctx: "FileContext") -> None:
+        """Called once before any node of the file is dispatched."""
+
+    def check(self, node: "ast.AST", ctx: "FileContext") -> None:
+        """Called for every node whose class is in :attr:`node_types`."""
+
+    def finish_file(self, ctx: "FileContext") -> None:
+        """Called once after the whole tree has been walked."""
+
+
+_REGISTRY: "OrderedDict[str, type[Rule]]" = OrderedDict()
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add ``cls`` to the catalog under ``cls.id``.
+
+    Ids must be unique and shaped ``RLxxx`` — a typo'd duplicate
+    silently shadowing a contract rule would un-gate CI.
+    """
+    if not _RULE_ID_RE.match(cls.id):
+        raise ValueError(f"rule id {cls.id!r} must match RLxxx")
+    if not cls.name or not cls.contract:
+        raise ValueError(f"rule {cls.id} must declare a name and a contract")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"rule {cls.id} is already registered")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Look up one rule class; unknown ids raise ``ValueError``."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ValueError(f"unknown rule {rule_id!r}") from None
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Every registered rule id, in registration (= catalog) order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_rules(select: Iterable[str] | None = None) -> tuple[type[Rule], ...]:
+    """The rule classes for ``select`` (all registered ones when ``None``)."""
+    if select is None:
+        return tuple(_REGISTRY.values())
+    chosen: Sequence[str] = list(select)
+    return tuple(get_rule(rid) for rid in chosen)

@@ -1,0 +1,43 @@
+"""Render findings for humans (text) and for machines (JSON).
+
+Reporters are pure functions from a finding list to a string: no I/O,
+no exit codes — the CLI owns both.  That keeps them trivially testable
+and means the JSON shape (``{"findings": [...], "count": N}``) is the
+stable machine interface for CI annotations or editor integrations.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RLxxx message`` line per finding, plus a tally.
+
+    Findings are printed in the order given (the engine already sorts in
+    source order); the trailing summary counts per rule so a long run
+    ends with the shape of the problem, not just its size.
+    """
+    if not findings:
+        return "repro-lint: no findings"
+    lines = [f"{f.location()}: {f.rule_id} {f.message}" for f in findings]
+    tally = Counter(f.rule_id for f in findings)
+    breakdown = ", ".join(f"{rid}×{n}" for rid, n in sorted(tally.items()))
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"repro-lint: {len(findings)} {noun} ({breakdown})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The machine shape: ``{"findings": [...], "count": N}``, sorted keys."""
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

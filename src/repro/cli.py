@@ -14,7 +14,10 @@ Subcommands mirror the paper's workflow:
   time-series as JSON, ``--trace-out`` journals spans as JSONL;
 * ``top``         — the live terminal view of the controller: per-tenant
   allocation bars, miss-ratio sparklines, lag and solver counters,
-  redrawn as each epoch closes.
+  redrawn as each epoch closes;
+* ``lint``        — repro-lint, the project's own static contract
+  checker (:mod:`repro.analysis`): determinism, engine-facade,
+  telemetry, and robustness invariants as ``RL001``–``RL008``.
 """
 
 from __future__ import annotations
@@ -103,13 +106,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
         f"{cfg.group_size}, {cfg.n_units} units of {cfg.unit_blocks} blocks"
         + (f", {jobs} worker processes" if jobs > 1 else "")
     )
-    t0 = time.time()
+    t0 = time.perf_counter()
     profile = build_suite_profile(cfg)
-    print(f"  profiled {len(profile.names)} programs in {time.time() - t0:.1f}s")
-    t0 = time.time()
+    print(f"  profiled {len(profile.names)} programs in {time.perf_counter() - t0:.1f}s")
+    t0 = time.perf_counter()
     result = run_study(profile, progress=True, n_jobs=jobs, tracer=tracer)
-    per_group = (time.time() - t0) / cfg.n_groups
-    print(f"  swept {cfg.n_groups} groups in {time.time() - t0:.1f}s "
+    per_group = (time.perf_counter() - t0) / cfg.n_groups
+    print(f"  swept {cfg.n_groups} groups in {time.perf_counter() - t0:.1f}s "
           f"({per_group * 1e3:.1f} ms/group)")
     fc = result.fold_cache_stats
     if fc:
@@ -174,12 +177,46 @@ def _cmd_export(args: argparse.Namespace) -> int:
     cfg = ExperimentConfig.from_env()
     jobs = args.jobs if args.jobs is not None else cfg.n_jobs
     print(f"Running the study ({cfg.n_groups} groups, {cfg.n_units} units)...")
-    t0 = time.time()
+    t0 = time.perf_counter()
     result = run_study(build_suite_profile(cfg), n_jobs=jobs)
-    print(f"  done in {time.time() - t0:.1f}s; writing CSVs to {args.out}")
+    print(f"  done in {time.perf_counter() - t0:.1f}s; writing CSVs to {args.out}")
     for path in export_study(result, args.out):
         print(f"  wrote {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        get_rule,
+        lint_paths,
+        render_json,
+        render_text,
+        resolve_rules,
+        rule_ids,
+    )
+
+    if args.list_rules:
+        for rid in rule_ids():
+            cls = get_rule(rid)
+            print(f"{rid}  {cls.name:22s} {cls.contract}")
+        return 0
+    selected = None
+    if args.select is not None:
+        try:
+            selected = resolve_rules(
+                tok.strip() for tok in args.select.split(",") if tok.strip()
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        findings = lint_paths(args.paths, rules=selected)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -419,6 +456,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--plain", action="store_true",
                    help="print frames sequentially instead of redrawing in place")
     p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "lint", help="check the project contracts (repro-lint, rules RL001-RL008)"
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("profile", help="locality summary of catalog programs")
     p.add_argument("--programs", default="lbm,mcf,povray")

@@ -15,18 +15,32 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass
-from typing import MutableMapping, Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro.core.minplus import MinPlusFold, fold_curves
 
 __all__ = [
+    "PartitionMemo",
     "PartitionResult",
     "cost_fingerprint",
     "optimal_partition",
     "brute_force_partition",
 ]
+
+
+class PartitionMemo(Protocol):
+    """What :func:`optimal_partition` needs from a ``memo``: get + setitem.
+
+    Structural on purpose — a plain ``dict`` works, and so does the
+    engine's :class:`~repro.engine.foldcache.FoldCache` (an LRU with
+    hit/miss counters that is deliberately *not* a ``MutableMapping``).
+    """
+
+    def get(self, key: bytes, default: None = None) -> "PartitionResult | None": ...
+
+    def __setitem__(self, key: bytes, value: "PartitionResult") -> None: ...
 
 
 @dataclass(frozen=True)
@@ -71,7 +85,7 @@ def optimal_partition(
     costs: Sequence[np.ndarray],
     budget: int,
     *,
-    memo: MutableMapping[bytes, "PartitionResult"] | None = None,
+    memo: PartitionMemo | None = None,
     quantum: float = 0.0,
 ) -> PartitionResult:
     """Solve Eq. 15: ``argmin sum_i cost_i(c_i)  s.t.  sum_i c_i = budget``.
@@ -86,8 +100,9 @@ def optimal_partition(
         Total cache units to distribute.
     memo:
         Optional mapping keyed on :func:`cost_fingerprint`; a hit skips
-        the O(P·C²) fold entirely.  Any ``MutableMapping`` works — the
-        online service passes its LRU/statistics wrapper
+        the O(P·C²) fold entirely.  Anything satisfying
+        :class:`PartitionMemo` works — a plain ``dict``, or the online
+        service's LRU/statistics wrapper
         (:class:`repro.online.solver_cache.SolverCache`).
     quantum:
         Fingerprint quantization for ``memo`` lookups (see

@@ -30,7 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cachesim.stack import COLD, stack_distances
-from repro.engine.foldcache import FoldCache
+from repro.engine import FoldCache
 from repro.locality.mrc import MissRatioCurve
 from repro.locality.phases import epoch_profiles
 from repro.workloads.trace import Trace
@@ -119,7 +119,7 @@ def plan_dynamic(
     allocations = np.zeros((n_epochs, len(traces)), dtype=np.int64)
     solver = cache if cache is not None else FoldCache(max_entries=max(128, n_epochs))
     for e in range(n_epochs):
-        costs = []
+        costs: list[np.ndarray] = []
         for profiles in per_program:
             if e < len(profiles):
                 fp = profiles[e].footprint

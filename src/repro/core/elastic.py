@@ -82,7 +82,7 @@ def elasticity_sweep(
     base_costs = np.array(
         [float(c[a]) for c, a in zip(costs, baseline_alloc.tolist())]
     )
-    points = []
+    points: list[ElasticityPoint] = []
     for delta in deltas:
         res = elastic_partition(costs, budget, baseline_alloc, delta)
         realized = np.array(

@@ -19,7 +19,7 @@ This is the machinery behind the paper's §IV scheduling motivation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class Assignment:
         return len(self.groups)
 
 
-def _groupings_into_at_most(items: list[int], k: int):
+def _groupings_into_at_most(items: list[int], k: int) -> Iterator[list[list[int]]]:
     """All set partitions of ``items`` with at most ``k`` parts."""
     from repro.core.partition_sharing import set_partitions
 
@@ -89,7 +89,8 @@ def optimal_assignment(
         total = sum(cost(g) for g in key)
         if best is None or total < best.total_misses - 1e-9:
             best = Assignment(groups=key, total_misses=total)
-    assert best is not None
+    if best is None:
+        raise RuntimeError("grouping enumeration yielded no assignment")
     return best
 
 

@@ -68,7 +68,7 @@ def qos_costs(
     _grid_check(mrcs)
     if len(miss_ratio_caps) != len(mrcs):
         raise ValueError("one cap per program required")
-    out = []
+    out: list[np.ndarray] = []
     for m, cap in zip(mrcs, miss_ratio_caps):
         cost = m.miss_counts()
         out.append(np.where(m.ratios <= cap + 1e-15, cost, np.inf))
@@ -87,7 +87,7 @@ def constrained_costs(
     """
     if len(costs) != len(thresholds):
         raise ValueError("one threshold per cost curve required")
-    out = []
+    out: list[np.ndarray] = []
     for cost, thr in zip(costs, thresholds):
         cost = np.asarray(cost, dtype=np.float64)
         slack = thr + rtol * max(abs(thr), 1.0)

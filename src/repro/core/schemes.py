@@ -26,8 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.engine.registry import scheme_names
-from repro.engine.solver import GroupEvaluation, GroupSolver, SchemeOutcome
+from repro.engine import GroupEvaluation, GroupSolver, SchemeOutcome, scheme_names
 from repro.locality.footprint import FootprintCurve
 from repro.locality.mrc import MissRatioCurve
 

@@ -41,13 +41,16 @@ argument.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Sequence, cast
 
 import numpy as np
 
 from repro.core.dp import PartitionResult, cost_fingerprint, optimal_partition
 from repro.core.minplus import minplus_convolve
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, TracerLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.prom import Registry
 
 __all__ = ["FoldCache"]
 
@@ -69,7 +72,11 @@ class FoldCache:
     """
 
     def __init__(
-        self, *, quantum: float = 0.0, max_entries: int = 128, tracer=None
+        self,
+        *,
+        quantum: float = 0.0,
+        max_entries: int = 128,
+        tracer: TracerLike | None = None,
     ) -> None:
         if quantum < 0.0:
             raise ValueError("quantum must be >= 0")
@@ -77,14 +84,14 @@ class FoldCache:
             raise ValueError("max_entries must be >= 1")
         self.quantum = float(quantum)
         self.max_entries = int(max_entries)
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ---------------------------------------------------------- mapping
-    def get(self, key: Hashable, default=None):
+    def get(self, key: Hashable, default: Any = None) -> Any:
         if key in self._store:
             self.hits += 1
             self._store.move_to_end(key)
@@ -92,7 +99,7 @@ class FoldCache:
         self.misses += 1
         return default
 
-    def __setitem__(self, key: Hashable, value) -> None:
+    def __setitem__(self, key: Hashable, value: Any) -> None:
         self._store[key] = value
         self._store.move_to_end(key)
         while len(self._store) > self.max_entries:
@@ -129,7 +136,9 @@ class FoldCache:
             "evictions": self.evictions,
         }
 
-    def register_with(self, registry, *, prefix: str = "repro_solver_cache"):
+    def register_with(
+        self, registry: "Registry", *, prefix: str = "repro_solver_cache"
+    ) -> "Registry":
         """Bind the live counters to callback metrics in ``registry``.
 
         Registers ``<prefix>_{hits,misses,evictions}_total`` counters and
@@ -173,7 +182,7 @@ class FoldCache:
         )
         cached = self.get(full_key)
         if cached is not None:
-            return cached
+            return cast("tuple[np.ndarray, np.ndarray]", cached)
         with self.tracer.span("foldcache.convolve", size=int(a.size)):
             result = minplus_convolve(a, b)
         self[full_key] = result

@@ -31,12 +31,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, overload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.solver import GroupContext, SchemeOutcome
 
 __all__ = ["Scheme", "register_scheme", "get_scheme", "scheme_names", "resolve_schemes"]
+
+#: The callable every scheme registers: one group's context in, outcome out.
+SchemeSolve = Callable[["GroupContext"], "SchemeOutcome"]
 
 
 @dataclass(frozen=True)
@@ -44,18 +47,30 @@ class Scheme:
     """One registered cache-sharing solution."""
 
     name: str
-    solve: Callable[["GroupContext"], "SchemeOutcome"]
+    solve: SchemeSolve
 
 
 _REGISTRY: "OrderedDict[str, Scheme]" = OrderedDict()
 
 
+@overload
+def register_scheme(
+    name: str, solve: None = None, *, replace: bool = False
+) -> Callable[[SchemeSolve], SchemeSolve]: ...
+
+
+@overload
+def register_scheme(
+    name: str, solve: SchemeSolve, *, replace: bool = False
+) -> SchemeSolve: ...
+
+
 def register_scheme(
     name: str,
-    solve: Callable[["GroupContext"], "SchemeOutcome"] | None = None,
+    solve: SchemeSolve | None = None,
     *,
     replace: bool = False,
-):
+) -> Callable[[SchemeSolve], SchemeSolve] | SchemeSolve:
     """Register a scheme under ``name``; usable directly or as a decorator.
 
     Re-registering an existing name raises unless ``replace=True`` (a
@@ -63,7 +78,7 @@ def register_scheme(
     every downstream table).
     """
 
-    def _register(fn: Callable[["GroupContext"], "SchemeOutcome"]) -> Callable:
+    def _register(fn: SchemeSolve) -> SchemeSolve:
         if not name:
             raise ValueError("scheme name must be non-empty")
         if name in _REGISTRY and not replace:
@@ -87,7 +102,7 @@ def scheme_names() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
-def resolve_schemes(names: Sequence[str] | None = None) -> Iterable[Scheme]:
+def resolve_schemes(names: Sequence[str] | None = None) -> tuple[Scheme, ...]:
     """The schemes for ``names`` (all registered ones when ``None``)."""
     if names is None:
         return tuple(_REGISTRY.values())

@@ -49,9 +49,9 @@ from repro.core.objectives import miss_count_costs
 from repro.core.sttw import sttw_partition
 from repro.engine.foldcache import FoldCache
 from repro.engine.registry import register_scheme, resolve_schemes
-from repro.obs.trace import NULL_TRACER
 from repro.locality.footprint import FootprintCurve
 from repro.locality.mrc import MissRatioCurve
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 __all__ = [
     "SchemeOutcome",
@@ -213,10 +213,12 @@ class GroupContext:
         every group containing that pair (the memoization the old
         methodology module carried privately).
         """
-        assert self.members is not None and len(self.members) == 4
+        if self.members is None or len(self.members) != 4:
+            raise ValueError("pair-tree fold requires a 4-member suite group")
         a, b, c, d = self.members
         cache = self.fold_cache
-        assert cache is not None
+        if cache is None:
+            raise ValueError("pair-tree fold requires the sweep FoldCache")
         val_ab, split_ab = cache.convolve(
             suite_costs[a], suite_costs[b], key=("pair", tag, a, b)
         )
@@ -265,13 +267,13 @@ class GroupSolver:
         fold_cache: FoldCache | None = None,
         shared: SweepShared | None = None,
         natural: str = "exact",
-        tracer=None,
+        tracer: TracerLike | None = None,
     ) -> None:
         if n_units < 1 or unit_blocks < 1:
             raise ValueError("n_units and unit_blocks must be >= 1")
         if natural not in ("exact", "grid"):
             raise ValueError("natural must be 'exact' or 'grid'")
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
         if shared is not None and fold_cache is None:
             fold_cache = FoldCache(
                 max_entries=max(256, 4 * len(shared.costs) ** 2), tracer=self.tracer
@@ -308,7 +310,7 @@ class GroupSolver:
             "solver.evaluate",
             group=list(members) if members is not None else [m.name for m in mrcs],
         ):
-            outcomes = {}
+            outcomes: dict[str, SchemeOutcome] = {}
             for s in self.schemes:
                 with self.tracer.span(f"solver.scheme.{s.name}"):
                     outcomes[s.name] = s.solve(ctx)
@@ -346,8 +348,9 @@ def _solve_natural(ctx: GroupContext) -> SchemeOutcome:
 @register_scheme("equal_baseline")
 def _solve_equal_baseline(ctx: GroupContext) -> SchemeOutcome:
     """§VI optimization with equal-partition fairness thresholds."""
-    if ctx.pair_sharing and ctx.solver.shared.eq_costs is not None:
-        alloc = ctx.pair_tree_allocate(ctx.solver.shared.eq_costs, "eq")
+    shared = ctx.solver.shared
+    if ctx.pair_sharing and shared is not None and shared.eq_costs is not None:
+        alloc = ctx.pair_tree_allocate(shared.eq_costs, "eq")
     else:
         alloc = equal_baseline_partition(ctx.costs, ctx.n_units).allocation
     return ctx.grid_outcome(alloc)
@@ -365,8 +368,9 @@ def _solve_natural_baseline(ctx: GroupContext) -> SchemeOutcome:
 @register_scheme("optimal")
 def _solve_optimal(ctx: GroupContext) -> SchemeOutcome:
     """The unconstrained DP optimum (Eq. 15)."""
-    if ctx.pair_sharing:
-        alloc = ctx.pair_tree_allocate(ctx.solver.shared.costs, "opt")
+    shared = ctx.solver.shared
+    if ctx.pair_sharing and shared is not None:
+        alloc = ctx.pair_tree_allocate(shared.costs, "opt")
     else:
         alloc = ctx.solve_partition(ctx.costs)
     return ctx.grid_outcome(alloc)

@@ -1,5 +1,12 @@
 """The paper's §VII evaluation: methodology, Table I, Figures 5–7, validation."""
 
+from repro.experiments.convergence import (
+    ConvergenceResult,
+    compare_convergence,
+    convergence_time,
+    windowed_miss_ratio,
+)
+from repro.experiments.export import export_study
 from repro.experiments.figures import (
     Figure5Program,
     SttwFailureStats,
@@ -9,20 +16,11 @@ from repro.experiments.figures import (
     gainer_fraction,
     sttw_failure_stats,
 )
-from repro.experiments.convergence import (
-    ConvergenceResult,
-    compare_convergence,
-    convergence_time,
-    windowed_miss_ratio,
-)
-from repro.experiments.export import export_study
 from repro.experiments.ground_truth import (
     GroundTruthRow,
     ordering_agreement,
     simulate_schemes,
 )
-from repro.experiments.qos import QoSPoint, qos_frontier, tightest_feasible_cap
-from repro.experiments.sampling import SubsetSpread, subset_spread
 from repro.experiments.io import (
     load_footprint_ascii,
     load_suite_npz,
@@ -37,6 +35,8 @@ from repro.experiments.methodology import (
     build_suite_profile,
     run_study,
 )
+from repro.experiments.qos import QoSPoint, qos_frontier, tightest_feasible_cap
+from repro.experiments.sampling import SubsetSpread, subset_spread
 from repro.experiments.scaling import ScalingRow, group_size_study
 from repro.experiments.table1 import (
     MR_FLOOR,

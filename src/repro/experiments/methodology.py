@@ -45,11 +45,10 @@ import numpy as np
 
 from repro.core.baselines import equal_allocation
 from repro.core.objectives import constrained_costs
-from repro.engine.registry import resolve_schemes, scheme_names
-from repro.engine.solver import GroupSolver, SweepShared
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.engine import GroupSolver, SweepShared, resolve_schemes, scheme_names
 from repro.locality.footprint import FootprintCurve, average_footprint
 from repro.locality.mrc import MissRatioCurve
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.workloads.spec import SPEC_NAMES, make_suite
 
 __all__ = [

@@ -24,7 +24,6 @@ from repro.locality.phases import (
     epoch_profiles,
     epoch_working_sets,
 )
-from repro.locality.sampling import bursty_footprint, sample_bursts
 from repro.locality.reuse import (
     ReuseProfile,
     batch_previous_positions,
@@ -35,6 +34,7 @@ from repro.locality.reuse import (
     reuse_profile,
     reuse_time_histogram,
 )
+from repro.locality.sampling import bursty_footprint, sample_bursts
 
 __all__ = [
     "implied_stack_distance_ccdf",

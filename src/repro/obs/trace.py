@@ -34,9 +34,39 @@ import json
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import IO
+from typing import IO, Any, Protocol
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "SpanLike",
+    "Tracer",
+    "TracerLike",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+class SpanLike(Protocol):
+    """What instrumented code may do with an open span.
+
+    Both :class:`_ActiveSpan` (recording) and :class:`_NullSpan` (no-op)
+    satisfy this structurally; typed callers (the engine) accept any
+    tracer through :class:`TracerLike` without caring which one they got.
+    """
+
+    def __enter__(self) -> "SpanLike": ...
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None: ...
+
+    def set(self, **attrs: Any) -> None: ...
+
+    def event(self, name: str, **attrs: Any) -> None: ...
+
+
+class TracerLike(Protocol):
+    """The tracer surface library code depends on: just ``span()``."""
+
+    def span(self, name: str, **attrs: Any) -> SpanLike: ...
 
 
 @dataclass
@@ -92,11 +122,11 @@ class _ActiveSpan:
             self.span.attrs["error"] = getattr(exc_type, "__name__", str(exc_type))
         self._tracer._pop(self.span)
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: Any) -> None:
         """Attach attributes discovered while the span is open."""
         self.span.attrs.update(attrs)
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: Any) -> None:
         """Record a point-in-time event inside the span."""
         ev: dict = {"name": name, "t": time.monotonic()}
         if attrs:
@@ -115,10 +145,10 @@ class _NullSpan:
     def __exit__(self, *exc: object) -> None:
         return None
 
-    def set(self, **attrs) -> None:
+    def set(self, **attrs: Any) -> None:
         return None
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: Any) -> None:
         return None
 
 
@@ -137,7 +167,7 @@ class NullTracer:
 
     enabled = False
 
-    def span(self, name: str, **attrs) -> _NullSpan:
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def spans(self) -> tuple[Span, ...]:
@@ -191,7 +221,7 @@ class Tracer:
         self.dropped = 0  # spans aged out of the ring
 
     # ------------------------------------------------------------- spans
-    def span(self, name: str, **attrs) -> _ActiveSpan:
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
         """Open a span; use as a context manager around the timed region."""
         s = Span(name=name, start=time.monotonic(), attrs=attrs)
         return _ActiveSpan(self, s)

@@ -23,7 +23,7 @@ keeps the online-facing name and docs.
 
 from __future__ import annotations
 
-from repro.engine.foldcache import FoldCache
+from repro.engine import FoldCache
 
 __all__ = ["SolverCache"]
 

@@ -259,7 +259,8 @@ _RECIPES: dict[str, tuple[Callable[[int, float], Trace], float, str]] = {
     "sphinx3": (_sphinx3, 1.5, "uniform"),
 }
 
-assert set(_RECIPES) == set(SPEC_NAMES)
+if set(_RECIPES) != set(SPEC_NAMES):
+    raise RuntimeError("workload recipe catalog is out of sync with SPEC_NAMES")
 
 
 def make_program(name: str, cache_blocks: int, *, length_scale: float = 1.0) -> Trace:

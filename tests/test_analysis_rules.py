@@ -1,0 +1,281 @@
+"""Per-rule good/bad fixtures for the repro-lint contract rules.
+
+Each rule gets at least one snippet that must fire and one that must
+stay silent; the suppression tests pin the inline escape hatch's exact
+scope (one line, listed rules only).
+"""
+
+from textwrap import dedent
+
+from repro.analysis import lint_source
+
+CORE = "src/repro/core/mod.py"  # inside the numeric packages (RL004 scope)
+PLAIN = "src/repro/workloads/mod.py"  # outside them
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint(source, path=CORE):
+    return lint_source(dedent(source), path)
+
+
+# ------------------------------------------------------------------ RL001
+def test_rl001_flags_global_stream_calls():
+    fs = lint("import numpy as np\nx = np.random.rand(4)\n")
+    assert ids(fs) == ["RL001"]
+
+
+def test_rl001_flags_seedless_default_rng():
+    assert ids(lint("import numpy as np\nrng = np.random.default_rng()\n")) == ["RL001"]
+    assert ids(
+        lint("from numpy.random import default_rng\nrng = default_rng()\n")
+    ) == ["RL001"]
+
+
+def test_rl001_allows_seeded_generators():
+    src = """
+    import numpy as np
+    rng = np.random.default_rng(42)
+    gen = np.random.Generator(np.random.PCG64(7))
+    legacy = np.random.RandomState(7)
+    """
+    assert lint(src) == []
+
+
+def test_rl001_flags_seedless_randomstate():
+    assert ids(lint("import numpy as np\nr = np.random.RandomState()\n")) == ["RL001"]
+
+
+# ------------------------------------------------------------------ RL002
+def test_rl002_flags_wall_clock():
+    assert ids(lint("import time\nt0 = time.time()\n")) == ["RL002"]
+
+
+def test_rl002_tracks_from_import_aliases():
+    assert ids(lint("from time import time\nt0 = time()\n")) == ["RL002"]
+    assert ids(lint("from time import time as now\nt0 = now()\n")) == ["RL002"]
+
+
+def test_rl002_allows_monotonic_clocks():
+    src = """
+    import time
+    t0 = time.perf_counter()
+    t1 = time.monotonic()
+    time.sleep(0.0)
+    """
+    assert lint(src) == []
+
+
+# ------------------------------------------------------------------ RL003
+def _fake_tree(tmp_path, exports):
+    """A repro tree with a facade exporting ``exports``; returns a file path."""
+    engine = tmp_path / "repro" / "engine"
+    engine.mkdir(parents=True)
+    engine.joinpath("__init__.py").write_text(f"__all__ = {exports!r}\n")
+    caller = tmp_path / "repro" / "other"
+    caller.mkdir()
+    return caller / "mod.py"
+
+
+def test_rl003_flags_deep_imports(tmp_path):
+    mod = _fake_tree(tmp_path, ["FoldCache"])
+    assert ids(
+        lint_source("from repro.engine.foldcache import FoldCache\n", str(mod))
+    ) == ["RL003"]
+    assert ids(lint_source("import repro.engine.solver\n", str(mod))) == ["RL003"]
+
+
+def test_rl003_checks_names_against_facade_all(tmp_path):
+    mod = _fake_tree(tmp_path, ["FoldCache"])
+    assert ids(
+        lint_source("from repro.engine import NotExported\n", str(mod))
+    ) == ["RL003"]
+    assert lint_source("from repro.engine import FoldCache\n", str(mod)) == []
+
+
+def test_rl003_silent_inside_engine(tmp_path):
+    _fake_tree(tmp_path, ["FoldCache"])
+    internal = tmp_path / "repro" / "engine" / "internal.py"
+    assert lint_source(
+        "from repro.engine.foldcache import FoldCache\n", str(internal)
+    ) == []
+
+
+# ------------------------------------------------------------------ RL004
+def test_rl004_flags_float_equality_in_numeric_packages():
+    assert ids(lint("def f(x):\n    return x == 1.0\n")) == ["RL004"]
+    assert ids(lint("def f(x, y):\n    return x != float(y)\n")) == ["RL004"]
+    assert ids(lint("def f(a, b, c):\n    return a / b == c\n")) == ["RL004"]
+
+
+def test_rl004_allows_exact_and_out_of_scope_comparisons():
+    # integer equality and inf-sentinel checks are exact
+    assert lint("def f(x):\n    return x == 1\n") == []
+    assert lint("import numpy as np\ndef f(x):\n    return x == np.inf\n") == []
+    # same float comparison outside the numeric packages: not this rule's job
+    assert lint("def f(x):\n    return x == 1.0\n", path=PLAIN) == []
+
+
+# ------------------------------------------------------------------ RL005
+def test_rl005_counter_needs_total_suffix():
+    assert ids(lint('registry.counter("repro_hits", "h")\n')) == ["RL005"]
+    assert lint('registry.counter("repro_hits_total", "h")\n') == []
+
+
+def test_rl005_requires_repro_prefix():
+    assert ids(lint('registry.counter("hits_total", "h")\n')) == ["RL005"]
+    assert ids(lint('prom.Counter("hits_total", "help text")\n')) == ["RL005"]
+
+
+def test_rl005_histogram_and_gauge_suffixes():
+    assert ids(lint('registry.histogram("repro_latency", "h")\n')) == ["RL005"]
+    assert lint('registry.histogram("repro_latency_seconds", "h")\n') == []
+    assert ids(lint('registry.gauge("repro_entries_total", "h")\n')) == ["RL005"]
+    assert lint('registry.gauge("repro_entries", "h")\n') == []
+
+
+def test_rl005_fstring_literal_tail_is_checked():
+    assert ids(lint('registry.counter(f"{prefix}_hits", "h")\n')) == ["RL005"]
+    assert lint('registry.counter(f"{prefix}_hits_total", "h")\n') == []
+
+
+def test_rl005_ignores_collections_counter():
+    assert lint('from collections import Counter\nc = Counter("hello")\n') == []
+
+
+# ------------------------------------------------------------------ RL006
+def test_rl006_flags_spans_outside_with():
+    assert ids(lint('s = tracer.span("solve")\n')) == ["RL006"]
+
+
+def test_rl006_allows_with_statements():
+    src = """
+    with tracer.span("solve", n=4) as span:
+        span.set(hit=True)
+    with tracer.span("fold"):
+        pass
+    """
+    assert lint(src) == []
+
+
+# ------------------------------------------------------------------ RL007
+def test_rl007_flags_asserts():
+    assert ids(lint("def f(x):\n    assert x > 0\n    return x\n")) == ["RL007"]
+
+
+def test_rl007_flags_mutable_defaults():
+    assert ids(lint("def f(a=[]):\n    return a\n")) == ["RL007"]
+    assert ids(lint("def f(*, b={}):\n    return b\n")) == ["RL007"]
+    assert ids(lint("def f(c=dict()):\n    return c\n")) == ["RL007"]
+    assert ids(lint("g = lambda x=[]: x\n")) == ["RL007"]
+
+
+def test_rl007_allows_immutable_defaults_and_raises():
+    src = """
+    def f(a=None, b=(), c=0):
+        if a is None:
+            raise ValueError("a required")
+        return a, b, c
+    """
+    assert lint(src) == []
+
+
+# ------------------------------------------------------------------ RL008
+def test_rl008_flags_lambda_and_nested_workers():
+    src = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    def main(items):
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(lambda x: x, items))
+    """
+    assert ids(lint(src)) == ["RL008"]
+
+    src = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    def main(items):
+        def work(x):
+            return x
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(work, items))
+    """
+    assert ids(lint(src)) == ["RL008"]
+
+
+def test_rl008_flags_global_rebinding_workers():
+    src = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    COUNT = 0
+
+    def _worker(x):
+        global COUNT
+        COUNT += 1
+        return x
+
+    def main(items):
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(_worker, items))
+    """
+    assert ids(lint(src)) == ["RL008"]
+
+
+def test_rl008_checks_the_initializer_too():
+    src = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    def main(items):
+        pool = ProcessPoolExecutor(initializer=lambda: None)
+        return list(pool.map(str, items))
+    """
+    assert "RL008" in ids(lint(src))
+
+
+def test_rl008_allows_module_level_state_dict_pattern():
+    src = """
+    from concurrent.futures import ProcessPoolExecutor
+
+    _POOL_STATE = {}
+
+    def _pool_init(profile):
+        _POOL_STATE["profile"] = profile
+
+    def _pool_sweep(task):
+        return _POOL_STATE["profile"], task
+
+    def main(profile, tasks):
+        with ProcessPoolExecutor(initializer=_pool_init, initargs=(profile,)) as pool:
+            return list(pool.map(_pool_sweep, tasks))
+    """
+    assert lint(src) == []
+
+
+def test_rl008_ignores_non_pool_map_methods():
+    assert lint("def f(frame, items):\n    return frame.map(lambda x: x)\n") == []
+
+
+# ------------------------------------------------------------ suppressions
+def test_suppression_is_line_scoped():
+    src = """
+    import time
+    t0 = time.time()  # repro-lint: disable=RL002
+    t1 = time.time()
+    """
+    fs = lint(src)
+    assert ids(fs) == ["RL002"]
+    assert fs[0].line == 4  # only the unsuppressed line survives
+
+
+def test_suppression_lists_and_all():
+    src = "import time\nassert time.time()  # repro-lint: disable=RL002,RL007\n"
+    assert lint(src) == []
+    src = "import time\nassert time.time()  # repro-lint: disable=all\n"
+    assert lint(src) == []
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    src = "import time\nt0 = time.time()  # repro-lint: disable=RL007\n"
+    assert ids(lint(src)) == ["RL002"]

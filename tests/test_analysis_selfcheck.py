@@ -1,0 +1,64 @@
+"""The dogfooding gate: the repo's own src tree satisfies every contract.
+
+This is the test that makes repro-lint a *ratchet*: any future change
+that times with the wall clock, bypasses the engine facade, mints an
+off-convention metric name, or validates with ``assert`` fails the
+suite, not just a CI side job.
+"""
+
+import subprocess
+import sys
+import tokenize
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, render_text, rule_ids
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def test_src_tree_is_contract_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def _has_suppression_comment(path):
+    with open(path, "rb") as fh:
+        for tok in tokenize.tokenize(fh.readline):
+            if tok.type == tokenize.COMMENT and "repro-lint: disable" in tok.string:
+                return True
+    return False
+
+
+def test_src_tree_has_no_blanket_suppressions():
+    """The escape hatch exists but the shipped tree must not lean on it.
+
+    Comments only: docstrings *documenting* the marker (the analysis
+    package's own) are fine and must not count.
+    """
+    offenders = [p for p in SRC.rglob("*.py") if _has_suppression_comment(p)]
+    assert offenders == []
+
+
+def test_cli_self_check_exits_zero(capsys):
+    assert main(["lint", str(SRC)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_all_eight_rules_are_active():
+    assert len(rule_ids()) == 8
+
+
+def test_mypy_strict_passes_on_typed_core():
+    """Gated: runs only where mypy is installed (the CI typecheck job)."""
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(REPO / "pyproject.toml")],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
