@@ -8,6 +8,9 @@ DP recovers what static walls waste, while costing nothing on steady
 programs.
 """
 
+BENCH_AREA = "ablation"
+BENCH_TIER = "full"
+
 
 from repro.core.dynamic import plan_dynamic, plan_static, simulate_plan
 from repro.workloads import cyclic, phased, uniform_random

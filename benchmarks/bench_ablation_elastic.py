@@ -7,6 +7,9 @@ degradation below its §VI baseline and watch the group miss ratio close
 the gap between the hard-fair solution and the unconstrained optimum.
 """
 
+BENCH_AREA = "ablation"
+BENCH_TIER = "full"
+
 import numpy as np
 import pytest
 

@@ -7,6 +7,9 @@ therefore how far an LRU-based optimal partition can drift when deployed
 on a non-LRU cache.
 """
 
+BENCH_AREA = "ablation"
+BENCH_TIER = "full"
+
 import numpy as np
 import pytest
 

@@ -10,6 +10,9 @@ analysis touches a fraction of the trace, and the miss-ratio curves —
 and the DP's final allocation — barely move.
 """
 
+BENCH_AREA = "ablation"
+BENCH_TIER = "full"
+
 import time
 
 import pytest
@@ -37,9 +40,9 @@ def bench_sampled_vs_full_profiling(traces, benchmark):
             bursty_footprint(t, burst[t.name], 3 * burst[t.name]) for t in traces
         ]
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     full = [average_footprint(t) for t in traces]
-    t_full = time.time() - t0
+    t_full = time.perf_counter() - t0
     fps_sampled = benchmark.pedantic(sampled, rounds=1, iterations=1)
 
     print(f"\nfull-trace profiling: {t_full:.3f}s for {len(traces)} programs")

@@ -11,6 +11,9 @@ Partition.  This bench verifies the reduction numerically on real
   exactly the paper's argument for searching only Eq. 3's space.
 """
 
+BENCH_AREA = "ablation"
+BENCH_TIER = "full"
+
 import pytest
 
 from repro.core.dp import optimal_partition

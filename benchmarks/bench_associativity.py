@@ -8,6 +8,9 @@ tracks the exact set-associative simulator, and the conversion barely
 moves the miss ratio at sane associativities (>= 4 ways).
 """
 
+BENCH_AREA = "validation"
+BENCH_TIER = "full"
+
 import pytest
 
 from repro.cachesim.associativity import smith_set_assoc_miss_ratio

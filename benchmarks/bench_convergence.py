@@ -12,6 +12,9 @@ stale data alive — measured here; on cold starts both schemes settle at
 the fill time and the gap disappears (the control experiment).
 """
 
+BENCH_AREA = "online"
+BENCH_TIER = "full"
+
 import numpy as np
 import pytest
 

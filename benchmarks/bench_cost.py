@@ -8,6 +8,13 @@ DESIGN.md: sharing the 120 two-program min-plus curves across the 1820
 groups versus folding every group from scratch.
 """
 
+BENCH_AREA = "cost"
+BENCH_TIER = "quick"
+BENCH_TIERS = {
+    "bench_ablation_pair_memoization": "full",
+    "bench_parallel_sweep": "full",
+}
+
 import numpy as np
 import pytest
 
@@ -16,6 +23,7 @@ from repro.core.baselines import equal_baseline_partition
 from repro.core.dp import optimal_partition
 from repro.core.minplus import minplus_convolve
 from repro.core.sttw import sttw_partition
+from repro.perf import record_metric
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +43,7 @@ def bench_optimal_partition_per_group(group_costs, suite_profile, benchmark):
     n_units = suite_profile.config.n_units
     res = benchmark(optimal_partition, group_costs, n_units)
     assert res.allocation.sum() == n_units
+    record_metric("optimal_total_cost", res.total_cost, direction="lower")
 
 
 def bench_sttw_per_group(group_costs, suite_profile, benchmark):
@@ -42,6 +51,11 @@ def bench_sttw_per_group(group_costs, suite_profile, benchmark):
     n_units = suite_profile.config.n_units
     alloc = benchmark(sttw_partition, group_costs, n_units)
     assert alloc.sum() == n_units
+    record_metric(
+        "sttw_total_cost",
+        sum(float(c[a]) for c, a in zip(group_costs, alloc)),
+        direction="lower",
+    )
 
 
 def bench_equal_baseline_per_group(group_costs, suite_profile, benchmark):
@@ -114,9 +128,9 @@ def bench_ablation_pair_memoization(suite_profile, benchmark):
 
     import time
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     d = direct()
-    t_direct = time.time() - t0
+    t_direct = time.perf_counter() - t0
     m, cache = benchmark.pedantic(memoized, rounds=1, iterations=1)
     assert np.allclose(d, m)
     old_hit_rate = 1.0 - (120 + len(groups)) / (3 * len(groups))
@@ -128,6 +142,8 @@ def bench_ablation_pair_memoization(suite_profile, benchmark):
           f"{st['entries']:,}/{st['max_entries']:,} entries, "
           f"{st['evictions']:,} evictions")
     assert cache.hit_ratio >= old_hit_rate
+    record_metric("fold_cache_hit_ratio", cache.hit_ratio, unit="ratio", direction="higher")
+    record_metric("direct_fold_wall_s", t_direct, unit="s", direction="lower", noisy=True)
 
 
 def bench_parallel_sweep(suite_profile, benchmark):
@@ -142,16 +158,16 @@ def bench_parallel_sweep(suite_profile, benchmark):
 
     groups = list(combinations(range(len(suite_profile.names)), 4))[:400]
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     serial = run_study(suite_profile, groups=groups, n_jobs=1)
-    t_serial = time.time() - t0
+    t_serial = time.perf_counter() - t0
 
     timing = {}
 
     def run_parallel():
-        t = time.time()
+        t = time.perf_counter()
         result = run_study(suite_profile, groups=groups, n_jobs=4)
-        timing["wall"] = time.time() - t
+        timing["wall"] = time.perf_counter() - t
         return result
 
     parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
@@ -168,5 +184,9 @@ def bench_parallel_sweep(suite_profile, benchmark):
           f"{st['hits']:,} hits / {st['lookups']:,} lookups "
           f"({st['hit_ratio']:.1%}), {st['entries']:,} entries, "
           f"{st['evictions']:,} evictions")
+    record_metric("parallel_speedup_x4", speedup, direction="higher", noisy=True)
+    record_metric(
+        "fold_cache_hit_ratio_parallel", st["hit_ratio"], unit="ratio", direction="higher"
+    )
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 2.0

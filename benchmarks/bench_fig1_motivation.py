@@ -9,6 +9,9 @@ Reproduced at trace level with the paper's literal 12-access traces (each
 program keeps at least one block): 30 < 33 < 37 total misses.
 """
 
+BENCH_AREA = "figures"
+BENCH_TIER = "full"
+
 import itertools
 
 from repro.cachesim.shared import simulate_partition_sharing

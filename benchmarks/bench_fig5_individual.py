@@ -11,6 +11,9 @@ equal-partition miss ratio.  Key observations reproduced and asserted:
 * Optimal helps and hurts individual programs (unfairness, §VII-B).
 """
 
+BENCH_AREA = "figures"
+BENCH_TIER = "full"
+
 import numpy as np
 
 from repro.experiments.figures import figure5

@@ -10,6 +10,9 @@ baseline, Optimal).  The visual facts asserted here:
 * the Equal curve sits clearly above the Natural curve on average.
 """
 
+BENCH_AREA = "figures"
+BENCH_TIER = "full"
+
 import numpy as np
 
 from repro.experiments.figures import figure6

@@ -10,6 +10,9 @@ substantial failure fraction overall; and groups where STTW loses to
 Natural.
 """
 
+BENCH_AREA = "figures"
+BENCH_TIER = "full"
+
 import numpy as np
 
 from repro.experiments.figures import figure7, sttw_failure_stats

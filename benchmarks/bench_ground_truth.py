@@ -7,6 +7,9 @@ beats simulated Equal, tracks its predicted value, and the free-for-all
 measurement matches the natural-partition prediction.
 """
 
+BENCH_AREA = "figures"
+BENCH_TIER = "full"
+
 import numpy as np
 import pytest
 

@@ -6,6 +6,9 @@ assignment exactly for suite programs on two sockets and measures the
 greedy heuristic's gap — the §IV scheduling story, mechanized.
 """
 
+BENCH_AREA = "sweep"
+BENCH_TIER = "full"
+
 import pytest
 
 from repro.core.multicache import greedy_assignment, optimal_assignment

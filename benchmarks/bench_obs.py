@@ -9,6 +9,12 @@ that, plus the price actually paid when a recording :class:`Tracer` is
 switched on.
 """
 
+BENCH_AREA = "obs"
+BENCH_TIER = "quick"
+BENCH_TIERS = {
+    "bench_sweep_tracing_disabled_overhead": "full",
+}
+
 import time
 
 from itertools import combinations
@@ -17,6 +23,7 @@ import numpy as np
 
 from repro.experiments.methodology import run_study
 from repro.obs import Registry, Tracer
+from repro.perf import record_metric
 
 
 def bench_sweep_tracing_disabled_overhead(suite_profile, benchmark):
@@ -33,17 +40,17 @@ def bench_sweep_tracing_disabled_overhead(suite_profile, benchmark):
 
     # warm-up (worker pool fork, page cache), then measure both variants
     run_disabled()
-    t0 = time.time()
+    t0 = time.perf_counter()
     base = run_disabled()
-    t_disabled = time.time() - t0
+    t_disabled = time.perf_counter() - t0
 
     timing = {}
 
     def run_tracing():
         tracer = Tracer(capacity=1 << 20)
-        t = time.time()
+        t = time.perf_counter()
         result = run_study(suite_profile, groups=groups, n_jobs=4, tracer=tracer)
-        timing["wall"] = time.time() - t
+        timing["wall"] = time.perf_counter() - t
         timing["spans"] = len(tracer.spans())
         return result
 
@@ -54,6 +61,7 @@ def bench_sweep_tracing_disabled_overhead(suite_profile, benchmark):
     overhead = t_traced / t_disabled - 1.0
     print(f"\ntracer off {t_disabled:.2f}s, on {t_traced:.2f}s "
           f"({overhead:+.1%}, {timing['spans']:,} spans kept)")
+    record_metric("tracing_overhead_ratio", overhead, direction="lower", noisy=True)
 
 
 def bench_foldcache_solve_null_tracer(suite_profile, benchmark):

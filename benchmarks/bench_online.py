@@ -13,9 +13,13 @@ Two costs dominate the streaming service:
   fingerprints cannot recur but sub-threshold drift skips the solve.
 """
 
+BENCH_AREA = "online"
+BENCH_TIER = "quick"
+
 from repro.online.controller import ControllerConfig
 from repro.online.profiler import StreamingProfiler
 from repro.online.replay import phase_opposed_pair, replay
+from repro.perf import record_metric
 from repro.workloads.generators import phased, uniform_random, zipf
 
 N_ACCESSES = 400_000
@@ -43,6 +47,14 @@ def bench_profiler_throughput(benchmark):
     print(f"\n{'sampling':>9s} {'accesses/s':>12s}")
     for rate, tput in sorted(rates.items()):
         print(f"{rate:8.0%} {tput:12,.0f}")
+    record_metric(
+        "profiler_accesses_per_s_full", rates[1.00],
+        unit="1/s", direction="higher", noisy=True,
+    )
+    record_metric(
+        "profiler_accesses_per_s_1pct", rates[0.01],
+        unit="1/s", direction="higher", noisy=True,
+    )
     # sampling must not cost more than full profiling
     assert rates[0.01] > 0.8 * rates[1.00]
 
@@ -92,6 +104,17 @@ def bench_solver_cache_across_epochs(benchmark):
         print(f"{name:>15s} {m['epochs']:6d} {m['resolves']:8d} "
               f"{m['solver_cache_hits']:5d} {m['solver_cache_hit_ratio']:9.1%} "
               f"{m['drift_skips']:11d} {m['resolve_latency_mean_s'] * 1e3:9.2f}ms")
+    record_metric(
+        "solver_cache_hit_ratio_steady",
+        steady.metrics["solver_cache_hit_ratio"], unit="ratio", direction="higher",
+    )
+    record_metric(
+        "solver_cache_hit_ratio_opposed",
+        opposed.metrics["solver_cache_hit_ratio"], unit="ratio", direction="higher",
+    )
+    record_metric(
+        "drift_skips_jitter", jitter.metrics["drift_skips"], direction="higher"
+    )
     # recurring instances must amortize: steady re-solves once, opposed twice-ish
     assert steady.metrics["solver_cache_hit_ratio"] >= 0.8
     assert opposed.metrics["solver_cache_hit_ratio"] >= 0.5
@@ -118,4 +141,13 @@ def bench_controller_end_to_end(benchmark):
           f"static {report.static_miss_ratio:.4f})")
     print(f"  sampled {m['effective_sampling_rate']:.1%}, "
           f"{m['resolves']} re-solves at {m['resolve_latency_mean_s'] * 1e3:.2f}ms mean")
+    record_metric("online_miss_ratio", report.online_miss_ratio, direction="lower")
+    record_metric(
+        "online_oracle_gap",
+        report.online_miss_ratio - report.oracle_miss_ratio, direction="lower",
+    )
+    record_metric(
+        "resolve_latency_mean_s", m["resolve_latency_mean_s"],
+        unit="s", direction="lower", noisy=True,
+    )
     assert report.online_miss_ratio < report.static_miss_ratio

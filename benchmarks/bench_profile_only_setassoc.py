@@ -8,6 +8,9 @@ with **no trace replay anywhere on the prediction side** — validated
 against the exact set-associative simulator.
 """
 
+BENCH_AREA = "validation"
+BENCH_TIER = "full"
+
 import pytest
 
 from repro.cachesim.setassoc import SetAssociativeCache

@@ -5,6 +5,9 @@ loose to impossible: the DP trades throughput for the guarantee until the
 feasibility boundary, which the egalitarian-optimum search pins down.
 """
 
+BENCH_AREA = "sweep"
+BENCH_TIER = "full"
+
 import pytest
 
 from repro.experiments.qos import qos_frontier, tightest_feasible_cap

@@ -9,6 +9,9 @@ of the 1820 groups and reports how far they scatter — the exhaustive
 evaluation's justification, in numbers.
 """
 
+BENCH_AREA = "sweep"
+BENCH_TIER = "full"
+
 from repro.experiments.sampling import subset_spread
 
 

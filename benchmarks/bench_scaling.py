@@ -5,6 +5,9 @@ larger group increases the chance of the violation of the [convexity]
 assumption by one or more members."
 """
 
+BENCH_AREA = "sweep"
+BENCH_TIER = "full"
+
 from repro.experiments.scaling import group_size_study
 
 

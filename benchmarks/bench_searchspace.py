@@ -6,6 +6,9 @@ covers 99.99% of the partition-sharing space.  At the evaluation's
 1024-unit grid, the per-group space is ~180 million partitionings.
 """
 
+BENCH_AREA = "cost"
+BENCH_TIER = "quick"
+
 from repro.core.searchspace import (
     paper_example,
     partition_sharing_single_cache,

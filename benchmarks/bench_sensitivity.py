@@ -7,6 +7,9 @@ sitting at a miss-ratio cliff flip — identifying exactly where online
 rate monitoring must be precise.
 """
 
+BENCH_AREA = "sweep"
+BENCH_TIER = "full"
+
 import numpy as np
 import pytest
 

@@ -15,9 +15,13 @@ Equal is hurt far more than Natural; baseline optimization recovers much
 more from Equal than from Natural; STTW's convexity failures are common.
 """
 
+BENCH_AREA = "figures"
+BENCH_TIER = "full"
+
 import numpy as np
 
 from repro.experiments.table1 import format_table, improvement_table
+from repro.perf import record_metric
 
 
 def bench_table1(study, benchmark):
@@ -26,6 +30,10 @@ def bench_table1(study, benchmark):
     )
     print("\n" + format_table(rows))
     by = {r.method: r for r in rows}
+    for method in ("equal", "natural", "sttw"):
+        record_metric(
+            f"improvement_avg_pct_over_{method}", by[method].avg_pct, direction="higher"
+        )
 
     # Optimal dominates: every improvement statistic is non-negative
     for r in rows:

@@ -7,6 +7,9 @@ shared-cache miss ratios, and of per-program occupancy (the natural
 partition itself, Fig. 4), versus the measured interleaved run.
 """
 
+BENCH_AREA = "validation"
+BENCH_TIER = "full"
+
 import numpy as np
 import pytest
 

@@ -26,21 +26,21 @@ def study_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def suite_profile(study_config):
-    t0 = time.time()
+    t0 = time.perf_counter()
     profile = build_suite_profile(study_config)
     print(
         f"\n[setup] profiled {len(profile.names)} programs "
         f"({study_config.n_units} units of {study_config.unit_blocks} blocks) "
-        f"in {time.time() - t0:.1f}s"
+        f"in {time.perf_counter() - t0:.1f}s"
     )
     return profile
 
 
 @pytest.fixture(scope="session")
 def study(suite_profile):
-    t0 = time.time()
+    t0 = time.perf_counter()
     result = run_study(suite_profile)
     n = result.groups.shape[0]
-    dt = time.time() - t0
+    dt = time.perf_counter() - t0
     print(f"[setup] swept {n} co-run groups in {dt:.1f}s ({dt / n * 1e3:.1f} ms/group)")
     return result

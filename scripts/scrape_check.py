@@ -37,9 +37,9 @@ def get(url: str, timeout: float = 5.0) -> str:
 
 
 def wait_healthy(base: str, deadline_s: float = 30.0) -> dict:
-    t0 = time.time()
+    t0 = time.monotonic()
     last: Exception | None = None
-    while time.time() - t0 < deadline_s:
+    while time.monotonic() - t0 < deadline_s:
         try:
             health = json.loads(get(f"{base}/healthz"))
             if health.get("status") == "ok":

@@ -17,7 +17,13 @@ Subcommands mirror the paper's workflow:
   redrawn as each epoch closes;
 * ``lint``        — repro-lint, the project's own static contract
   checker (:mod:`repro.analysis`): determinism, engine-facade,
-  telemetry, and robustness invariants as ``RL001``–``RL008``.
+  telemetry, and robustness invariants as ``RL001``–``RL008``;
+* ``bench``       — the perf subsystem (:mod:`repro.perf`):
+  ``bench list`` shows the discovered suite, ``bench run`` executes a
+  tier under the isolated-subprocess runner and persists
+  ``BENCH_<area>.json`` trajectories, ``bench compare`` is the
+  direction-aware regression gate, ``bench report`` renders the
+  markdown trajectory table.
 """
 
 from __future__ import annotations
@@ -217,6 +223,188 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     render = render_json if args.format == "json" else render_text
     print(render(findings))
     return 1 if findings else 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.perf import discover
+
+    try:
+        files = discover(args.root)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = f"{'module':36s} {'area':11s} {'functions':>9s} {'quick':>5s} {'full':>4s}"
+    print(header)
+    print("-" * len(header))
+    total = quick_total = 0
+    for bf in files:
+        quick = len(bf.functions_at("quick"))
+        print(f"{bf.module:36s} {bf.area:11s} {len(bf.functions):9d} "
+              f"{quick:5d} {len(bf.functions) - quick:4d}")
+        total += len(bf.functions)
+        quick_total += quick
+    print(f"\n{len(files)} files, {total} benches ({quick_total} quick-tier)")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        RunOptions,
+        append_run,
+        bench_filename,
+        load_document,
+        run_benches,
+        write_document,
+    )
+    from repro.obs import NULL_TRACER, Tracer
+    from repro.perf.report import format_seconds
+
+    tracer = None
+    if args.trace_out is not None:
+        tracer = Tracer(journal=args.trace_out)
+    try:
+        opts = RunOptions(
+            root=args.root,
+            tier=args.tier,
+            areas=tuple(args.areas.split(",")) if args.areas else None,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            jobs=args.jobs,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"Running the {opts.tier} tier at scale={opts.scale} seed={opts.seed} "
+        f"({opts.effective_jobs} worker(s), {opts.repeats} repeat(s) "
+        f"+ {opts.warmup} warmup)..."
+    )
+    try:
+        result = run_benches(opts, tracer=tracer if tracer is not None else NULL_TRACER)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    for area, run in sorted(result.records.items()):
+        print(f"\n[{area}] {len(run['benches'])} bench(es):")
+        for bench_id, entry in sorted(run["benches"].items()):
+            timing = entry.get("timing")
+            label = (
+                f"{format_seconds(timing['median_s'])} "
+                f"±{format_seconds(timing['iqr_s'])}"
+                if timing else "(no timing)"
+            )
+            flag = "" if entry["status"] == "ok" else "  ** FAILED **"
+            print(f"  {bench_id:60s} {label}{flag}")
+            for name, metric in sorted(entry.get("metrics", {}).items()):
+                print(f"    {name} = {metric['value']:.6g} {metric['unit']}".rstrip())
+    if not args.dry_run:
+        from pathlib import Path
+
+        for area, run in sorted(result.records.items()):
+            path = Path(args.out) / bench_filename(area)
+            doc = load_document(path) if path.is_file() else None
+            write_document(path, append_run(doc, area, run, keep=args.keep))
+            print(f"\nwrote {path} ({len(run['benches'])} bench(es) appended)")
+    print(
+        f"\n{result.files_run} file(s), {result.benches_run} bench(es), "
+        f"{result.deselected} deselected, {result.wall_s:.1f}s wall"
+    )
+    if result.failures:
+        print(f"\n{len(result.failures)} failure(s):", file=sys.stderr)
+        for failure in result.failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        StoreError,
+        Thresholds,
+        compare_documents,
+        load_document,
+        regressions,
+        trajectory_files,
+    )
+
+    try:
+        thresholds = Thresholds(
+            time_rel=args.time_tolerance, quality_rel=args.quality_tolerance
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    paths = trajectory_files(args.root)
+    if args.areas:
+        wanted = set(args.areas.split(","))
+        missing = sorted(wanted - set(paths))
+        if missing:
+            print(
+                f"error: no BENCH_<area>.json for area(s): {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        paths = {a: p for a, p in paths.items() if a in wanted}
+    if not paths:
+        print("error: no BENCH_<area>.json trajectories found", file=sys.stderr)
+        return 2
+    try:
+        docs = {area: load_document(path) for area, path in paths.items()}
+    except StoreError as exc:
+        # schema damage always hard-fails, even under --warn-only: an
+        # unreadable baseline must not read as "no regression"
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings, notes = compare_documents(docs, thresholds=thresholds)
+    for note in notes:
+        print(f"note: {note}")
+    shown = [f for f in findings if f.severity != "ok"] if not args.verbose else findings
+    for f in shown:
+        print(f.format())
+    bad = regressions(findings)
+    compared = sum(
+        1 for f in findings if f.severity in ("ok", "regression", "improvement", "noisy")
+    )
+    noisy = sum(1 for f in findings if f.severity == "noisy")
+    print(
+        f"\ncompared {compared} measurement(s) across {len(docs)} area(s): "
+        f"{len(bad)} regression(s), "
+        f"{sum(1 for f in findings if f.severity == 'improvement')} improvement(s), "
+        f"{noisy} noisy drift(s)"
+    )
+    if bad:
+        if args.warn_only:
+            print("warn-only: not failing the gate despite regressions", file=sys.stderr)
+            return 0
+        return 1
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.perf import StoreError, load_document, render_markdown, trajectory_files
+
+    paths = trajectory_files(args.root)
+    if not paths:
+        print("error: no BENCH_<area>.json trajectories found", file=sys.stderr)
+        return 2
+    try:
+        docs = {area: load_document(path) for area, path in paths.items()}
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = render_markdown(docs, max_runs=args.max_runs)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -469,6 +657,70 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "bench", help="benchmark runner, perf trajectory, and regression gate"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def add_root_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", default=".",
+                       help="repo root holding benchmarks/ and BENCH_*.json (default: .)")
+
+    b = bench_sub.add_parser("list", help="discovered bench files, areas and tiers")
+    add_root_arg(b)
+    b.set_defaults(func=_cmd_bench_list)
+
+    b = bench_sub.add_parser(
+        "run", help="run a tier in isolated subprocesses and persist BENCH_<area>.json"
+    )
+    add_root_arg(b)
+    b.add_argument("--tier", choices=("quick", "full"), default="quick")
+    b.add_argument("--areas", default=None,
+                   help="comma-separated areas to run (default: all)")
+    b.add_argument("--scale", choices=("default", "smoke", "full"), default="default",
+                   help="REPRO_SCALE pinned inside the bench workers")
+    b.add_argument("--seed", type=int, default=0,
+                   help="REPRO_BENCH_SEED pinned inside the bench workers")
+    b.add_argument("--repeats", type=int, default=5,
+                   help="timed repeats per bench (median/IQR are persisted)")
+    b.add_argument("--warmup", type=int, default=1,
+                   help="discarded warmup iterations per bench")
+    b.add_argument("--jobs", type=int, default=0,
+                   help="concurrent bench-file workers (default: min(4, CPUs))")
+    b.add_argument("--out", default=".",
+                   help="directory receiving BENCH_<area>.json (default: repo root)")
+    b.add_argument("--keep", type=int, default=20,
+                   help="runs retained per trajectory file")
+    b.add_argument("--dry-run", action="store_true",
+                   help="run and print, but do not touch BENCH_*.json")
+    b.add_argument("--trace-out", default=None,
+                   help="journal runner spans to this path as JSONL")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="diff each trajectory's newest run against its last same-tier/scale run",
+    )
+    add_root_arg(b)
+    b.add_argument("--areas", default=None,
+                   help="comma-separated areas to gate (default: every BENCH_*.json)")
+    b.add_argument("--time-tolerance", type=float, default=0.30,
+                   help="relative timing regression threshold (default: 0.30)")
+    b.add_argument("--quality-tolerance", type=float, default=0.02,
+                   help="relative quality-metric regression threshold (default: 0.02)")
+    b.add_argument("--warn-only", action="store_true",
+                   help="report regressions but exit 0 (schema errors still exit 2)")
+    b.add_argument("--verbose", action="store_true",
+                   help="also print measurements that are within tolerance")
+    b.set_defaults(func=_cmd_bench_compare)
+
+    b = bench_sub.add_parser("report", help="render the markdown trajectory table")
+    add_root_arg(b)
+    b.add_argument("--max-runs", type=int, default=8,
+                   help="trajectory columns per area (default: 8)")
+    b.add_argument("--out", default=None, help="write to this path instead of stdout")
+    b.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser("profile", help="locality summary of catalog programs")
     p.add_argument("--programs", default="lbm,mcf,povray")

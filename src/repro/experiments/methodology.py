@@ -106,13 +106,20 @@ class ExperimentConfig:
 
     @classmethod
     def from_env(cls) -> "ExperimentConfig":
-        """Default (fast) scale, or the paper's 1024-unit grid when ``REPRO_SCALE=full``.
+        """Scale selected by ``REPRO_SCALE``: default (fast), ``full`` for
+        the paper's 1024-unit grid, or ``smoke`` — a 64-unit grid on
+        quarter-length traces for CI smoke jobs and the bench runner's
+        quick tier, where wall-clock budget matters more than grid
+        resolution.
 
-        ``REPRO_JOBS`` sets the sweep's worker count at either scale.
+        ``REPRO_JOBS`` sets the sweep's worker count at any scale.
         """
         jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
-        if os.environ.get("REPRO_SCALE", "").lower() == "full":
+        scale = os.environ.get("REPRO_SCALE", "").lower()
+        if scale == "full":
             return cls(cache_blocks=16384, unit_blocks=16, n_jobs=jobs)
+        if scale == "smoke":
+            return cls(cache_blocks=1024, unit_blocks=16, length_scale=0.25, n_jobs=jobs)
         return cls(n_jobs=jobs)
 
 

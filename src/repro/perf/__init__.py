@@ -1,0 +1,91 @@
+"""``repro.perf`` — the benchmark runner and persisted perf trajectory.
+
+The repo carries 24 ``benchmarks/bench_*.py`` files, but a bench that is
+only ever run by hand proves nothing across PRs: a speed claim needs the
+*previous* numbers to diff against.  This package is the measurement
+substrate every perf PR is judged by (ROADMAP: "unified bench runner
+with a persisted perf trajectory"), shaped after the
+target/instance/report split of vusec's instrumentation-infra:
+
+* :mod:`repro.perf.discover` — enumerate the bench files and read their
+  declared *area* (``cost``, ``online``, ``obs``, ``sweep``,
+  ``figures``, ``ablation``, ``validation``) and ``quick``/``full``
+  tier markers, statically (AST; never imports bench code);
+* :mod:`repro.perf.runner` / :mod:`repro.perf.worker` — execute each
+  bench file in an isolated subprocess (spawned, one file per process)
+  under a bounded pool, at a pinned ``REPRO_SCALE`` and seed, replacing
+  the pytest-benchmark fixture with a recorder that keeps
+  warmup-discarded repeats and the quality metrics benches publish via
+  :func:`repro.perf.api.record_metric`;
+* :mod:`repro.perf.store` — schema-versioned ``BENCH_<area>.json`` at
+  the repo root: a bounded list of run records (robust timing stats —
+  median/IQR, never mean — plus metrics and machine metadata) that
+  accumulates PR over PR;
+* :mod:`repro.perf.compare` — direction-aware regression detection
+  (latency up = bad, hit-rate down = bad) between a run and the last
+  committed run at the same tier/scale, with per-kind thresholds;
+* :mod:`repro.perf.report` — the markdown trajectory table.
+
+Surfaces: ``repro-cps bench {list,run,compare,report}``; spans via
+:mod:`repro.obs` like every other engine path.
+"""
+
+from repro.perf.api import Metric, record_metric
+from repro.perf.compare import (
+    Finding,
+    Thresholds,
+    compare_documents,
+    compare_runs,
+    find_baseline,
+    regressions,
+)
+from repro.perf.discover import discover
+from repro.perf.report import render_markdown
+from repro.perf.runner import (
+    RunOptions,
+    RunResult,
+    quality_fingerprint,
+    run_benches,
+    timing_stats,
+)
+from repro.perf.spec import AREAS, TIERS, BenchFile, BenchFunction
+from repro.perf.store import (
+    SCHEMA_VERSION,
+    StoreError,
+    append_run,
+    bench_filename,
+    load_document,
+    trajectory_files,
+    validate_document,
+    write_document,
+)
+
+__all__ = [
+    "AREAS",
+    "TIERS",
+    "BenchFile",
+    "BenchFunction",
+    "Finding",
+    "Metric",
+    "RunOptions",
+    "SCHEMA_VERSION",
+    "StoreError",
+    "Thresholds",
+    "append_run",
+    "bench_filename",
+    "RunResult",
+    "compare_documents",
+    "compare_runs",
+    "discover",
+    "find_baseline",
+    "load_document",
+    "quality_fingerprint",
+    "record_metric",
+    "regressions",
+    "render_markdown",
+    "run_benches",
+    "timing_stats",
+    "trajectory_files",
+    "validate_document",
+    "write_document",
+]

@@ -1,0 +1,88 @@
+"""The one function bench code imports: :func:`record_metric`.
+
+Timings alone cannot gate a perf PR — a refactor that makes the solver
+faster by making it wronger must fail the gate on *quality*, not pass it
+on latency.  So benches publish their key quality numbers (miss-ratio
+deltas, FoldCache hit ratios, solver-cache amortization) through this
+module, and the capture plugin attributes them to the bench that
+recorded them.
+
+Outside a ``repro.perf`` run there is no sink installed and
+:func:`record_metric` is a cheap no-op, so benches behave identically
+under plain ``pytest benchmarks/``.
+
+Every metric declares its *direction* (``"lower"`` or ``"higher"`` is
+better) at the recording site — the comparison engine must never guess
+which way a number is allowed to move.  Metrics that are really rates
+or wall-clock-derived (throughput, speedup) set ``noisy=True`` so the
+gate applies timing-style tolerances instead of quality-style ones, and
+the determinism check excludes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DIRECTIONS", "Metric", "record_metric", "install_sink", "drain_sink"]
+
+#: Allowed ``direction`` values: which way a metric *improves*.
+DIRECTIONS: tuple[str, ...] = ("lower", "higher")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One quality number published by a bench."""
+
+    name: str
+    value: float
+    unit: str = ""
+    direction: str = "lower"
+    noisy: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "noisy": self.noisy,
+        }
+
+
+_SINK: list[Metric] | None = None
+
+
+def record_metric(
+    name: str,
+    value: float,
+    *,
+    unit: str = "",
+    direction: str = "lower",
+    noisy: bool = False,
+) -> None:
+    """Publish one quality metric from inside a bench.
+
+    No-op unless a ``repro.perf`` capture sink is installed, so bench
+    files stay runnable under plain pytest.
+    """
+    if direction not in DIRECTIONS:
+        raise ValueError(f"direction must be one of {DIRECTIONS}, got {direction!r}")
+    if not name:
+        raise ValueError("metric name must be non-empty")
+    if _SINK is not None:
+        _SINK.append(
+            Metric(name=name, value=float(value), unit=unit, direction=direction, noisy=noisy)
+        )
+
+
+def install_sink() -> None:
+    """Start collecting metrics (capture plugin, around each bench)."""
+    global _SINK
+    _SINK = []
+
+
+def drain_sink() -> list[Metric]:
+    """Stop collecting and return what was recorded since installation."""
+    global _SINK
+    out = _SINK if _SINK is not None else []
+    _SINK = None
+    return out

@@ -1,0 +1,176 @@
+"""The in-process pytest side of the runner: recorder + capture plugin.
+
+The bench files are ordinary pytest modules written against the
+pytest-benchmark ``benchmark`` fixture.  Inside a ``repro.perf`` worker
+the pytest-benchmark plugin is disabled (``-p no:benchmark``) and this
+plugin supplies its own ``benchmark`` fixture — a :class:`PerfRecorder`
+that keeps the raw repeat samples (pytest-benchmark keeps derived stats
+tuned for display, and its calibration rounds are wasted work under a
+process-isolated runner).
+
+The plugin also:
+
+* deselects functions whose tier does not match the requested run tier
+  (so a ``quick`` run never pays for a minutes-scale sweep);
+* installs the :mod:`repro.perf.api` metric sink around each bench and
+  attributes the drained metrics to it;
+* records the pass/fail outcome per bench, so the runner can surface a
+  broken bench as a gate failure instead of a silent hole in the JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import pytest
+
+from repro.perf.api import drain_sink, install_sink
+from repro.perf.spec import TIERS
+
+__all__ = ["PerfRecorder", "PerfCapturePlugin"]
+
+
+class PerfRecorder:
+    """Drop-in for the pytest-benchmark fixture: ``__call__`` + ``pedantic``.
+
+    ``__call__`` runs ``warmup`` discarded iterations then ``repeats``
+    timed ones; ``pedantic`` honours the bench's explicit ``rounds``/
+    ``warmup_rounds`` (benches that chose ``rounds=1`` did so because
+    one round is already seconds-scale).  All samples are
+    ``perf_counter`` intervals in seconds, oldest first.
+    """
+
+    def __init__(self, *, repeats: int = 5, warmup: int = 1) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.repeats = repeats
+        self.warmup = warmup
+        self.samples: list[float] = []
+        self.warmup_discarded = 0
+
+    def _measure(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any],
+        kwargs: Mapping[str, Any],
+        *,
+        rounds: int,
+        iterations: int,
+        warmup_rounds: int,
+    ) -> Any:
+        result: Any = None
+        for _ in range(warmup_rounds):
+            for _ in range(iterations):
+                fn(*args, **kwargs)
+            self.warmup_discarded += 1
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(iterations):
+                result = fn(*args, **kwargs)
+            self.samples.append((time.perf_counter() - t0) / iterations)
+        return result
+
+    def __call__(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        return self._measure(
+            fn, args, kwargs,
+            rounds=self.repeats, iterations=1, warmup_rounds=self.warmup,
+        )
+
+    def pedantic(
+        self,
+        target: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        *,
+        rounds: int = 1,
+        iterations: int = 1,
+        warmup_rounds: int = 0,
+        setup: Callable[[], Any] | None = None,
+    ) -> Any:
+        if setup is not None:
+            setup()
+        return self._measure(
+            target, args, kwargs or {},
+            rounds=rounds, iterations=iterations, warmup_rounds=warmup_rounds,
+        )
+
+
+class PerfCapturePlugin:
+    """Collects per-bench timing samples, metrics, and outcomes.
+
+    After ``pytest.main(..., plugins=[plugin])`` returns, ``results``
+    maps each executed bench function name to a picklable dict::
+
+        {"status": "ok" | "failed",
+         "message": <failure repr, when failed>,
+         "tier": "quick" | "full",
+         "samples_s": [...],          # absent if the fixture went unused
+         "warmup_discarded": int,
+         "metrics": {name: {"value", "unit", "direction", "noisy"}}}
+    """
+
+    def __init__(self, *, tier: str = "full", repeats: int = 5, warmup: int = 1) -> None:
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        self.tier = tier
+        self.repeats = repeats
+        self.warmup = warmup
+        self.results: dict[str, dict] = {}
+        self.deselected: list[str] = []
+        self.collection_errors: list[str] = []
+        self._tiers: dict[str, str] = {}
+        self._recorders: dict[str, PerfRecorder] = {}
+
+    def set_function_tiers(self, tiers: Mapping[str, str]) -> None:
+        """Function-name → tier map from discovery (drives deselection)."""
+        self._tiers = dict(tiers)
+
+    # ------------------------------------------------------------ fixture
+    @pytest.fixture
+    def benchmark(self, request: pytest.FixtureRequest) -> Iterator[PerfRecorder]:
+        recorder = PerfRecorder(repeats=self.repeats, warmup=self.warmup)
+        self._recorders[request.node.name] = recorder
+        install_sink()
+        try:
+            yield recorder
+        finally:
+            metrics = drain_sink()
+            entry = self.results.setdefault(request.node.name, {"status": "ok"})
+            entry["tier"] = self._tiers.get(request.node.name, "full")
+            if recorder.samples:
+                entry["samples_s"] = list(recorder.samples)
+                entry["warmup_discarded"] = recorder.warmup_discarded
+            entry["metrics"] = {m.name: m.to_dict() for m in metrics}
+
+    # -------------------------------------------------------------- hooks
+    def pytest_collection_modifyitems(
+        self, config: pytest.Config, items: list[pytest.Item]
+    ) -> None:
+        if self.tier == "full":
+            return
+        keep: list[pytest.Item] = []
+        drop: list[pytest.Item] = []
+        for item in items:
+            name = item.name.split("[", 1)[0]
+            if self._tiers.get(name, "full") == "quick":
+                keep.append(item)
+            else:
+                drop.append(item)
+        if drop:
+            config.hook.pytest_deselected(items=drop)
+            items[:] = keep
+            self.deselected.extend(i.name for i in drop)
+
+    def pytest_runtest_logreport(self, report: pytest.TestReport) -> None:
+        name = report.nodeid.rsplit("::", 1)[-1]
+        entry = self.results.setdefault(name, {"status": "ok"})
+        if report.failed:
+            entry["status"] = "failed"
+            entry["message"] = f"{report.when}: {report.longreprtext[-2000:]}"
+
+    def pytest_collectreport(self, report: pytest.CollectReport) -> None:
+        if report.failed:
+            self.collection_errors.append(report.longreprtext[-2000:])

@@ -1,0 +1,246 @@
+"""Direction-aware regression detection between two run records.
+
+Every comparison knows which way each number is allowed to move:
+timings and ``direction="lower"`` metrics regress *upward* (latency,
+miss ratio), ``direction="higher"`` metrics regress *downward* (hit
+rate, throughput).  Thresholds come in two grades:
+
+* **timing-grade** (wide, relative + absolute floor) for medians and
+  ``noisy=True`` metrics — wall-clock-derived numbers jitter on shared
+  runners, and a 5 µs microbench must not fail the gate over scheduler
+  noise;
+* **quality-grade** (tight) for deterministic metrics — a seeded bench
+  reproduces its miss ratios bit-for-bit, so any drift beyond float
+  formatting is a real behavior change.
+
+``noisy=True`` metrics never gate: drift beyond even the wide tolerance
+is reported as severity ``"noisy"`` so a human sees it, but a derived
+throughput that halves under CPU contention must not fail CI.  The
+timing median *does* gate — it is the one wall-clock number the runner
+stabilizes (warmup discarded, median of repeats).
+
+A bench that *fails* or *disappears* in the candidate is a regression
+outright: a deleted bench is how a perf loss hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = ["Thresholds", "Finding", "compare_runs", "compare_documents", "find_baseline"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Regression tolerances; defaults sized for shared CI runners."""
+
+    time_rel: float = 0.30
+    time_abs_floor_s: float = 0.005
+    quality_rel: float = 0.02
+    quality_abs_floor: float = 1e-9
+
+    def __post_init__(self) -> None:
+        for name in ("time_rel", "time_abs_floor_s", "quality_rel", "quality_abs_floor"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compared number (or structural mismatch) and its verdict."""
+
+    area: str
+    bench: str
+    metric: str  # "timing.median_s" or the metric name
+    # "regression" | "improvement" | "ok" | "noisy" | "missing" | "new" | "failed"
+    severity: str
+    baseline: float | None = None
+    candidate: float | None = None
+    detail: str = ""
+
+    @property
+    def delta(self) -> float | None:
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    def format(self) -> str:
+        parts = [f"[{self.severity}] {self.area}/{self.bench} {self.metric}"]
+        if self.baseline is not None and self.candidate is not None:
+            rel = (
+                f" ({(self.candidate - self.baseline) / self.baseline:+.1%})"
+                if self.baseline
+                else ""
+            )
+            parts.append(f": {self.baseline:.6g} -> {self.candidate:.6g}{rel}")
+        if self.detail:
+            parts.append(f" — {self.detail}")
+        return "".join(parts)
+
+
+def _verdict(
+    baseline: float,
+    candidate: float,
+    *,
+    direction: str,
+    rel: float,
+    abs_floor: float,
+) -> str:
+    """regression / improvement / ok for one direction-aware pair."""
+    worsening = candidate - baseline if direction == "lower" else baseline - candidate
+    margin = max(rel * abs(baseline), abs_floor)
+    if worsening > margin:
+        return "regression"
+    if -worsening > margin:
+        return "improvement"
+    return "ok"
+
+
+def compare_runs(
+    baseline: Mapping,
+    candidate: Mapping,
+    *,
+    area: str,
+    thresholds: Thresholds | None = None,
+) -> list[Finding]:
+    """All findings between two run records of one area."""
+    th = thresholds or Thresholds()
+    findings: list[Finding] = []
+    base_benches = dict(baseline["benches"])
+    cand_benches = dict(candidate["benches"])
+
+    for bench_id in sorted(set(base_benches) | set(cand_benches)):
+        base = base_benches.get(bench_id)
+        cand = cand_benches.get(bench_id)
+        if cand is None:
+            findings.append(
+                Finding(
+                    area, bench_id, "-", "missing",
+                    detail="bench present in baseline but absent from candidate",
+                )
+            )
+            continue
+        if base is None:
+            findings.append(
+                Finding(area, bench_id, "-", "new", detail="no baseline yet")
+            )
+            continue
+        if cand.get("status") == "failed":
+            findings.append(
+                Finding(
+                    area, bench_id, "-", "failed",
+                    detail=str(cand.get("message", ""))[:200] or "bench failed",
+                )
+            )
+            continue
+
+        base_timing = base.get("timing")
+        cand_timing = cand.get("timing")
+        if base_timing and cand_timing:
+            b, c = float(base_timing["median_s"]), float(cand_timing["median_s"])
+            findings.append(
+                Finding(
+                    area, bench_id, "timing.median_s",
+                    _verdict(
+                        b, c, direction="lower",
+                        rel=th.time_rel, abs_floor=th.time_abs_floor_s,
+                    ),
+                    baseline=b, candidate=c,
+                )
+            )
+
+        base_metrics = dict(base.get("metrics", {}))
+        cand_metrics = dict(cand.get("metrics", {}))
+        for name in sorted(set(base_metrics) | set(cand_metrics)):
+            bm, cm = base_metrics.get(name), cand_metrics.get(name)
+            if cm is None:
+                findings.append(
+                    Finding(
+                        area, bench_id, name, "missing",
+                        detail="metric no longer recorded by the bench",
+                    )
+                )
+                continue
+            if bm is None:
+                findings.append(Finding(area, bench_id, name, "new"))
+                continue
+            noisy = bool(bm.get("noisy", False) or cm.get("noisy", False))
+            rel = th.time_rel if noisy else th.quality_rel
+            floor = 0.0 if noisy else th.quality_abs_floor
+            verdict = _verdict(
+                float(bm["value"]), float(cm["value"]),
+                direction=str(cm.get("direction", bm.get("direction", "lower"))),
+                rel=rel, abs_floor=floor,
+            )
+            detail = ""
+            if noisy and verdict != "ok":
+                detail = f"drifted ({verdict}) but flagged noisy — not gating"
+                verdict = "noisy"
+            findings.append(
+                Finding(
+                    area, bench_id, name, verdict,
+                    baseline=float(bm["value"]), candidate=float(cm["value"]),
+                    detail=detail,
+                )
+            )
+    return findings
+
+
+def find_baseline(doc: Mapping, candidate: Mapping) -> Mapping | None:
+    """Latest run before ``candidate`` with the same tier and scale.
+
+    Numbers are only comparable within a (tier, scale) key: a smoke-
+    scale smoke-tier CI run must never be diffed against the committed
+    full-tier baseline from a different grid.
+    """
+    runs = list(doc.get("runs", []))
+    try:
+        idx = next(
+            i for i, r in enumerate(runs) if r.get("run_id") == candidate.get("run_id")
+        )
+    except StopIteration:
+        idx = len(runs)
+    key = (candidate.get("tier"), candidate.get("scale"))
+    for run in reversed(runs[:idx]):
+        if (run.get("tier"), run.get("scale")) == key:
+            return run
+    return None
+
+
+def compare_documents(
+    docs: Mapping[str, Mapping],
+    *,
+    thresholds: Thresholds | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Compare each area's newest run against its in-file baseline.
+
+    Returns ``(findings, notes)`` where notes name areas that had
+    nothing comparable (fresh trajectory, or no earlier run at the same
+    tier/scale) — the CLI surfaces those instead of silently passing.
+    """
+    findings: list[Finding] = []
+    notes: list[str] = []
+    for area in sorted(docs):
+        doc = docs[area]
+        runs = list(doc.get("runs", []))
+        if not runs:
+            notes.append(f"{area}: trajectory is empty")
+            continue
+        candidate = runs[-1]
+        baseline = find_baseline(doc, candidate)
+        if baseline is None:
+            notes.append(
+                f"{area}: no earlier run at tier={candidate.get('tier')!r} "
+                f"scale={candidate.get('scale')!r} to compare against"
+            )
+            continue
+        findings.extend(
+            compare_runs(baseline, candidate, area=area, thresholds=thresholds)
+        )
+    return findings, notes
+
+
+def regressions(findings: Iterable[Finding]) -> list[Finding]:
+    """The findings that should fail a gate: regressions and failures."""
+    return [f for f in findings if f.severity in ("regression", "failed", "missing")]

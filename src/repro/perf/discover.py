@@ -1,0 +1,112 @@
+"""Static discovery of the bench suite.
+
+Discovery never imports bench code (the same stance as
+:mod:`repro.analysis`): markers are read from the AST, so a bench file
+with a broken import still classifies, and discovery itself costs
+milliseconds.  Misdeclared markers fail loudly — a typo'd area or a
+``BENCH_TIERS`` entry naming a function that no longer exists would
+otherwise silently drop benches from the perf gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.perf.spec import AREAS, TIERS, BenchFile, BenchFunction
+
+__all__ = ["discover", "discover_file"]
+
+
+def _literal_str(node: ast.expr, *, path: Path, marker: str) -> str:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    raise ValueError(f"{path}: {marker} must be a string literal")
+
+
+def _marker_assigns(tree: ast.Module) -> dict[str, ast.expr]:
+    """Module-level ``BENCH_*`` assignments, last one wins."""
+    markers: dict[str, ast.expr] = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id.startswith("BENCH_"):
+                markers[target.id] = stmt.value
+    return markers
+
+
+def discover_file(path: str | Path) -> BenchFile:
+    """Parse one bench file's markers and ``bench_*`` functions."""
+    path = Path(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    markers = _marker_assigns(tree)
+
+    if "BENCH_AREA" not in markers:
+        raise ValueError(
+            f"{path}: missing BENCH_AREA marker; every bench file must declare "
+            f"its area (one of {', '.join(AREAS)}) so its results land in a "
+            "BENCH_<area>.json trajectory"
+        )
+    area = _literal_str(markers["BENCH_AREA"], path=path, marker="BENCH_AREA")
+    if area not in AREAS:
+        raise ValueError(f"{path}: unknown BENCH_AREA {area!r}; expected one of {AREAS}")
+
+    default_tier = "full"
+    if "BENCH_TIER" in markers:
+        default_tier = _literal_str(markers["BENCH_TIER"], path=path, marker="BENCH_TIER")
+        if default_tier not in TIERS:
+            raise ValueError(
+                f"{path}: unknown BENCH_TIER {default_tier!r}; expected one of {TIERS}"
+            )
+
+    overrides: dict[str, str] = {}
+    if "BENCH_TIERS" in markers:
+        node = markers["BENCH_TIERS"]
+        if not isinstance(node, ast.Dict):
+            raise ValueError(f"{path}: BENCH_TIERS must be a dict literal")
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                raise ValueError(f"{path}: BENCH_TIERS must not use ** expansion")
+            name = _literal_str(key, path=path, marker="BENCH_TIERS key")
+            tier = _literal_str(value, path=path, marker="BENCH_TIERS value")
+            if tier not in TIERS:
+                raise ValueError(
+                    f"{path}: BENCH_TIERS[{name!r}] = {tier!r}; expected one of {TIERS}"
+                )
+            overrides[name] = tier
+
+    names = [
+        stmt.name
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name.startswith("bench_")
+    ]
+    unknown = sorted(set(overrides) - set(names))
+    if unknown:
+        raise ValueError(
+            f"{path}: BENCH_TIERS names functions that do not exist: "
+            f"{', '.join(unknown)} (stale override after a rename?)"
+        )
+
+    functions = tuple(
+        BenchFunction(name=n, tier=overrides.get(n, default_tier)) for n in names
+    )
+    return BenchFile(
+        path=str(path.resolve()),
+        module=path.name,
+        area=area,
+        tier=default_tier,
+        functions=functions,
+    )
+
+
+def discover(root: str | Path = ".") -> tuple[BenchFile, ...]:
+    """Enumerate ``<root>/benchmarks/bench_*.py``, sorted by module name."""
+    bench_dir = Path(root) / "benchmarks"
+    if not bench_dir.is_dir():
+        raise FileNotFoundError(f"no benchmarks/ directory under {Path(root).resolve()}")
+    files = sorted(bench_dir.glob("bench_*.py"))
+    if not files:
+        raise FileNotFoundError(f"no bench_*.py files under {bench_dir}")
+    return tuple(discover_file(p) for p in files)

@@ -1,0 +1,110 @@
+"""``bench report`` — the markdown trajectory tables.
+
+One section per area, one row per bench×measurement, one column per
+persisted run (oldest left, so the rightmost column is "now").  This is
+the artifact a perf PR pastes to prove its claim: the reviewer reads a
+row left-to-right and watches the median fall.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["render_markdown", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Engineering-friendly durations: 12.3µs / 4.56ms / 1.23s."""
+    if value < 0:
+        raise ValueError("durations cannot be negative")
+    if value < 1e-3:
+        return f"{value * 1e6:.3g}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.3g}ms"
+    return f"{value:.3g}s"
+
+
+def _format_metric(metric: Mapping) -> str:
+    value = float(metric["value"])
+    unit = str(metric.get("unit", ""))
+    if unit == "ratio":
+        return f"{value:.1%}"
+    if unit == "s":
+        return format_seconds(value)
+    text = f"{value:,.4g}"
+    return f"{text} {unit}".rstrip()
+
+
+def _run_label(run: Mapping) -> str:
+    rid = str(run.get("run_id", "?"))
+    day = rid.split("T", 1)[0]
+    return f"{day}<br>{run.get('tier')}@{run.get('scale')}"
+
+
+def render_markdown(docs: Mapping[str, Mapping], *, max_runs: int = 8) -> str:
+    """The full trajectory report across all areas."""
+    if max_runs < 1:
+        raise ValueError("max_runs must be >= 1")
+    lines: list[str] = ["# Perf trajectory", ""]
+    if not docs:
+        lines.append("_No BENCH_<area>.json trajectories found._")
+        return "\n".join(lines) + "\n"
+
+    for area in sorted(docs):
+        doc = docs[area]
+        runs = list(doc.get("runs", []))[-max_runs:]
+        lines.append(f"## {area} ({len(runs)} run(s))")
+        lines.append("")
+        if not runs:
+            lines.append("_empty trajectory_")
+            lines.append("")
+            continue
+
+        # every (bench, measurement) row seen across the shown runs
+        rows: list[tuple[str, str]] = []
+        seen: set[tuple[str, str]] = set()
+        for run in runs:
+            for bench_id, entry in sorted(dict(run["benches"]).items()):
+                if "timing" in entry and (bench_id, "timing") not in seen:
+                    seen.add((bench_id, "timing"))
+                    rows.append((bench_id, "timing"))
+                for name in sorted(dict(entry.get("metrics", {}))):
+                    if (bench_id, name) not in seen:
+                        seen.add((bench_id, name))
+                        rows.append((bench_id, name))
+
+        header = ["bench", "measurement"] + [_run_label(r) for r in runs]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for bench_id, measurement in rows:
+            cells = [f"`{bench_id}`", measurement]
+            for run in runs:
+                entry = dict(run["benches"]).get(bench_id)
+                if entry is None:
+                    cells.append("—")
+                elif entry.get("status") == "failed":
+                    cells.append("FAILED")
+                elif measurement == "timing":
+                    timing = entry.get("timing")
+                    if timing is None:
+                        cells.append("—")
+                    else:
+                        cells.append(
+                            f"{format_seconds(float(timing['median_s']))} "
+                            f"±{format_seconds(float(timing['iqr_s']))}"
+                        )
+                else:
+                    metric = dict(entry.get("metrics", {})).get(measurement)
+                    cells.append("—" if metric is None else _format_metric(metric))
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+
+        last = runs[-1]
+        machine = dict(last.get("machine", {}))
+        lines.append(
+            f"_Latest run: `{last.get('run_id')}` — python {machine.get('python')}, "
+            f"numpy {machine.get('numpy')}, {machine.get('cpus')} CPU(s), "
+            f"seed {last.get('seed')}._"
+        )
+        lines.append("")
+    return "\n".join(lines) + "\n"

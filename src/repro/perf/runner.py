@@ -1,0 +1,241 @@
+"""The bench runner: bounded process pool → per-area run records.
+
+Scheduling unit is the *file* (session fixtures amortize within a file
+and must not amortize across files — see :mod:`repro.perf.worker`), so
+the pool fans files out to at most ``jobs`` concurrent spawned workers
+and each worker dies after its one file.
+
+Statistics are robust by contract: the persisted timing per bench is
+the **median** of warmup-discarded repeats with the **IQR** as spread.
+Shared runners make means meaningless — one scheduler stall in five
+repeats shifts a mean by whole milliseconds but leaves the median
+untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from multiprocessing import get_context
+from typing import Mapping, Sequence
+
+from repro.obs.trace import NULL_TRACER, TracerLike
+from repro.perf.discover import discover
+from repro.perf.spec import AREAS, TIERS, BenchFile
+from repro.perf.worker import WorkerTask, run_bench_file
+
+__all__ = ["RunOptions", "RunResult", "run_benches", "machine_metadata", "timing_stats"]
+
+#: ``REPRO_SCALE`` values the runner will pin in workers.
+SCALES: tuple[str, ...] = ("default", "smoke", "full")
+
+
+def machine_metadata() -> dict:
+    """The environment a run's numbers are only comparable within."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def timing_stats(samples: Sequence[float]) -> dict:
+    """Median/IQR (never mean) over repeat samples, in seconds."""
+    if not samples:
+        raise ValueError("timing_stats needs at least one sample")
+    ordered = sorted(samples)
+    if len(ordered) >= 2:
+        q1, _, q3 = statistics.quantiles(ordered, n=4, method="inclusive")
+        iqr = q3 - q1
+    else:
+        iqr = 0.0
+    return {
+        "median_s": statistics.median(ordered),
+        "iqr_s": iqr,
+        "repeats": len(ordered),
+        "min_s": ordered[0],
+        "max_s": ordered[-1],
+    }
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """One ``bench run`` invocation, fully pinned."""
+
+    root: str = "."
+    tier: str = "quick"
+    areas: tuple[str, ...] | None = None
+    repeats: int = 5
+    warmup: int = 1
+    jobs: int = 0  # 0 = min(4, cpus)
+    scale: str = "default"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {self.tier!r}")
+        if self.scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}, got {self.scale!r}")
+        if self.areas is not None:
+            unknown = sorted(set(self.areas) - set(AREAS))
+            if unknown:
+                raise ValueError(f"unknown areas: {', '.join(unknown)}")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0")
+
+    @property
+    def effective_jobs(self) -> int:
+        return self.jobs if self.jobs > 0 else min(4, os.cpu_count() or 1)
+
+
+@dataclass
+class RunResult:
+    """Per-area run records plus everything the CLI needs to narrate."""
+
+    records: dict[str, dict] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+    files_run: int = 0
+    benches_run: int = 0
+    deselected: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _make_task(bf: BenchFile, opts: RunOptions) -> WorkerTask:
+    return WorkerTask(
+        path=bf.path,
+        module=bf.module,
+        area=bf.area,
+        tier=opts.tier,
+        repeats=opts.repeats,
+        warmup=opts.warmup,
+        scale=opts.scale,
+        seed=opts.seed,
+        function_tiers=tuple((f.name, f.tier) for f in bf.functions),
+    )
+
+
+def select_files(
+    files: Sequence[BenchFile],
+    *,
+    tier: str,
+    areas: tuple[str, ...] | None,
+) -> list[BenchFile]:
+    """The files a run would execute: area-filtered, tier-nonempty."""
+    chosen = [f for f in files if areas is None or f.area in areas]
+    return [f for f in chosen if f.functions_at(tier)]
+
+
+def run_benches(
+    opts: RunOptions,
+    *,
+    tracer: TracerLike = NULL_TRACER,
+    run_id: str | None = None,
+) -> RunResult:
+    """Execute the selected benches and assemble per-area run records."""
+    result = RunResult()
+    t_run = time.perf_counter()
+    with tracer.span("bench.run", tier=opts.tier, scale=opts.scale) as run_span:
+        with tracer.span("bench.discover"):
+            files = select_files(discover(opts.root), tier=opts.tier, areas=opts.areas)
+        if not files:
+            raise ValueError(
+                f"no bench files match tier={opts.tier!r} areas={opts.areas!r}"
+            )
+        if run_id is None:
+            run_id = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S.%fZ")
+
+        outputs: dict[str, dict] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(opts.effective_jobs, len(files)),
+            mp_context=get_context("spawn"),
+            max_tasks_per_child=1,
+        ) as pool:
+            futures = {
+                pool.submit(run_bench_file, _make_task(bf, opts)): bf for bf in files
+            }
+            for future in as_completed(futures):
+                bf = futures[future]
+                with tracer.span("bench.file", module=bf.module, area=bf.area) as span:
+                    out = future.result()
+                    span.set(wall_s=out["wall_s"], benches=len(out["benches"]))
+                outputs[bf.module] = out
+
+        machine = machine_metadata()
+        by_area: dict[str, dict] = {}
+        for bf in files:  # deterministic order regardless of completion order
+            out = outputs[bf.module]
+            result.files_run += 1
+            result.deselected += len(out["deselected"])
+            for err in out["collection_errors"]:
+                result.failures.append(f"{bf.module}: collection failed: {err}")
+            benches = by_area.setdefault(bf.area, {})
+            for fn_name, entry in sorted(out["benches"].items()):
+                bench_id = bf.bench_id(fn_name)
+                record: dict = {
+                    "status": entry.get("status", "ok"),
+                    "tier": entry.get("tier", "full"),
+                }
+                if entry.get("status") == "failed":
+                    record["message"] = entry.get("message", "")
+                    result.failures.append(f"{bench_id}: {record['message'][:200]}")
+                if entry.get("samples_s"):
+                    record["timing"] = timing_stats(entry["samples_s"])
+                    record["timing"]["warmup_discarded"] = entry.get("warmup_discarded", 0)
+                record["metrics"] = dict(entry.get("metrics", {}))
+                benches[bench_id] = record
+                result.benches_run += 1
+            if not out["ok"] and not out["benches"]:
+                result.failures.append(
+                    f"{bf.module}: pytest exit code {out['exit_code']} with no results"
+                )
+
+        for area, benches in sorted(by_area.items()):
+            result.records[area] = {
+                "run_id": run_id,
+                "tier": opts.tier,
+                "scale": opts.scale,
+                "seed": opts.seed,
+                "machine": machine,
+                "benches": benches,
+            }
+        result.wall_s = time.perf_counter() - t_run
+        run_span.set(
+            files=result.files_run, benches=result.benches_run,
+            failures=len(result.failures), wall_s=result.wall_s,
+        )
+    return result
+
+
+def quality_fingerprint(run: Mapping) -> dict[str, dict[str, float]]:
+    """The deterministic slice of a run: non-noisy metrics per bench.
+
+    Two runs at the same tier/scale/seed must produce identical
+    fingerprints — any difference means unseeded randomness crept into
+    bench setup (the determinism pin in the tier-1 tests).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for bench_id, entry in sorted(dict(run["benches"]).items()):
+        metrics = {
+            name: float(m["value"])
+            for name, m in dict(entry.get("metrics", {})).items()
+            if not m.get("noisy", False)
+        }
+        if metrics:
+            out[bench_id] = metrics
+    return out

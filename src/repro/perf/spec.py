@@ -1,0 +1,76 @@
+"""Bench classification: areas, tiers, and the per-file spec.
+
+A bench file declares its classification with three module-level
+markers, read statically by :mod:`repro.perf.discover`:
+
+``BENCH_AREA = "cost"``
+    Which ``BENCH_<area>.json`` trajectory the file's results land in.
+    Required — an unclassified bench would silently fall out of the
+    perf gate.
+
+``BENCH_TIER = "quick"``
+    Default tier for every ``bench_*`` function in the file.  Optional;
+    defaults to ``"full"`` (the conservative reading: a bench is
+    excluded from the CI smoke tier until someone vouches it is fast).
+
+``BENCH_TIERS = {"bench_parallel_sweep": "full"}``
+    Per-function overrides of the file default, for files that mix a
+    few second-scale probes with a minutes-scale sweep.
+
+Tier semantics: a ``quick`` run executes only quick-tagged functions;
+a ``full`` run executes everything (quick included — full is a
+superset, so the full trajectory subsumes the smoke one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AREAS", "TIERS", "BenchFunction", "BenchFile"]
+
+#: The recognized areas, one persisted ``BENCH_<area>.json`` each.
+AREAS: tuple[str, ...] = (
+    "cost",
+    "online",
+    "obs",
+    "sweep",
+    "figures",
+    "ablation",
+    "validation",
+)
+
+#: The recognized tiers, cheapest first.
+TIERS: tuple[str, ...] = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class BenchFunction:
+    """One ``bench_*`` function and its resolved tier."""
+
+    name: str
+    tier: str
+
+    def runs_at(self, tier: str) -> bool:
+        """Whether this function executes in a run of ``tier``."""
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        return tier == "full" or self.tier == "quick"
+
+
+@dataclass(frozen=True)
+class BenchFile:
+    """One discovered ``benchmarks/bench_*.py`` and its classification."""
+
+    path: str
+    module: str
+    area: str
+    tier: str
+    functions: tuple[BenchFunction, ...]
+
+    def functions_at(self, tier: str) -> tuple[BenchFunction, ...]:
+        """The functions a run of ``tier`` would execute."""
+        return tuple(f for f in self.functions if f.runs_at(tier))
+
+    def bench_id(self, function: str) -> str:
+        """The stable key results are stored under: ``<module>::<function>``."""
+        return f"{self.module}::{function}"

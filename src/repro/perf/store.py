@@ -1,0 +1,204 @@
+"""Persistence: schema-versioned ``BENCH_<area>.json`` trajectories.
+
+One file per area at the repo root, committed alongside the code whose
+performance it describes.  Each file holds a bounded, oldest-first list
+of *run records*; ``bench run`` appends and ``bench compare`` diffs the
+newest run against the latest earlier run at the same tier/scale, so
+the trajectory accumulates PR over PR without unbounded growth.
+
+Validation is strict and loud (:class:`StoreError` carries every
+problem found, not just the first): a malformed baseline must hard-fail
+the CI gate even when the comparison itself is warn-only, because a
+silently unreadable baseline is indistinguishable from "no regression".
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.perf.api import DIRECTIONS
+from repro.perf.spec import AREAS, TIERS
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DOCUMENT_KIND",
+    "StoreError",
+    "bench_filename",
+    "new_document",
+    "validate_document",
+    "load_document",
+    "write_document",
+    "append_run",
+    "trajectory_files",
+]
+
+SCHEMA_VERSION = 1
+DOCUMENT_KIND = "repro.perf/trajectory"
+
+_FILENAME_RE = re.compile(r"^BENCH_([a-z]+)\.json$")
+
+
+class StoreError(ValueError):
+    """A BENCH_<area>.json failed schema validation."""
+
+    def __init__(self, path: str, problems: list[str]) -> None:
+        self.path = path
+        self.problems = problems
+        super().__init__(
+            f"{path}: invalid perf trajectory ({len(problems)} problem(s)):\n  "
+            + "\n  ".join(problems)
+        )
+
+
+def bench_filename(area: str) -> str:
+    if area not in AREAS:
+        raise ValueError(f"unknown area {area!r}; expected one of {AREAS}")
+    return f"BENCH_{area}.json"
+
+
+def new_document(area: str) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": DOCUMENT_KIND,
+        "area": area,
+        "runs": [],
+    }
+
+
+def _check_timing(timing: Any, where: str, problems: list[str]) -> None:
+    if not isinstance(timing, Mapping):
+        problems.append(f"{where}: timing must be an object")
+        return
+    for key in ("median_s", "iqr_s"):
+        if not isinstance(timing.get(key), (int, float)):
+            problems.append(f"{where}: timing.{key} must be a number")
+    if isinstance(timing.get("median_s"), (int, float)) and timing["median_s"] < 0:
+        problems.append(f"{where}: timing.median_s must be >= 0")
+
+
+def _check_metric(metric: Any, where: str, problems: list[str]) -> None:
+    if not isinstance(metric, Mapping):
+        problems.append(f"{where}: metric must be an object")
+        return
+    if not isinstance(metric.get("value"), (int, float)):
+        problems.append(f"{where}: metric value must be a number")
+    if metric.get("direction") not in DIRECTIONS:
+        problems.append(f"{where}: metric direction must be one of {DIRECTIONS}")
+
+
+def _check_run(run: Any, where: str, problems: list[str]) -> None:
+    if not isinstance(run, Mapping):
+        problems.append(f"{where}: run must be an object")
+        return
+    if not isinstance(run.get("run_id"), str) or not run.get("run_id"):
+        problems.append(f"{where}: run_id must be a non-empty string")
+    if run.get("tier") not in TIERS:
+        problems.append(f"{where}: tier must be one of {TIERS}")
+    if not isinstance(run.get("scale"), str):
+        problems.append(f"{where}: scale must be a string")
+    if not isinstance(run.get("seed"), int):
+        problems.append(f"{where}: seed must be an integer")
+    machine = run.get("machine")
+    if not isinstance(machine, Mapping):
+        problems.append(f"{where}: machine metadata must be an object")
+    benches = run.get("benches")
+    if not isinstance(benches, Mapping):
+        problems.append(f"{where}: benches must be an object")
+        return
+    for bench_id, entry in benches.items():
+        bwhere = f"{where}.benches[{bench_id!r}]"
+        if not isinstance(entry, Mapping):
+            problems.append(f"{bwhere}: bench entry must be an object")
+            continue
+        if entry.get("status") not in ("ok", "failed"):
+            problems.append(f"{bwhere}: status must be 'ok' or 'failed'")
+        if "timing" in entry:
+            _check_timing(entry["timing"], bwhere, problems)
+        for name, metric in dict(entry.get("metrics", {})).items():
+            _check_metric(metric, f"{bwhere}.metrics[{name!r}]", problems)
+
+
+def validate_document(doc: Any, *, path: str = "<memory>") -> None:
+    """Raise :class:`StoreError` unless ``doc`` is a valid trajectory."""
+    problems: list[str] = []
+    if not isinstance(doc, Mapping):
+        raise StoreError(path, ["document must be a JSON object"])
+    if doc.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {SCHEMA_VERSION} (got {doc.get('schema')!r}); "
+            "regenerate the baseline with this version of repro-cps"
+        )
+    if doc.get("kind") != DOCUMENT_KIND:
+        problems.append(f"kind must be {DOCUMENT_KIND!r}")
+    if doc.get("area") not in AREAS:
+        problems.append(f"area must be one of {AREAS}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        problems.append("runs must be a list")
+    else:
+        for i, run in enumerate(runs):
+            _check_run(run, f"runs[{i}]", problems)
+        seen: set[str] = set()
+        for run in runs:
+            rid = run.get("run_id") if isinstance(run, Mapping) else None
+            if isinstance(rid, str):
+                if rid in seen:
+                    problems.append(f"duplicate run_id {rid!r}")
+                seen.add(rid)
+    if problems:
+        raise StoreError(path, problems)
+
+
+def load_document(path: str | Path) -> dict:
+    """Read and validate one trajectory file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StoreError(str(path), [f"not valid JSON: {exc}"]) from exc
+    validate_document(doc, path=str(path))
+    return doc
+
+
+def write_document(path: str | Path, doc: Mapping) -> None:
+    """Validate and write (trailing newline; stable key order for diffs)."""
+    validate_document(doc, path=str(path))
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def append_run(doc: Mapping | None, area: str, run: Mapping, *, keep: int = 20) -> dict:
+    """Append ``run`` to ``doc`` (or a fresh document), keeping the last ``keep``."""
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    out = dict(doc) if doc is not None else new_document(area)
+    if out.get("area") != area:
+        raise ValueError(f"document area {out.get('area')!r} != run area {area!r}")
+    runs = list(out.get("runs", []))
+    run = dict(run)
+    existing = {r.get("run_id") for r in runs if isinstance(r, Mapping)}
+    run_id = str(run.get("run_id", ""))
+    while run_id in existing:
+        run_id += "+"
+    run["run_id"] = run_id
+    runs.append(run)
+    out["runs"] = runs[-keep:]
+    validate_document(out)
+    return out
+
+
+def trajectory_files(root: str | Path = ".") -> dict[str, Path]:
+    """Existing ``BENCH_<area>.json`` files under ``root``, by area."""
+    out: dict[str, Path] = {}
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        match = _FILENAME_RE.match(path.name)
+        if match is None:
+            continue
+        area = match.group(1)
+        if area in AREAS:
+            out[area] = path
+    return out

@@ -1,0 +1,86 @@
+"""The isolated bench-file worker (one spawned process per file).
+
+Process isolation is load-bearing, not hygiene: bench files share
+session-scoped fixtures (the suite profile, the §VII study) and import
+numpy-heavy module state, so running two files in one interpreter lets
+the first file's warm caches subsidize the second's numbers.  Each
+worker process runs exactly one file (the pool is created with
+``max_tasks_per_child=1`` and the ``spawn`` start method) so every
+bench pays its own setup, every time, at a pinned scale and seed.
+
+``run_bench_file`` is a module-level function returning only plain
+dicts — the RL008 contract for anything crossing the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = ["WorkerTask", "run_bench_file"]
+
+#: pytest exit code for "no tests were collected" — expected when a
+#: quick run meets a file whose functions are all full-tier.
+_EXIT_NO_TESTS = 5
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything one worker needs, picklable by construction."""
+
+    path: str
+    module: str
+    area: str
+    tier: str
+    repeats: int
+    warmup: int
+    scale: str
+    seed: int
+    function_tiers: tuple[tuple[str, str], ...]
+
+
+def run_bench_file(task: WorkerTask) -> dict:
+    """Run one bench file under pytest with the capture plugin.
+
+    Imports happen inside the function: under the ``spawn`` start
+    method the worker interpreter is fresh, and the parent should not
+    need pytest importable just to import this module.
+    """
+    os.environ["REPRO_SCALE"] = task.scale if task.scale != "default" else ""
+    os.environ["REPRO_BENCH_SEED"] = str(task.seed)
+
+    import pytest
+
+    from repro.perf.capture import PerfCapturePlugin
+
+    plugin = PerfCapturePlugin(tier=task.tier, repeats=task.repeats, warmup=task.warmup)
+    plugin.set_function_tiers(dict(task.function_tiers))
+    t0 = time.perf_counter()
+    exit_code = int(
+        pytest.main(
+            [
+                task.path,
+                "-q",
+                "--no-header",
+                "-p", "no:benchmark",
+                "-p", "no:cacheprovider",
+                "-o", "python_files=bench_*.py",
+                "-o", "python_functions=bench_*",
+                "-o", "addopts=",
+            ],
+            plugins=[plugin],
+        )
+    )
+    wall_s = time.perf_counter() - t0
+    ok = exit_code in (0, _EXIT_NO_TESTS)
+    return {
+        "module": task.module,
+        "area": task.area,
+        "exit_code": exit_code,
+        "ok": ok and not plugin.collection_errors,
+        "wall_s": wall_s,
+        "benches": plugin.results,
+        "deselected": list(plugin.deselected),
+        "collection_errors": list(plugin.collection_errors),
+    }

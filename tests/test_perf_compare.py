@@ -1,0 +1,220 @@
+"""Direction-aware regression gating, baseline selection, and the CLI gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    Thresholds,
+    append_run,
+    compare_documents,
+    compare_runs,
+    find_baseline,
+    regressions,
+    write_document,
+)
+
+
+def make_run(run_id, *, tier="quick", scale="smoke", benches=None):
+    return {
+        "run_id": run_id,
+        "tier": tier,
+        "scale": scale,
+        "seed": 0,
+        "machine": {},
+        "benches": benches if benches is not None else make_benches(),
+    }
+
+
+def make_benches(
+    *,
+    median_s=0.100,
+    miss_ratio=0.25,
+    hit_ratio=0.75,
+    throughput=1e6,
+):
+    return {
+        "bench_demo.py::bench_one": {
+            "status": "ok",
+            "timing": {"median_s": median_s, "iqr_s": 0.001, "repeats": 3},
+            "metrics": {
+                "miss_ratio": {"value": miss_ratio, "unit": "", "direction": "lower"},
+                "hit_ratio": {
+                    "value": hit_ratio, "unit": "ratio", "direction": "higher",
+                },
+                "throughput": {
+                    "value": throughput, "unit": "1/s",
+                    "direction": "higher", "noisy": True,
+                },
+            },
+        },
+    }
+
+
+def by_metric(findings):
+    return {f.metric: f for f in findings}
+
+
+def test_identical_runs_are_all_ok():
+    base, cand = make_run("r1"), make_run("r2")
+    findings = compare_runs(base, cand, area="cost")
+    assert findings
+    assert all(f.severity == "ok" for f in findings)
+    assert regressions(findings) == []
+
+
+def test_lower_is_better_regresses_upward():
+    base = make_run("r1")
+    cand = make_run("r2", benches=make_benches(miss_ratio=0.26))
+    f = by_metric(compare_runs(base, cand, area="cost"))["miss_ratio"]
+    assert f.severity == "regression"
+    # and the mirror image is an improvement, not a regression
+    cand = make_run("r2", benches=make_benches(miss_ratio=0.24))
+    f = by_metric(compare_runs(base, cand, area="cost"))["miss_ratio"]
+    assert f.severity == "improvement"
+
+
+def test_higher_is_better_regresses_downward():
+    base = make_run("r1")
+    cand = make_run("r2", benches=make_benches(hit_ratio=0.70))
+    f = by_metric(compare_runs(base, cand, area="cost"))["hit_ratio"]
+    assert f.severity == "regression"
+    cand = make_run("r2", benches=make_benches(hit_ratio=0.80))
+    f = by_metric(compare_runs(base, cand, area="cost"))["hit_ratio"]
+    assert f.severity == "improvement"
+
+
+def test_quality_drift_within_tolerance_is_ok():
+    base = make_run("r1")
+    cand = make_run("r2", benches=make_benches(miss_ratio=0.25 * 1.01))
+    f = by_metric(compare_runs(base, cand, area="cost"))["miss_ratio"]
+    assert f.severity == "ok"
+
+
+def test_timing_gates_only_beyond_wide_tolerance():
+    base = make_run("r1")
+    within = make_run("r2", benches=make_benches(median_s=0.120))  # +20% < 30%
+    f = by_metric(compare_runs(base, within, area="cost"))["timing.median_s"]
+    assert f.severity == "ok"
+    beyond = make_run("r2", benches=make_benches(median_s=0.140))  # +40%
+    f = by_metric(compare_runs(base, beyond, area="cost"))["timing.median_s"]
+    assert f.severity == "regression"
+
+
+def test_timing_absolute_floor_forgives_microbench_jitter():
+    base = make_run("r1", benches=make_benches(median_s=1e-6))
+    cand = make_run("r2", benches=make_benches(median_s=3e-6))  # 3x but ~2 µs
+    f = by_metric(compare_runs(base, cand, area="cost"))["timing.median_s"]
+    assert f.severity == "ok"
+
+
+def test_noisy_metrics_never_gate():
+    base = make_run("r1")
+    cand = make_run("r2", benches=make_benches(throughput=0.5e6))  # halved
+    findings = compare_runs(base, cand, area="cost")
+    f = by_metric(findings)["throughput"]
+    assert f.severity == "noisy"
+    assert regressions(findings) == []
+
+
+def test_failed_and_missing_benches_gate():
+    base = make_run("r1")
+    gone = make_run("r2", benches={})
+    findings = compare_runs(base, gone, area="cost")
+    assert [f.severity for f in findings] == ["missing"]
+    assert regressions(findings)
+
+    broken = make_run("r2")
+    broken["benches"]["bench_demo.py::bench_one"] = {
+        "status": "failed", "message": "call: AssertionError",
+    }
+    findings = compare_runs(base, broken, area="cost")
+    assert [f.severity for f in findings] == ["failed"]
+    assert regressions(findings)
+
+
+def test_new_bench_does_not_gate():
+    base = make_run("r1", benches={})
+    findings = compare_runs(base, make_run("r2"), area="cost")
+    assert [f.severity for f in findings] == ["new"]
+    assert regressions(findings) == []
+
+
+def test_thresholds_reject_negative():
+    with pytest.raises(ValueError):
+        Thresholds(time_rel=-0.1)
+
+
+def test_find_baseline_matches_tier_and_scale():
+    doc = append_run(None, "cost", make_run("r1", tier="full", scale="default"))
+    doc = append_run(doc, "cost", make_run("r2", tier="quick", scale="smoke"))
+    doc = append_run(doc, "cost", make_run("r3", tier="quick", scale="smoke"))
+    doc = append_run(doc, "cost", make_run("r4", tier="full", scale="default"))
+    cand = doc["runs"][-1]
+    base = find_baseline(doc, cand)
+    assert base is not None and base["run_id"] == "r1"  # skips the smoke runs
+    quick_cand = doc["runs"][2]
+    base = find_baseline(doc, quick_cand)
+    assert base is not None and base["run_id"] == "r2"
+    # first run of its grid has nothing to diff against
+    assert find_baseline(doc, doc["runs"][0]) is None
+
+
+def test_compare_documents_notes_incomparable_areas():
+    doc = append_run(None, "cost", make_run("r1", tier="full", scale="default"))
+    doc = append_run(doc, "cost", make_run("r2", tier="quick", scale="smoke"))
+    findings, notes = compare_documents({"cost": doc})
+    assert findings == []
+    assert len(notes) == 1 and "cost" in notes[0]
+
+
+def _write_trajectory(tmp_path, runs, area="cost"):
+    doc = None
+    for run in runs:
+        doc = append_run(doc, area, run)
+    write_document(tmp_path / f"BENCH_{area}.json", doc)
+
+
+def test_cli_compare_passes_on_identical_rerun(tmp_path, capsys):
+    _write_trajectory(tmp_path, [make_run("r1"), make_run("r2")])
+    assert main(["bench", "compare", "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+
+
+def test_cli_compare_fails_on_injected_regression(tmp_path, capsys):
+    worse = make_run(
+        "r2", benches=make_benches(median_s=0.300, hit_ratio=0.60)
+    )
+    _write_trajectory(tmp_path, [make_run("r1"), worse])
+    assert main(["bench", "compare", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[regression]" in out and "hit_ratio" in out
+    # --warn-only reports but does not fail ...
+    assert main(["bench", "compare", "--root", str(tmp_path), "--warn-only"]) == 0
+    # ... and a loosened tolerance genuinely passes
+    assert main([
+        "bench", "compare", "--root", str(tmp_path),
+        "--time-tolerance", "5.0", "--quality-tolerance", "0.5",
+    ]) == 0
+
+
+def test_cli_compare_hard_fails_on_schema_damage_even_warn_only(tmp_path, capsys):
+    _write_trajectory(tmp_path, [make_run("r1"), make_run("r2")])
+    path = tmp_path / "BENCH_cost.json"
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    broken = copy.deepcopy(doc)
+    broken["runs"][1]["tier"] = "warp"
+    path.write_text(json.dumps(broken), encoding="utf-8")
+    assert main(["bench", "compare", "--root", str(tmp_path), "--warn-only"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid perf trajectory" in err
+
+
+def test_cli_compare_errors_on_unknown_area(tmp_path):
+    _write_trajectory(tmp_path, [make_run("r1")])
+    assert main(["bench", "compare", "--root", str(tmp_path), "--areas", "obs"]) == 2

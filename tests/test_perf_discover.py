@@ -1,0 +1,107 @@
+"""Discovery of bench files and their BENCH_* markers (AST-only, no imports)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf import AREAS, TIERS, discover
+from repro.perf.discover import discover_file
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _write_bench(tmp_path: Path, name: str, body: str) -> Path:
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir(exist_ok=True)
+    path = bench_dir / name
+    path.write_text(body, encoding="utf-8")
+    return path
+
+
+def test_discover_file_markers(tmp_path):
+    path = _write_bench(
+        tmp_path,
+        "bench_demo.py",
+        '"""doc."""\n'
+        'BENCH_AREA = "cost"\n'
+        'BENCH_TIER = "quick"\n'
+        'BENCH_TIERS = {"bench_slow": "full"}\n'
+        "def bench_fast(benchmark):\n    pass\n"
+        "def bench_slow(benchmark):\n    pass\n"
+        "def helper():\n    pass\n",
+    )
+    spec = discover_file(path)
+    assert spec.area == "cost"
+    assert spec.tier == "quick"
+    names = {f.name: f.tier for f in spec.functions}
+    assert names == {"bench_fast": "quick", "bench_slow": "full"}
+    assert [f.name for f in spec.functions_at("quick")] == ["bench_fast"]
+    assert {f.name for f in spec.functions_at("full")} == {"bench_fast", "bench_slow"}
+    assert spec.bench_id(spec.functions[0].name) == "bench_demo.py::bench_fast"
+
+
+def test_discover_file_defaults_to_full_tier(tmp_path):
+    path = _write_bench(
+        tmp_path,
+        "bench_plain.py",
+        'BENCH_AREA = "sweep"\n' "def bench_one(benchmark):\n    pass\n",
+    )
+    spec = discover_file(path)
+    assert spec.tier == "full"
+    assert spec.functions_at("quick") == ()
+    assert [f.name for f in spec.functions_at("full")] == ["bench_one"]
+
+
+def test_discover_file_rejects_missing_area(tmp_path):
+    path = _write_bench(tmp_path, "bench_bad.py", "def bench_x(benchmark):\n    pass\n")
+    with pytest.raises(ValueError, match="BENCH_AREA"):
+        discover_file(path)
+
+
+def test_discover_file_rejects_unknown_area_and_tier(tmp_path):
+    path = _write_bench(
+        tmp_path,
+        "bench_bad.py",
+        'BENCH_AREA = "nonsense"\n' "def bench_x(benchmark):\n    pass\n",
+    )
+    with pytest.raises(ValueError, match="nonsense"):
+        discover_file(path)
+    path.write_text(
+        'BENCH_AREA = "cost"\nBENCH_TIER = "warp"\n'
+        "def bench_x(benchmark):\n    pass\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(ValueError, match="warp"):
+        discover_file(path)
+
+
+def test_discover_file_rejects_tiers_for_unknown_function(tmp_path):
+    path = _write_bench(
+        tmp_path,
+        "bench_bad.py",
+        'BENCH_AREA = "cost"\nBENCH_TIERS = {"bench_ghost": "full"}\n'
+        "def bench_x(benchmark):\n    pass\n",
+    )
+    with pytest.raises(ValueError, match="bench_ghost"):
+        discover_file(path)
+
+
+def test_discover_requires_benchmarks_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        discover(tmp_path)
+
+
+def test_discover_real_tree_is_fully_classified():
+    """Every committed bench file carries a valid area and ≥1 function."""
+    files = discover(REPO_ROOT)
+    assert len(files) >= 20
+    seen_areas = {f.area for f in files}
+    assert seen_areas <= set(AREAS)
+    # the two areas with committed baselines must expose a quick tier
+    quick = {f.area for f in files if f.functions_at("quick")}
+    assert {"cost", "online"} <= quick
+    for spec in files:
+        assert spec.tier in TIERS
+        assert spec.functions, spec.module

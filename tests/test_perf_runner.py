@@ -1,0 +1,169 @@
+"""Runner mechanics and the determinism pin: same seed → same quality metrics."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    RunOptions,
+    quality_fingerprint,
+    run_benches,
+    timing_stats,
+)
+from repro.perf.discover import discover
+from repro.perf.runner import machine_metadata, select_files
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_timing_stats_median_and_iqr():
+    stats = timing_stats([0.5, 0.1, 0.2, 0.3, 0.4])
+    assert stats["median_s"] == pytest.approx(0.3)
+    assert stats["iqr_s"] == pytest.approx(0.2)
+    assert stats["repeats"] == 5
+    assert stats["min_s"] == pytest.approx(0.1)
+    assert stats["max_s"] == pytest.approx(0.5)
+
+
+def test_timing_stats_is_outlier_robust():
+    """One scheduler stall must not move the persisted number (median != mean)."""
+    calm = timing_stats([0.10, 0.10, 0.10, 0.11, 0.10])
+    stalled = timing_stats([0.10, 0.10, 0.10, 0.11, 5.0])
+    assert stalled["median_s"] == calm["median_s"] == pytest.approx(0.10)
+    assert stalled["max_s"] == pytest.approx(5.0)  # the stall is still visible
+
+
+def test_timing_stats_single_sample():
+    stats = timing_stats([0.25])
+    assert stats["median_s"] == pytest.approx(0.25)
+    assert stats["iqr_s"] == 0.0
+
+
+def test_timing_stats_rejects_empty():
+    with pytest.raises(ValueError):
+        timing_stats([])
+
+
+def test_run_options_validation():
+    with pytest.raises(ValueError, match="tier"):
+        RunOptions(tier="warp")
+    with pytest.raises(ValueError, match="scale"):
+        RunOptions(scale="huge")
+    with pytest.raises(ValueError, match="unknown areas"):
+        RunOptions(areas=("cost", "nonsense"))
+    with pytest.raises(ValueError, match="repeats"):
+        RunOptions(repeats=0)
+    with pytest.raises(ValueError, match="warmup"):
+        RunOptions(warmup=-1)
+    assert RunOptions(jobs=0).effective_jobs >= 1
+
+
+def test_select_files_filters_area_and_tier():
+    files = discover(REPO_ROOT)
+    quick_cost = select_files(files, tier="quick", areas=("cost",))
+    assert quick_cost and all(f.area == "cost" for f in quick_cost)
+    assert all(f.functions_at("quick") for f in quick_cost)
+    # the full tier runs a strict superset of files
+    full_all = select_files(files, tier="full", areas=None)
+    quick_all = select_files(files, tier="quick", areas=None)
+    assert {f.module for f in quick_all} < {f.module for f in full_all}
+
+
+def test_machine_metadata_shape():
+    meta = machine_metadata()
+    assert set(meta) == {"python", "numpy", "platform", "cpus"}
+    assert meta["cpus"] >= 1
+
+
+def test_run_benches_rejects_empty_selection():
+    with pytest.raises(ValueError, match="no bench files"):
+        run_benches(RunOptions(root=str(REPO_ROOT), tier="quick", areas=("figures",)))
+
+
+@pytest.fixture()
+def synthetic_tree(tmp_path, monkeypatch):
+    """A miniature benchmarks/ dir whose workers can import repro."""
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    (bench_dir / "bench_tiny.py").write_text(
+        '"""Synthetic bench for runner tests."""\n'
+        'BENCH_AREA = "obs"\n'
+        'BENCH_TIER = "quick"\n'
+        'BENCH_TIERS = {"bench_full_only": "full"}\n'
+        "import os\n"
+        "from repro.perf import record_metric\n"
+        "def bench_passes(benchmark):\n"
+        "    benchmark(lambda: sum(range(100)))\n"
+        "    record_metric('answer', 4950.0, direction='lower')\n"
+        "    record_metric('jitterish', 1.0, direction='higher', noisy=True)\n"
+        "    record_metric('scale_seen', float(os.environ.get('REPRO_SCALE') "
+        "== 'smoke'), direction='higher')\n"
+        "def bench_breaks(benchmark):\n"
+        "    benchmark(lambda: None)\n"
+        "    assert False, 'injected failure'\n"
+        "def bench_full_only(benchmark):\n"
+        "    benchmark(lambda: None)\n",
+        encoding="utf-8",
+    )
+    src = str(REPO_ROOT / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    monkeypatch.setenv(
+        "PYTHONPATH", os.pathsep.join(p for p in (src, existing) if p)
+    )
+    return tmp_path
+
+
+def test_run_benches_synthetic_end_to_end(synthetic_tree):
+    opts = RunOptions(
+        root=str(synthetic_tree), tier="quick", scale="smoke",
+        repeats=2, warmup=1, jobs=1, seed=3,
+    )
+    result = run_benches(opts, run_id="run-a")
+    assert result.files_run == 1
+    assert result.benches_run == 2  # bench_full_only deselected
+    assert result.deselected == 1
+    assert not result.ok  # bench_breaks failed
+    assert any("bench_breaks" in f and "injected failure" in f for f in result.failures)
+
+    record = result.records["obs"]
+    assert record["run_id"] == "run-a"
+    assert record["tier"] == "quick" and record["scale"] == "smoke"
+    benches = record["benches"]
+    good = benches["bench_tiny.py::bench_passes"]
+    assert good["status"] == "ok"
+    assert good["timing"]["repeats"] == 2
+    assert good["timing"]["warmup_discarded"] == 1
+    assert good["metrics"]["answer"]["value"] == 4950.0
+    assert good["metrics"]["scale_seen"]["value"] == 1.0  # REPRO_SCALE reached worker
+    assert benches["bench_tiny.py::bench_breaks"]["status"] == "failed"
+    assert "injected failure" in benches["bench_tiny.py::bench_breaks"]["message"]
+
+    # the fingerprint keeps deterministic metrics and drops noisy ones
+    fp = quality_fingerprint(record)
+    assert fp == {
+        "bench_tiny.py::bench_passes": {"answer": 4950.0, "scale_seen": 1.0}
+    }
+
+
+def test_quick_tier_is_deterministic_for_real_cost_area(monkeypatch):
+    """Satellite pin: two quick-tier runs, same seed → identical quality metrics."""
+    src = str(REPO_ROOT / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    monkeypatch.setenv(
+        "PYTHONPATH", os.pathsep.join(p for p in (src, existing) if p)
+    )
+    opts = RunOptions(
+        root=str(REPO_ROOT), tier="quick", areas=("cost",),
+        scale="smoke", repeats=1, warmup=0, jobs=2, seed=7,
+    )
+    first = run_benches(opts, run_id="det-a")
+    second = run_benches(opts, run_id="det-b")
+    assert first.ok, first.failures
+    assert second.ok, second.failures
+    fp1 = quality_fingerprint(first.records["cost"])
+    fp2 = quality_fingerprint(second.records["cost"])
+    assert fp1  # the cost area records real quality metrics at quick tier
+    assert fp1 == fp2

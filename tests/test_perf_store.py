@@ -1,0 +1,150 @@
+"""Schema round-trip and strict validation of BENCH_<area>.json trajectories."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    SCHEMA_VERSION,
+    StoreError,
+    append_run,
+    load_document,
+    trajectory_files,
+    validate_document,
+    write_document,
+)
+from repro.perf.store import new_document
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_run(run_id="2026-01-01T00:00:00.000000Z", *, tier="quick", scale="smoke"):
+    return {
+        "run_id": run_id,
+        "tier": tier,
+        "scale": scale,
+        "seed": 0,
+        "machine": {"python": "3.11", "cpus": 4},
+        "benches": {
+            "bench_demo.py::bench_one": {
+                "status": "ok",
+                "timing": {"median_s": 0.01, "iqr_s": 0.001, "repeats": 3},
+                "metrics": {
+                    "miss_ratio": {"value": 0.25, "unit": "", "direction": "lower"},
+                    "hit_ratio": {
+                        "value": 0.75, "unit": "ratio", "direction": "higher",
+                    },
+                },
+            },
+            "bench_demo.py::bench_broken": {
+                "status": "failed",
+                "message": "call: boom",
+            },
+        },
+    }
+
+
+def test_round_trip(tmp_path):
+    doc = append_run(None, "cost", make_run())
+    path = tmp_path / "BENCH_cost.json"
+    write_document(path, doc)
+    loaded = load_document(path)
+    assert loaded == doc
+    assert loaded["schema"] == SCHEMA_VERSION
+    # file ends with newline and is stable under re-serialization
+    text = path.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    assert json.loads(text) == loaded
+
+
+def test_write_document_creates_parent_dirs(tmp_path):
+    path = tmp_path / "nested" / "out" / "BENCH_cost.json"
+    write_document(path, append_run(None, "cost", make_run()))
+    assert load_document(path)["area"] == "cost"
+
+
+def test_bench_filename_rejects_unknown_area():
+    # imported inside the test: a module-level name matching bench_*
+    # would itself be collected as a benchmark by pytest's config
+    from repro.perf import bench_filename as filename_for
+
+    assert filename_for("cost") == "BENCH_cost.json"
+    with pytest.raises(ValueError, match="unknown area"):
+        filename_for("nonsense")
+
+
+def test_validate_collects_all_problems():
+    doc = {"schema": 99, "kind": "wrong", "area": "nope", "runs": "not-a-list"}
+    with pytest.raises(StoreError) as exc:
+        validate_document(doc)
+    problems = exc.value.problems
+    assert len(problems) == 4
+    assert any("schema" in p for p in problems)
+    assert any("runs" in p for p in problems)
+
+
+def test_validate_rejects_bad_run_fields():
+    run = make_run()
+    run["tier"] = "warp"
+    run["benches"]["bench_demo.py::bench_one"]["metrics"]["miss_ratio"][
+        "direction"
+    ] = "sideways"
+    doc = new_document("cost")
+    doc["runs"] = [run]
+    with pytest.raises(StoreError) as exc:
+        validate_document(doc)
+    assert any("tier" in p for p in exc.value.problems)
+    assert any("direction" in p for p in exc.value.problems)
+
+
+def test_validate_rejects_duplicate_run_ids():
+    doc = new_document("cost")
+    doc["runs"] = [make_run("r1"), make_run("r1")]
+    with pytest.raises(StoreError, match="duplicate run_id"):
+        validate_document(doc)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "BENCH_cost.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(StoreError, match="not valid JSON"):
+        load_document(path)
+
+
+def test_append_run_disambiguates_duplicate_ids():
+    doc = append_run(None, "cost", make_run("r1"))
+    doc = append_run(doc, "cost", make_run("r1"))
+    ids = [r["run_id"] for r in doc["runs"]]
+    assert ids == ["r1", "r1+"]
+    validate_document(doc)
+
+
+def test_append_run_bounds_history():
+    doc = None
+    for i in range(25):
+        doc = append_run(doc, "cost", make_run(f"r{i:02d}"), keep=20)
+    ids = [r["run_id"] for r in doc["runs"]]
+    assert len(ids) == 20
+    assert ids[0] == "r05" and ids[-1] == "r24"
+
+
+def test_append_run_rejects_area_mismatch():
+    doc = append_run(None, "cost", make_run())
+    with pytest.raises(ValueError, match="area"):
+        append_run(doc, "online", make_run("r2"))
+
+
+def test_trajectory_files_finds_committed_baselines(tmp_path):
+    (tmp_path / "BENCH_cost.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "BENCH_online.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "BENCH_NotAnArea.json").write_text("{}", encoding="utf-8")
+    found = trajectory_files(tmp_path)
+    assert sorted(found) == ["cost", "online"]
+    # the repo itself ships schema-valid baselines for these two areas
+    committed = trajectory_files(REPO_ROOT)
+    for area in ("cost", "online"):
+        assert area in committed
+        assert load_document(committed[area])["area"] == area
