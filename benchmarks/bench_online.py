@@ -122,6 +122,53 @@ def bench_solver_cache_across_epochs(benchmark):
     assert jitter.metrics["drift_skips"] > 0
 
 
+def bench_warm_start_resolve(benchmark):
+    """ISSUE 7 acceptance: when one tenant of many drifts, the warm-start
+    re-solve resumes the fold past the steady prefix instead of refolding
+    all P stages.  Results must be bit-identical to the cold path at
+    ``quantum=0``; the win shows up as resolve latency."""
+    epochs, seg, n_tenants = 6, 1200, 12
+    # 11 steady tenants (identical accesses every epoch) + 1 aperiodic
+    # drifter LAST, so the changed-prefix scan reuses 11 of 12 stages
+    traces = [
+        phased([zipf(seg, 300 + 20 * i, seed=20 + i)], repeats=epochs,
+               name=f"steady-{i}")
+        for i in range(n_tenants - 1)
+    ]
+    traces.append(uniform_random(epochs * seg, 500, seed=99, name="drifter"))
+
+    def run():
+        cold = replay(traces, ControllerConfig(
+            cache_blocks=480, epoch_length=seg, warm_start=False
+        ))
+        warm = replay(traces, ControllerConfig(
+            cache_blocks=480, epoch_length=seg, warm_start=True
+        ))
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    cm, wm = cold.metrics, warm.metrics
+    print(f"\n{'path':>6s} {'resolves':>8s} {'warm':>5s} {'mean solve':>10s}")
+    for name, m in (("cold", cm), ("warm", wm)):
+        print(f"{name:>6s} {m['resolves']:8d} {m['warm_resolves']:5d} "
+              f"{m['resolve_latency_mean_s'] * 1e3:9.2f}ms")
+    # bit-identical decisions: warm-starting must not change the policy
+    assert warm.online_miss_ratio == cold.online_miss_ratio
+    assert cm["warm_resolves"] == 0
+    # epoch 1 is cold, epoch 2 seeds the per-stage state, 3..N resume
+    assert wm["warm_resolves"] == wm["epochs"] - 2
+    speedup = cm["resolve_latency_mean_s"] / wm["resolve_latency_mean_s"]
+    print(f"warm-start resolve speedup: {speedup:.2f}x "
+          f"({wm['warm_resolves']}/{wm['resolves']} warm)")
+    record_metric(
+        "warm_resolve_latency_mean_s", wm["resolve_latency_mean_s"],
+        unit="s", direction="lower", noisy=True,
+    )
+    record_metric(
+        "warm_start_resolve_speedup", speedup, direction="higher", noisy=True
+    )
+
+
 def bench_controller_end_to_end(benchmark):
     traces, seg = phase_opposed_pair(
         loops=8, big=480, small=40, segment=2400, pattern="zipf"

@@ -3,7 +3,7 @@
 The repo's guarantees (bit-exact sweep replay, the ``repro.engine``
 facade, monotonic-clock latency, Prometheus naming, picklable pool
 workers) are invariants no off-the-shelf linter can know about.  This
-package encodes each one as an AST rule (``RL001``–``RL008``), run by a
+package encodes each one as an AST rule (``RL001``–``RL009``), run by a
 single-walk engine with inline line-scoped suppressions and text/JSON
 reporters, surfaced as ``repro-cps lint``.
 
@@ -21,7 +21,7 @@ same pattern :mod:`repro.core.schemes` uses for solver schemes).
 
 from __future__ import annotations
 
-from repro.analysis import rules as _rules  # noqa: F401  (registers RL001–RL008)
+from repro.analysis import rules as _rules  # noqa: F401  (registers RL001–RL009)
 from repro.analysis.engine import (
     PARSE_ERROR_ID,
     FileContext,

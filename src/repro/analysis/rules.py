@@ -1,4 +1,4 @@
-"""The eight project-contract rules (RL001–RL008).
+"""The nine project-contract rules (RL001–RL009).
 
 Each rule encodes an invariant the repo's correctness or operability
 story depends on — none of them is a style preference, and none is
@@ -14,6 +14,8 @@ RL005  prom-naming           ``repro_`` prefix + unit suffixes on /metrics
 RL006  span-context-manager  spans must close even on the exception path
 RL007  no-assert-validation  asserts vanish under ``python -O``
 RL008  picklable-pool-worker sweep workers must pickle and stay functional
+RL009  kernel-registry       min-plus convolutions go through the backend
+                             registry, not the pinned reference kernel
 =====  ====================  ==================================================
 
 All checks are syntactic (stdlib :mod:`ast`, no imports of the linted
@@ -40,6 +42,7 @@ __all__ = [
     "SpanContextManagerRule",
     "AssertValidationRule",
     "PoolWorkerRule",
+    "KernelRegistryRule",
 ]
 
 
@@ -620,3 +623,57 @@ class PoolWorkerRule(Rule):
             ) or self._is_pool_ctor(func.value)
             if receiver_is_pool and node.args:
                 self._check_worker(node.args[0], ctx, module_defs, imported)
+
+
+# ---------------------------------------------------------------------------
+# RL009 — min-plus convolutions go through the kernel registry
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class KernelRegistryRule(Rule):
+    """``minplus_convolve`` is the pinned reference, not the dispatcher.
+
+    :func:`repro.core.kernels.convolve` dispatches to whichever backend
+    ``REPRO_KERNEL`` / ``repro-cps --kernel`` selected; the historical
+    :func:`~repro.core.kernels.minplus_convolve` name always runs the
+    ``reference`` backend.  Production code importing the pinned name
+    silently opts out of the selection (and of every faster backend), so
+    outside ``repro/core`` — where the registry itself lives — only the
+    dispatcher may be imported.  Golden tests that *want* the pinned
+    kernel import it under ``tests/``, which repro-lint does not cover.
+    """
+
+    id = "RL009"
+    name = "kernel-registry"
+    contract = "outside repro/core, convolve via the kernel registry"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    _SOURCES: ClassVar[frozenset[str]] = frozenset(
+        {"repro.core", "repro.core.minplus", "repro.core.kernels"}
+    )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if ctx.in_subpackage("core"):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("repro.core.minplus", "repro.core.kernels"):
+                    ctx.report(
+                        node, self,
+                        f"deep import of {alias.name} reaches past the kernel "
+                        "registry; use repro.core.kernels.convolve via "
+                        "'from repro.core.kernels import convolve'",
+                    )
+            return
+        if not isinstance(node, ast.ImportFrom) or node.module not in self._SOURCES:
+            return
+        for alias in node.names:
+            if alias.name == "minplus_convolve":
+                ctx.report(
+                    node, self,
+                    "minplus_convolve is the pinned reference kernel and "
+                    "bypasses REPRO_KERNEL / --kernel selection; call "
+                    "repro.core.kernels.convolve (the registry dispatcher) "
+                    "instead",
+                )

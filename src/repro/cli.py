@@ -17,13 +17,17 @@ Subcommands mirror the paper's workflow:
   redrawn as each epoch closes;
 * ``lint``        — repro-lint, the project's own static contract
   checker (:mod:`repro.analysis`): determinism, engine-facade,
-  telemetry, and robustness invariants as ``RL001``–``RL008``;
+  telemetry, and robustness invariants as ``RL001``–``RL009``;
 * ``bench``       — the perf subsystem (:mod:`repro.perf`):
   ``bench list`` shows the discovered suite, ``bench run`` executes a
   tier under the isolated-subprocess runner and persists
   ``BENCH_<area>.json`` trajectories, ``bench compare`` is the
   direction-aware regression gate, ``bench report`` renders the
   markdown trajectory table.
+
+The global ``--kernel <name>`` flag selects the min-plus kernel backend
+(:mod:`repro.core.kernels`) for the invocation, overriding the
+``REPRO_KERNEL`` environment variable.
 """
 
 from __future__ import annotations
@@ -564,6 +568,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-cps",
         description="Optimal Cache Partition-Sharing (ICPP 2015) reproduction",
     )
+    parser.add_argument(
+        "--kernel", default=None, metavar="NAME",
+        help="min-plus kernel backend for this invocation "
+             "(overrides REPRO_KERNEL; see repro.core.kernels)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("searchspace", help="§II solution-space sizes")
@@ -646,7 +655,7 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
-        "lint", help="check the project contracts (repro-lint, rules RL001-RL008)"
+        "lint", help="check the project contracts (repro-lint, rules RL001-RL009)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -728,6 +737,14 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_profile)
 
     args = parser.parse_args(argv)
+    if args.kernel is not None:
+        from repro.core.kernels import set_kernel
+
+        try:
+            set_kernel(args.kernel)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return args.func(args)
 
 

@@ -6,10 +6,32 @@ from repro.core.baselines import (
     equal_baseline_partition,
     natural_baseline_partition,
 )
-from repro.core.dp import PartitionResult, brute_force_partition, optimal_partition
+from repro.core.dp import (
+    PartitionResult,
+    brute_force_partition,
+    cost_fingerprint,
+    curve_fingerprint,
+    optimal_partition,
+)
 from repro.core.dynamic import EpochPlan, plan_dynamic, plan_static, simulate_plan
 from repro.core.elastic import ElasticityPoint, elastic_partition, elasticity_sweep
-from repro.core.minplus import MinPlusFold, fold_curves, minplus_convolve
+from repro.core.kernels import (
+    active_kernel,
+    convolve,
+    detect_kernel,
+    get_kernel,
+    kernel_names,
+    oracle_convolve,
+    register_kernel,
+    register_kernel_metric,
+    set_kernel,
+)
+from repro.core.minplus import (
+    MinPlusFold,
+    fold_curves,
+    fold_curves_stages,
+    minplus_convolve,
+)
 from repro.core.multicache import (
     Assignment,
     greedy_assignment,
@@ -48,7 +70,18 @@ __all__ = [
     "natural_baseline_partition",
     "PartitionResult",
     "brute_force_partition",
+    "cost_fingerprint",
+    "curve_fingerprint",
     "optimal_partition",
+    "active_kernel",
+    "convolve",
+    "detect_kernel",
+    "get_kernel",
+    "kernel_names",
+    "oracle_convolve",
+    "register_kernel",
+    "register_kernel_metric",
+    "set_kernel",
     "EpochPlan",
     "plan_dynamic",
     "plan_static",
@@ -58,6 +91,7 @@ __all__ = [
     "elasticity_sweep",
     "MinPlusFold",
     "fold_curves",
+    "fold_curves_stages",
     "minplus_convolve",
     "Assignment",
     "greedy_assignment",

@@ -25,6 +25,8 @@ __all__ = [
     "PartitionMemo",
     "PartitionResult",
     "cost_fingerprint",
+    "curve_fingerprint",
+    "validate_instance",
     "optimal_partition",
     "brute_force_partition",
 ]
@@ -60,6 +62,21 @@ class PartitionResult:
         return self.fold.total
 
 
+def _quantized(curve: np.ndarray, quantum: float) -> np.ndarray:
+    """The curve as hashed: snapped to the ``quantum`` lattice if any.
+
+    ``np.round(arr / quantum)`` can produce ``-0.0`` (any negative value
+    rounding to zero), whose byte pattern differs from ``0.0`` even
+    though the two are equal on the lattice — adding ``0.0`` normalizes
+    the signed zeros so lattice-equal instances always collide.  ``+inf``
+    entries survive quantization unchanged.
+    """
+    arr = np.ascontiguousarray(curve, dtype=np.float64)
+    if quantum > 0.0:
+        arr = np.round(arr / quantum) + 0.0
+    return arr
+
+
 def cost_fingerprint(
     costs: Sequence[np.ndarray], budget: int, *, quantum: float = 0.0
 ) -> bytes:
@@ -68,17 +85,45 @@ def cost_fingerprint(
     With ``quantum > 0`` the curves are quantized to that grid first, so
     instances whose costs differ by less than the quantum collide — the
     online solver cache (:mod:`repro.online.solver_cache`) exploits this
-    to skip re-solves for tenants whose curves only jittered.  ``+inf``
-    entries survive quantization unchanged.
+    to skip re-solves for tenants whose curves only jittered.
     """
     h = hashlib.blake2b(struct.pack("<qd", budget, quantum), digest_size=16)
     for c in costs:
-        arr = np.ascontiguousarray(c, dtype=np.float64)
-        if quantum > 0.0:
-            arr = np.round(arr / quantum)
+        arr = _quantized(c, quantum)
         h.update(arr.tobytes())
         h.update(struct.pack("<q", arr.size))
     return h.digest()
+
+
+def curve_fingerprint(curve: np.ndarray, *, quantum: float = 0.0) -> bytes:
+    """Digest of one cost curve on the same lattice as :func:`cost_fingerprint`.
+
+    The engine's warm-start re-solve keys its per-stage fold state on
+    these: between two DP instances, stages up to the first curve whose
+    fingerprint changed can be reused verbatim.
+    """
+    h = hashlib.blake2b(struct.pack("<d", quantum), digest_size=16)
+    arr = _quantized(curve, quantum)
+    h.update(arr.tobytes())
+    h.update(struct.pack("<q", arr.size))
+    return h.digest()
+
+
+def validate_instance(costs: Sequence[np.ndarray], budget: int) -> int:
+    """Check one DP instance's shape contract; returns the grid size.
+
+    All curves equal length, ``budget`` within the grid — shared by
+    :func:`optimal_partition` and the engine's warm-start solver so the
+    two paths reject malformed instances identically.
+    """
+    if not costs:
+        raise ValueError("need at least one cost curve")
+    size = int(np.asarray(costs[0]).size)
+    if any(np.asarray(c).size != size for c in costs):
+        raise ValueError("all cost curves must have equal length")
+    if not 0 <= budget < size:
+        raise ValueError(f"budget must be within the curves' grid [0, {size - 1}]")
+    return size
 
 
 def optimal_partition(
@@ -114,11 +159,7 @@ def optimal_partition(
         If no feasible allocation exists at ``budget`` (possible only when
         curves contain ``+inf`` constraints).
     """
-    size = np.asarray(costs[0]).size
-    if any(np.asarray(c).size != size for c in costs):
-        raise ValueError("all cost curves must have equal length")
-    if not 0 <= budget < size:
-        raise ValueError(f"budget must be within the curves' grid [0, {size - 1}]")
+    validate_instance(costs, budget)
     key = None
     if memo is not None:
         key = cost_fingerprint(costs, budget, quantum=quantum)
@@ -142,6 +183,14 @@ def brute_force_partition(
 
     Enumerates the full stars-and-bars space (Eq. 3) — exponential in the
     number of programs; the reference oracle for the DP.
+
+    Raises
+    ------
+    ValueError
+        If no feasible allocation exists at ``budget`` — the *same*
+        contract as :func:`optimal_partition`, so a DP-vs-oracle
+        comparison on an infeasible instance fails loudly on both sides
+        instead of silently passing against a ``(zeros, inf)`` sentinel.
     """
     n_prog = len(costs)
     best_cost = np.inf
@@ -162,4 +211,6 @@ def brute_force_partition(
             rec(i + 1, remaining - c, partial + term, alloc + [c])
 
     rec(0, budget, 0.0, [])
+    if not np.isfinite(best_cost):
+        raise ValueError(f"no feasible allocation at budget {budget}")
     return best, best_cost

@@ -9,6 +9,13 @@ Folding all programs' curves this way *is* the paper's dynamic program;
 keeping the kernel separate lets the experiment driver share intermediate
 pair curves across the 1820 co-run groups (DESIGN.md §5 ablation).
 
+The convolution itself lives in :mod:`repro.core.kernels` — a registry
+of interchangeable, bit-exact backends selected via ``REPRO_KERNEL`` /
+``repro-cps --kernel``.  :func:`fold_curves` dispatches through the
+active backend; the re-exported :func:`minplus_convolve` is the pinned
+``reference`` kernel for callers that must not vary with the selection
+(tests, goldens — repro-lint RL009 keeps it out of production paths).
+
 Costs are ``float64``; ``+inf`` marks infeasible sizes (used by the
 baseline-constrained optimization, §VI) and propagates correctly.
 """
@@ -20,39 +27,9 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["minplus_convolve", "MinPlusFold", "fold_curves"]
+from repro.core.kernels import convolve, minplus_convolve
 
-
-def minplus_convolve(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Min-plus convolution of two cost curves of equal length ``C + 1``.
-
-    Returns ``(out, split)`` where ``split[k]`` is the budget given to
-    ``a`` in the optimal split of ``k`` (ties resolved to the smallest
-    ``a``-share, matching ``argmin``'s first-occurrence rule).
-
-    O(C²) work, vectorized per output cell row; the O(C) Python loop is
-    over output sizes only.
-    """
-    a = np.ascontiguousarray(a, dtype=np.float64)
-    b = np.ascontiguousarray(b, dtype=np.float64)
-    if a.ndim != 1 or a.shape != b.shape:
-        raise ValueError("cost curves must be 1-D and of equal length")
-    n = a.size
-    out = np.empty(n, dtype=np.float64)
-    split = np.empty(n, dtype=np.int64)
-    # row k of the cost matrix is a[i] + b[k-i]; build all rows from one
-    # sliding-window view of reversed-b padded with +inf (i > k cells),
-    # processing in chunks to bound the O(C^2) scratch memory.
-    padded = np.concatenate([b[::-1], np.full(n - 1, np.inf)]) if n > 1 else b[::-1]
-    windows = np.lib.stride_tricks.sliding_window_view(padded, n)
-    chunk = max(1, (1 << 21) // max(n, 1))
-    for start in range(0, n, chunk):
-        ks = np.arange(start, min(start + chunk, n))
-        rows = windows[n - 1 - ks] + a[None, :]
-        idx = np.argmin(rows, axis=1)
-        split[ks] = idx
-        out[ks] = rows[np.arange(ks.size), idx]
-    return out, split
+__all__ = ["minplus_convolve", "MinPlusFold", "fold_curves", "fold_curves_stages"]
 
 
 @dataclass(frozen=True)
@@ -94,13 +71,29 @@ def fold_curves(costs: Sequence[np.ndarray]) -> MinPlusFold:
 
     Stage ``j`` adds program ``j + 1`` to the running optimum of the first
     ``j + 1`` programs — exactly the paper's recurrence; total time
-    O(P · C²), space O(P · C).
+    O(P · C²), space O(P · C).  Convolutions run on the active kernel
+    backend (:mod:`repro.core.kernels`).
+    """
+    fold, _ = fold_curves_stages(costs)
+    return fold
+
+
+def fold_curves_stages(
+    costs: Sequence[np.ndarray],
+) -> tuple[MinPlusFold, list[np.ndarray]]:
+    """:func:`fold_curves`, also returning the per-stage running totals.
+
+    ``prefixes[j]`` is the optimum over curves ``0..j`` (so
+    ``prefixes[-1] is fold.total``) — the state the engine's warm-start
+    re-solve resumes from when only a suffix of the curves changed.
     """
     if not costs:
         raise ValueError("need at least one cost curve")
     running = np.ascontiguousarray(costs[0], dtype=np.float64)
+    prefixes: list[np.ndarray] = [running]
     splits: list[np.ndarray] = []
     for curve in costs[1:]:
-        running, split = minplus_convolve(running, curve)
+        running, split = convolve(running, curve)
+        prefixes.append(running)
         splits.append(split)
-    return MinPlusFold(total=running, splits=tuple(splits))
+    return MinPlusFold(total=running, splits=tuple(splits)), prefixes

@@ -41,18 +41,47 @@ argument.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable, Sequence, cast
 
 import numpy as np
 
-from repro.core.dp import PartitionResult, cost_fingerprint, optimal_partition
-from repro.core.minplus import minplus_convolve
+from repro.core.dp import (
+    PartitionResult,
+    cost_fingerprint,
+    curve_fingerprint,
+    optimal_partition,
+    validate_instance,
+)
+from repro.core.kernels import convolve
+from repro.core.minplus import MinPlusFold, fold_curves_stages
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.prom import Registry
 
 __all__ = ["FoldCache"]
+
+_MISSING = object()  # sentinel: distinguishes "absent" from a stored None
+
+
+@dataclass
+class _WarmState:
+    """Per-stage fold state of the last warm-eligible solve.
+
+    ``prefixes[j]`` is the running optimum over curves ``0..j`` and
+    ``splits[j-1]`` the backtracking row of the stage that folded curve
+    ``j`` in — exactly the arrays a subsequent solve reuses up to the
+    first curve whose fingerprint changed.  Valid only for instances on
+    the same quantization lattice and grid, which is why both are part
+    of the state.
+    """
+
+    quantum: float
+    grid: int
+    curve_fps: list[bytes]
+    prefixes: list[np.ndarray]
+    splits: list[np.ndarray]
 
 
 class FoldCache:
@@ -86,9 +115,13 @@ class FoldCache:
         self.max_entries = int(max_entries)
         self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
         self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self._warm: _WarmState | None = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warm_folds = 0
+        self.warm_stages_reused = 0
+        self.warm_stages_computed = 0
 
     # ---------------------------------------------------------- mapping
     def get(self, key: Hashable, default: Any = None) -> Any:
@@ -107,7 +140,10 @@ class FoldCache:
             self.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._store
+        # membership is a lookup like any other: it must hit the same
+        # hit/miss counters and refresh LRU recency, or probing would
+        # skew eviction order relative to get() and under-report traffic
+        return self.get(key, _MISSING) is not _MISSING
 
     def __len__(self) -> int:
         return len(self._store)
@@ -134,6 +170,9 @@ class FoldCache:
             "entries": len(self._store),
             "max_entries": self.max_entries,
             "evictions": self.evictions,
+            "warm_folds": self.warm_folds,
+            "warm_stages_reused": self.warm_stages_reused,
+            "warm_stages_computed": self.warm_stages_computed,
         }
 
     def register_with(
@@ -167,7 +206,7 @@ class FoldCache:
         *,
         key: Hashable | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Memoized :func:`repro.core.minplus.minplus_convolve`.
+        """Memoized :func:`repro.core.kernels.convolve` (active backend).
 
         With an explicit ``key`` the caller asserts that the curve pair's
         contents are stable for that token over the cache's lifetime (the
@@ -184,7 +223,7 @@ class FoldCache:
         if cached is not None:
             return cast("tuple[np.ndarray, np.ndarray]", cached)
         with self.tracer.span("foldcache.convolve", size=int(a.size)):
-            result = minplus_convolve(a, b)
+            result = convolve(a, b)
         self[full_key] = result
         return result
 
@@ -195,6 +234,7 @@ class FoldCache:
         budget: int,
         *,
         quantum: float | None = None,
+        warm: bool = False,
     ) -> PartitionResult:
         """Memoized Eq. 15: identical (quantized) instances solve once.
 
@@ -203,6 +243,16 @@ class FoldCache:
         epoch's *real* access count, so a short final epoch (whose
         miss-count magnitudes shrink with it) keeps the same miss-ratio
         resolution as a full one instead of a silently coarser one.
+
+        With ``warm=True`` the solve additionally keeps per-stage fold
+        state keyed on per-curve fingerprints: if only a suffix of the
+        curves changed since the last warm solve (on the same lattice
+        and grid), the fold resumes from the first changed stage instead
+        of refolding all P stages — O(k · C²) for k changed curves.  The
+        result is bit-identical to a cold solve because reused prefixes
+        *are* the arrays the cold fold would recompute from unchanged
+        inputs.  Callers gate this on their own drift verdict (the
+        online controller only warms once it has a prior solve).
         """
         q = self.quantum if quantum is None else float(quantum)
         if q < 0.0:
@@ -211,6 +261,63 @@ class FoldCache:
         with self.tracer.span(
             "foldcache.solve", n_costs=len(costs), budget=int(budget)
         ) as span:
-            result = optimal_partition(costs, budget, memo=self, quantum=q)
-            span.set(hit=self.hits > hits_before)
+            if warm:
+                result = self._solve_warm(costs, budget, q)
+            else:
+                result = optimal_partition(costs, budget, memo=self, quantum=q)
+            span.set(hit=self.hits > hits_before, warm=warm)
+        return result
+
+    def _solve_warm(
+        self, costs: Sequence[np.ndarray], budget: int, q: float
+    ) -> PartitionResult:
+        """Incremental re-solve: refold only from the first changed curve."""
+        size = validate_instance(costs, budget)
+        key = cost_fingerprint(costs, budget, quantum=q)
+        cached = self.get(key)
+        if cached is not None:
+            return cast("PartitionResult", cached)
+        fps = [curve_fingerprint(c, quantum=q) for c in costs]
+        state = self._warm
+        changed = 0
+        if (
+            state is not None
+            and state.quantum == q
+            and state.grid == size
+            and len(state.curve_fps) == len(fps)
+        ):
+            while changed < len(fps) and state.curve_fps[changed] == fps[changed]:
+                changed += 1
+        if state is None or changed == 0:
+            fold, prefixes = fold_curves_stages(costs)
+        else:
+            # stage j folds curve j in: curve m changing invalidates
+            # prefixes[m:] and splits[m-1:], everything before survives
+            start = max(changed, 1)
+            prefixes = list(state.prefixes[:start])
+            splits = list(state.splits[: start - 1])
+            running = prefixes[-1]
+            for j in range(start, len(costs)):
+                running, split = convolve(
+                    running, np.ascontiguousarray(costs[j], dtype=np.float64)
+                )
+                prefixes.append(running)
+                splits.append(split)
+            fold = MinPlusFold(total=running, splits=tuple(splits))
+            self.warm_folds += 1
+            self.warm_stages_reused += start
+            self.warm_stages_computed += len(costs) - start
+        # state is valid even if allocate() raises on an infeasible budget
+        self._warm = _WarmState(
+            quantum=q,
+            grid=size,
+            curve_fps=fps,
+            prefixes=prefixes,
+            splits=list(fold.splits),
+        )
+        allocation = fold.allocate(budget)
+        result = PartitionResult(
+            allocation=allocation, total_cost=fold.cost(budget), fold=fold
+        )
+        self[key] = result
         return result

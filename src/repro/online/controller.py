@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dynamic import EpochPlan
+from repro.core.kernels import register_kernel_metric
 from repro.obs.timeseries import EpochTimeSeries
 from repro.obs.trace import NULL_TRACER
 from repro.online.metrics import OnlineMetrics
@@ -89,7 +90,11 @@ class ControllerConfig:
     miss-ratio units (it is rescaled by each epoch's real access count
     internally).  ``max_buffered`` caps any tenant's epoch-alignment
     buffer (accesses received but not yet attributed to an epoch);
-    ``None`` means unbounded.
+    ``None`` means unbounded.  ``warm_start`` lets re-solves resume the
+    min-plus fold from the first tenant whose curve actually changed
+    since the previous solve (bit-identical results at ``quantum=0``);
+    it only engages once a prior solve exists, so the first epoch is
+    always a full fold.
     """
 
     cache_blocks: int
@@ -98,6 +103,7 @@ class ControllerConfig:
     drift_threshold: float = 0.0
     hysteresis: float = 0.0
     quantum: float = 0.0
+    warm_start: bool = True
     max_window: int | None = None
     cache_entries: int = 128
     max_buffered: int | None = None
@@ -215,11 +221,13 @@ class OnlineController:
 
         Binds the :class:`~repro.online.metrics.OnlineMetrics` counters
         (including the resolve-latency histogram), the solver cache's
-        hit/miss/eviction counters, and a per-tenant allocation gauge.
-        Returns the registry for chaining.
+        hit/miss/eviction counters, the active kernel-backend info gauge,
+        and a per-tenant allocation gauge.  Returns the registry for
+        chaining.
         """
         self.metrics.register_with(registry, prefix=prefix)
         self.solver_cache.register_with(registry, prefix=f"{prefix}_solver_cache")
+        register_kernel_metric(registry, prefix=prefix)
         registry.gauge(
             f"{prefix}_tenant_allocation_blocks",
             "Standing per-tenant allocation in cache blocks.",
@@ -451,11 +459,19 @@ class OnlineController:
                     # length, so a short final epoch keeps the same
                     # miss-*ratio* lattice as a full one instead of a
                     # coarser miss-count one
+                    # the drift verdict gates the warm start: only a
+                    # controller that has solved before (and therefore
+                    # measured drift against that solve) may resume the
+                    # fold from prior per-stage state
                     result = self.solver_cache.solve(
-                        costs, cfg.cache_blocks, quantum=cfg.quantum * n_longest
+                        costs,
+                        cfg.cache_blocks,
+                        quantum=cfg.quantum * n_longest,
+                        warm=cfg.warm_start and self._solved_ratios is not None,
                     )
             resolve_s = self.metrics.resolve_timer.last_s
             self.metrics.resolves += 1
+            self.metrics.warm_resolves = self.solver_cache.warm_folds
             self.metrics.solver_cache_hits = self.solver_cache.hits
             self.metrics.solver_cache_misses = self.solver_cache.misses
             self._solved_ratios = ratios

@@ -80,7 +80,8 @@ class OnlineMetrics:
     ``hysteresis_holds`` partition the re-solves by whether the new
     allocation was adopted; ``blocks_moved`` is the total allocation
     churn (blocks transferred between tenants across all adopted
-    re-allocations).
+    re-allocations); ``warm_resolves`` counts the re-solves that reused
+    fold stages from the previous epoch's state (warm start).
     """
 
     accesses_seen: int = 0
@@ -90,6 +91,7 @@ class OnlineMetrics:
     tenant_lag: dict[str, int] = field(default_factory=dict)
     epochs: int = 0
     resolves: int = 0
+    warm_resolves: int = 0
     drift_skips: int = 0
     walls_moved: int = 0
     hysteresis_holds: int = 0
@@ -126,6 +128,7 @@ class OnlineMetrics:
             "max_tenant_lag": self.max_tenant_lag,
             "epochs": self.epochs,
             "resolves": self.resolves,
+            "warm_resolves": self.warm_resolves,
             "drift_skips": self.drift_skips,
             "walls_moved": self.walls_moved,
             "hysteresis_holds": self.hysteresis_holds,
@@ -160,6 +163,10 @@ class OnlineMetrics:
             "late_batches": ("late_batches", "Batches that arrived for a lagging tenant."),
             "epochs": ("epochs", "Epochs finalized."),
             "resolves": ("resolves", "Epochs whose DP ran."),
+            "warm_resolves": (
+                "warm_resolves",
+                "Re-solves that reused fold stages from the prior epoch.",
+            ),
             "drift_skips": ("drift_skips", "Epochs skipped by the drift damper."),
             "walls_moved": ("walls_moved", "Re-solves whose allocation was adopted."),
             "hysteresis_holds": (

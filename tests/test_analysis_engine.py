@@ -20,7 +20,17 @@ from repro.analysis import (
 from repro.analysis.registry import _REGISTRY, Rule, register_rule
 from repro.cli import main
 
-CATALOG = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008")
+CATALOG = (
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL006",
+    "RL007",
+    "RL008",
+    "RL009",
+)
 
 
 # ----------------------------------------------------------------- registry

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dp import brute_force_partition, optimal_partition
+from repro.core.dp import (
+    brute_force_partition,
+    cost_fingerprint,
+    curve_fingerprint,
+    optimal_partition,
+)
 from repro.core.sttw import sttw_partition
 
 
@@ -26,10 +31,12 @@ def test_dp_matches_brute_force(n_prog, size, seed, inf_fraction):
         c[mask] = np.inf
         costs.append(c)
     budget = size - 1
-    bf_alloc, bf_cost = brute_force_partition(costs, budget)
-    if not np.isfinite(bf_cost):
+    try:
+        bf_alloc, bf_cost = brute_force_partition(costs, budget)
+    except ValueError:
         # constraints can make the exact budget unreachable; the DP must
-        # refuse rather than return a constraint-violating allocation
+        # refuse identically rather than return a constraint-violating
+        # allocation
         with pytest.raises(ValueError, match="no feasible"):
             optimal_partition(costs, budget)
         return
@@ -108,3 +115,36 @@ def test_brute_force_skips_infeasible():
     alloc, cost = brute_force_partition(costs, 2)
     assert alloc.tolist() == [1, 1]
     assert cost == pytest.approx(2.0)
+
+
+def test_brute_force_raises_on_infeasible_like_the_dp():
+    """Oracle and DP share one contract: infeasible instances raise.
+
+    Regression: brute_force_partition used to return ``(zeros, inf)``,
+    so a DP-vs-oracle comparison on an infeasible instance could pass
+    silently against the sentinel instead of exercising either solver.
+    """
+    # both programs need >= 2 units, but the budget only covers one
+    costs = [np.array([np.inf, np.inf, 1.0]), np.array([np.inf, np.inf, 1.0])]
+    with pytest.raises(ValueError, match="no feasible"):
+        brute_force_partition(costs, 2)
+    with pytest.raises(ValueError, match="no feasible"):
+        optimal_partition(costs, 2)
+
+
+def test_fingerprint_normalizes_negative_zero():
+    """Quantization can round tiny negatives to -0.0; the digest must not
+    distinguish it from +0.0 (both are the same lattice point)."""
+    neg = [np.array([-0.2, 1.0])]
+    pos = [np.array([0.2, 1.0])]
+    assert cost_fingerprint(neg, 0, quantum=1.0) == cost_fingerprint(pos, 0, quantum=1.0)
+    assert curve_fingerprint(neg[0], quantum=1.0) == curve_fingerprint(pos[0], quantum=1.0)
+    # unquantized digests still see the raw bytes (exact-match semantics)
+    assert cost_fingerprint(neg, 0) != cost_fingerprint(pos, 0)
+
+
+def test_fingerprint_sensitive_to_quantum_and_budget():
+    c = [np.array([0.5, 1.5])]
+    assert cost_fingerprint(c, 0, quantum=1.0) != cost_fingerprint(c, 1, quantum=1.0)
+    assert cost_fingerprint(c, 0, quantum=1.0) != cost_fingerprint(c, 0, quantum=0.5)
+    assert curve_fingerprint(c[0], quantum=1.0) != curve_fingerprint(c[0], quantum=0.5)

@@ -20,6 +20,7 @@ SNAPSHOT_KEYS = {
     "max_tenant_lag": numbers.Integral,
     "epochs": numbers.Integral,
     "resolves": numbers.Integral,
+    "warm_resolves": numbers.Integral,
     "drift_skips": numbers.Integral,
     "walls_moved": numbers.Integral,
     "hysteresis_holds": numbers.Integral,
@@ -40,6 +41,7 @@ EXPOSITION_FAMILIES = {
     "repro_late_batches_total": "counter",
     "repro_epochs_total": "counter",
     "repro_resolves_total": "counter",
+    "repro_warm_resolves_total": "counter",
     "repro_drift_skips_total": "counter",
     "repro_walls_moved_total": "counter",
     "repro_hysteresis_holds_total": "counter",
@@ -56,6 +58,7 @@ EXPOSITION_FAMILIES = {
     "repro_solver_cache_entries": "gauge",
     # controller extras
     "repro_tenant_allocation_blocks": "gauge",
+    "repro_kernel_backend_info": "gauge",
 }
 
 

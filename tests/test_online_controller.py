@@ -408,3 +408,56 @@ def test_controller_tracer_spans_cover_epochs_and_resolves():
         any(ev["name"] == "walls_moved" for ev in s.events) for s in moved
     )
     assert not any(ev["name"] == "walls_moved" for ev in epochs[0].events)
+
+
+# ---------------------------------------------------------- warm start
+def test_warm_start_equivalent_to_cold_on_phase_opposed():
+    """warm_start changes resolve *work*, never resolve *results*."""
+    traces, seg = phase_opposed_pair()
+    warm = replay(traces, _exact_config(56, seg, warm_start=True), batch_size=97)
+    cold = replay(traces, _exact_config(56, seg, warm_start=False), batch_size=97)
+    assert np.array_equal(warm.plan.allocations, cold.plan.allocations)
+    assert cold.metrics["warm_resolves"] == 0
+
+
+def _drifting_trio(epochs: int = 4, seg: int = 240):
+    """Two steady tenants plus one whose phase shifts every epoch.
+
+    Each epoch is a *new* DP instance (the drifter's curve moved), so
+    the memo misses — but the steady tenants' curves fingerprint
+    identically, which is exactly the prefix a warm re-solve reuses.
+    """
+    rng = np.random.default_rng(5)
+    steady_a = np.tile(rng.integers(0, 12, seg), epochs)
+    steady_b = np.tile(rng.integers(100, 108, seg), epochs)
+    drift = np.concatenate(
+        [rng.integers(200 + 40 * e, 230 + 40 * e, seg) for e in range(epochs)]
+    )
+    return [
+        Trace(steady_a.astype(np.int64), name="steady_a"),
+        Trace(steady_b.astype(np.int64), name="steady_b"),
+        Trace(drift.astype(np.int64), name="drifter"),
+    ]
+
+
+def test_warm_start_fires_when_only_a_suffix_tenant_drifts():
+    traces = _drifting_trio()
+    seg = 240
+    warm = replay(traces, _exact_config(24, seg, warm_start=True))
+    cold = replay(traces, _exact_config(24, seg, warm_start=False))
+    assert np.array_equal(warm.plan.allocations, cold.plan.allocations)
+    assert cold.metrics["warm_resolves"] == 0
+    # epoch 1 is cold (no prior solve), epoch 2 warms but has no state
+    # yet (the cold path keeps none) — epochs 3..N miss the memo (the
+    # drifter moved) and resume the fold past both steady tenants
+    assert warm.metrics["warm_resolves"] == warm.metrics["epochs"] - 2
+    assert warm.metrics["warm_resolves"] > 0
+
+
+def test_warm_start_first_epoch_is_always_cold():
+    """No prior drift verdict yet => the first solve must not warm-start."""
+    traces, seg = steady_pair()
+    ctrl = OnlineController(2, _exact_config(56, seg, warm_start=True))
+    ctrl.ingest([t.blocks[:seg] for t in traces])
+    assert ctrl.metrics.resolves == 1
+    assert ctrl.metrics.warm_resolves == 0
