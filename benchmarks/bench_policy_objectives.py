@@ -1,0 +1,91 @@
+"""Objective-policy solve cost and optimality gap on a Table-I mix.
+
+The policy layer (ISSUE 8) turns §V-B's "any objective" claim into one
+value object; this bench prices its members against the plain Eq. 15
+optimum on a representative 4-program group: how much does a weighted,
+SLO-capped, or baseline-constrained solve cost over the unconstrained
+one, and how much group miss ratio does each constraint give up (the
+optimality gap — the price of the guarantee, not a regression).
+"""
+
+BENCH_AREA = "policy"
+BENCH_TIER = "quick"
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import equal_allocation
+from repro.core.dp import optimal_partition
+from repro.core.policy import ObjectivePolicy, compile_costs, equal_share_costs
+from repro.perf import record_metric
+
+
+@pytest.fixture(scope="module")
+def quad(suite_profile):
+    idx = (2, 11, 14, 7)  # mcf, tonto, wrf, povray — a Table-I style mix
+    return [suite_profile.mrcs[i] for i in idx], suite_profile.config.n_units
+
+
+def _group_mr(mrcs, allocation):
+    weights = np.array([m.n_accesses for m in mrcs], dtype=np.float64)
+    mrs = np.array([m.ratios[a] for m, a in zip(mrcs, allocation.tolist())])
+    return float(np.dot(mrs, weights) / weights.sum())
+
+
+def _timed_solve(mrcs, policy, n_units):
+    t0 = time.perf_counter()
+    costs = compile_costs(mrcs, policy)
+    if isinstance(policy.baseline, str) and policy.baseline == "equal":
+        costs = equal_share_costs(costs, n_units)
+    result = optimal_partition(costs, n_units)
+    return result, time.perf_counter() - t0
+
+
+def bench_policy_objectives(quad, benchmark):
+    mrcs, n_units = quad
+    share = equal_allocation(len(mrcs), n_units)
+    # caps at each program's equal-share miss ratio: the equal split is a
+    # feasibility witness, so the capped solve always has a solution
+    caps = tuple(float(m.ratios[s]) for m, s in zip(mrcs, share.tolist()))
+    policies = {
+        "default": ObjectivePolicy(),
+        "weighted": ObjectivePolicy(weights=(4.0, 1.0, 1.0, 1.0)),
+        "slo_capped": ObjectivePolicy(slo_caps=caps),
+        "equal_baseline": ObjectivePolicy(baseline="equal"),
+    }
+
+    def run():
+        return {
+            name: _timed_solve(mrcs, policy, n_units)
+            for name, policy in policies.items()
+        }
+
+    solved = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_mr = _group_mr(mrcs, solved["default"][0].allocation)
+    print(f"\n{'policy':>15s} {'solve':>9s} {'group mr':>9s} {'gap':>8s}")
+    for name, (result, dt) in solved.items():
+        mr = _group_mr(mrcs, result.allocation)
+        gap = mr / base_mr - 1.0 if base_mr > 0 else 0.0
+        print(f"{name:>15s} {dt * 1e3:7.2f}ms {mr:9.4f} {gap:8.2%}")
+        record_metric(
+            f"solve_s_{name}", dt, unit="s", direction="lower", noisy=True
+        )
+        if name != "default":
+            record_metric(
+                f"optimality_gap_{name}",
+                gap,
+                unit="rel",
+                direction="lower",
+            )
+
+    # the SLO-capped plan honors every cap (equal share is the witness)
+    capped = solved["slo_capped"][0].allocation.tolist()
+    for m, a, cap in zip(mrcs, capped, caps):
+        assert m.ratios[a] <= cap + 1e-9
+    # constrained solves can only lose throughput, never gain it
+    for name in ("slo_capped", "equal_baseline"):
+        assert _group_mr(mrcs, solved[name][0].allocation) >= base_mr - 1e-12
+    # the weighted objective still produces a full allocation
+    assert int(solved["weighted"][0].allocation.sum()) == n_units

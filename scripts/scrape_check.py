@@ -27,6 +27,8 @@ REQUIRED_FAMILIES = (
     "repro_accesses_ingested_total",
     "repro_solver_cache_hits_total",
     "repro_solver_cache_misses_total",
+    "repro_slo_violations_total",
+    "repro_slo_infeasible_epochs_total",
     "repro_resolve_latency_seconds",
 )
 

@@ -1,4 +1,4 @@
-"""The nine project-contract rules (RL001–RL009).
+"""The ten project-contract rules (RL001–RL010).
 
 Each rule encodes an invariant the repo's correctness or operability
 story depends on — none of them is a style preference, and none is
@@ -16,6 +16,8 @@ RL007  no-assert-validation  asserts vanish under ``python -O``
 RL008  picklable-pool-worker sweep workers must pickle and stay functional
 RL009  kernel-registry       min-plus convolutions go through the backend
                              registry, not the pinned reference kernel
+RL010  policy-integrity      cost curves are compiled from ObjectivePolicy,
+                             not hand-assembled from the raw constructors
 =====  ====================  ==================================================
 
 All checks are syntactic (stdlib :mod:`ast`, no imports of the linted
@@ -43,6 +45,7 @@ __all__ = [
     "AssertValidationRule",
     "PoolWorkerRule",
     "KernelRegistryRule",
+    "PolicyIntegrityRule",
 ]
 
 
@@ -676,4 +679,64 @@ class KernelRegistryRule(Rule):
                     "bypasses REPRO_KERNEL / --kernel selection; call "
                     "repro.core.kernels.convolve (the registry dispatcher) "
                     "instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL010 — cost curves come from the policy API
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class PolicyIntegrityRule(Rule):
+    """Hand-assembled cost curves bypass the policy fingerprint.
+
+    :mod:`repro.core.policy` is the single place objectives become cost
+    curves: :func:`~repro.core.policy.compile_costs` composes weights,
+    SLO caps and baseline constraints *and* ties the result to a
+    ``policy_fingerprint()`` that the fold/solver caches mix into their
+    keys.  Code outside ``repro/core`` that imports the raw constructors
+    (``miss_count_costs``/``weighted_miss_costs``/``qos_costs``/
+    ``constrained_costs``) builds curves the caches cannot tell apart
+    from differently-weighted ones — the exact stale-plan bug the
+    fingerprint exists to prevent.  Inside ``repro/core`` the rule is
+    silent: the policy compiler itself is built from those constructors.
+    """
+
+    id = "RL010"
+    name = "policy-integrity"
+    contract = "outside repro/core, cost curves are built via the policy API"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    _BANNED: ClassVar[frozenset[str]] = frozenset(
+        {"miss_count_costs", "weighted_miss_costs", "qos_costs", "constrained_costs"}
+    )
+    _SOURCES: ClassVar[frozenset[str]] = frozenset(
+        {"repro.core", "repro.core.objectives"}
+    )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if ctx.in_subpackage("core"):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.core.objectives":
+                    ctx.report(
+                        node, self,
+                        "deep import of repro.core.objectives reaches past the "
+                        "policy API; compile cost curves with "
+                        "repro.core.policy.compile_costs so cache keys carry "
+                        "the policy fingerprint",
+                    )
+            return
+        if not isinstance(node, ast.ImportFrom) or node.module not in self._SOURCES:
+            return
+        for alias in node.names:
+            if alias.name in self._BANNED:
+                ctx.report(
+                    node, self,
+                    f"{alias.name} hand-assembles a cost curve and bypasses "
+                    "policy_fingerprint(); compile it from an ObjectivePolicy "
+                    "(repro.core.policy.compile_costs) so the fold/solver "
+                    "caches can tell policies apart",
                 )

@@ -17,7 +17,7 @@ Subcommands mirror the paper's workflow:
   redrawn as each epoch closes;
 * ``lint``        — repro-lint, the project's own static contract
   checker (:mod:`repro.analysis`): determinism, engine-facade,
-  telemetry, and robustness invariants as ``RL001``–``RL009``;
+  telemetry, and robustness invariants as ``RL001``–``RL010``;
 * ``bench``       — the perf subsystem (:mod:`repro.perf`):
   ``bench list`` shows the discovered suite, ``bench run`` executes a
   tier under the isolated-subprocess runner and persists
@@ -119,8 +119,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     profile = build_suite_profile(cfg)
     print(f"  profiled {len(profile.names)} programs in {time.perf_counter() - t0:.1f}s")
+    try:
+        policy = _parse_policy(
+            args.weights, args.slo, args.baseline, len(profile.names)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if policy is not None:
+        print(f"  objective policy {policy.fingerprint().hex()[:12]} "
+              f"(baseline {policy.baseline!r})")
     t0 = time.perf_counter()
-    result = run_study(profile, progress=True, n_jobs=jobs, tracer=tracer)
+    result = run_study(profile, progress=True, n_jobs=jobs, tracer=tracer, policy=policy)
     per_group = (time.perf_counter() - t0) / cfg.n_groups
     print(f"  swept {cfg.n_groups} groups in {time.perf_counter() - t0:.1f}s "
           f"({per_group * 1e3:.1f} ms/group)")
@@ -438,8 +448,43 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_policy(weights: str | None, slo: str | None, baseline: str, n_tenants: int):
+    """Build an :class:`ObjectivePolicy` from CLI flags (None = default).
+
+    ``weights``/``slo`` are comma-separated per-tenant values; a single
+    value broadcasts to every tenant; ``-`` or ``none`` in ``slo`` leaves
+    that tenant uncapped.  ``baseline`` is a family name or explicit
+    comma-separated per-tenant miss-ratio thresholds.
+    """
+    if weights is None and slo is None and baseline == "none":
+        return None
+    from repro.core.policy import BASELINE_FAMILIES, ObjectivePolicy
+
+    def _broadcast(vals: list) -> tuple:
+        return tuple(vals * n_tenants if len(vals) == 1 else vals)
+
+    w = None
+    if weights is not None:
+        w = _broadcast([float(tok) for tok in weights.split(",") if tok.strip()])
+    caps = None
+    if slo is not None:
+        caps = _broadcast(
+            [
+                None if tok.strip().lower() in ("-", "none") else float(tok)
+                for tok in slo.split(",")
+                if tok.strip()
+            ]
+        )
+    b: str | tuple = baseline
+    if baseline not in BASELINE_FAMILIES:
+        b = _broadcast([float(tok) for tok in baseline.split(",") if tok.strip()])
+    policy = ObjectivePolicy(weights=w, slo_caps=caps, baseline=b)
+    policy.check_arity(n_tenants)
+    return policy
+
+
 def _serve_setup(args: argparse.Namespace):
-    """Workload + controller config shared by ``serve`` and ``top``."""
+    """Workload + controller config + policy shared by ``serve`` and ``top``."""
     from repro.online.controller import ControllerConfig
     from repro.online.replay import phase_opposed_pair, steady_pair
 
@@ -461,14 +506,19 @@ def _serve_setup(args: argparse.Namespace):
     )
     if args.batch < 1:
         raise ValueError("--batch must be >= 1")
-    return traces, config
+    policy = _parse_policy(args.weights, args.slo, args.baseline, len(traces))
+    if policy is not None:
+        from repro.online.controller import check_online_policy
+
+        check_online_policy(policy, len(traces))
+    return traces, config, policy
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.online.replay import replay
 
     try:
-        traces, config = _serve_setup(args)
+        traces, config, policy = _serve_setup(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -490,7 +540,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     try:
         report = replay(
-            traces, config, batch_size=args.batch, registry=registry, tracer=tracer
+            traces,
+            config,
+            batch_size=args.batch,
+            registry=registry,
+            tracer=tracer,
+            policy=policy,
         )
         print(report.summary())
         print("\nPer-epoch decisions:")
@@ -531,13 +586,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.online.replay import stream
 
     try:
-        traces, config = _serve_setup(args)
+        traces, config, policy = _serve_setup(args)
+        controller = OnlineController(
+            len(traces), config, names=tuple(t.name for t in traces), policy=policy
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    controller = OnlineController(
-        len(traces), config, names=tuple(t.name for t in traces)
-    )
     use_ansi = sys.stdout.isatty() and not args.plain
     header = (
         f"repro-cps top — {args.workload} workload, "
@@ -590,6 +645,16 @@ def main(argv: list[str] | None = None) -> int:
                    help="sweep worker processes (default: REPRO_JOBS or 1)")
     p.add_argument("--trace-out", default=None,
                    help="journal sweep/solver spans to this path as JSONL")
+    p.add_argument("--weights", default=None,
+                   help="per-program objective weights (suite order), "
+                        "comma-separated; one value broadcasts")
+    p.add_argument("--slo", default=None,
+                   help="per-program miss-ratio SLO caps (suite order), "
+                        "comma-separated; '-' or 'none' leaves a program "
+                        "uncapped; one value broadcasts")
+    p.add_argument("--baseline", default="none",
+                   help="baseline constraint: 'none', 'equal', 'natural', or "
+                        "explicit per-program thresholds (comma-separated)")
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser("validate", help="§VII-C NPA validation")
@@ -626,6 +691,16 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--loops", type=int, default=6,
                        help="phase swaps in the phase-opposed workload")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--weights", default=None,
+                       help="per-tenant objective weights, comma-separated "
+                            "(one value broadcasts to every tenant)")
+        p.add_argument("--slo", default=None,
+                       help="per-tenant miss-ratio SLO caps, comma-separated "
+                            "('-' or 'none' leaves a tenant uncapped; one "
+                            "value broadcasts)")
+        p.add_argument("--baseline", default="none",
+                       help="baseline constraint: 'none', 'equal', or explicit "
+                            "per-tenant miss-ratio thresholds (comma-separated)")
 
     p = sub.add_parser(
         "serve", help="replay a workload through the online allocation service"
@@ -655,7 +730,7 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
-        "lint", help="check the project contracts (repro-lint, rules RL001-RL009)"
+        "lint", help="check the project contracts (repro-lint, rules RL001-RL010)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")

@@ -51,6 +51,18 @@ from repro.core.partition_sharing import (
     optimal_partition_sharing,
     set_partitions,
 )
+from repro.core.policy import (
+    BASELINE_FAMILIES,
+    DEFAULT_POLICY,
+    InfeasibleSLOError,
+    ObjectivePolicy,
+    compile_costs,
+    compile_tenant_cost,
+    equal_share_costs,
+    explicit_baseline_costs,
+    policy_fingerprint,
+    slo_headroom,
+)
 from repro.core.schemes import SCHEMES, GroupEvaluation, SchemeOutcome, evaluate_group
 from repro.core.searchspace import (
     PaperExample,
@@ -107,6 +119,16 @@ __all__ = [
     "group_cost_curve",
     "optimal_partition_sharing",
     "set_partitions",
+    "BASELINE_FAMILIES",
+    "DEFAULT_POLICY",
+    "InfeasibleSLOError",
+    "ObjectivePolicy",
+    "compile_costs",
+    "compile_tenant_cost",
+    "equal_share_costs",
+    "explicit_baseline_costs",
+    "policy_fingerprint",
+    "slo_headroom",
     "SCHEMES",
     "GroupEvaluation",
     "SchemeOutcome",

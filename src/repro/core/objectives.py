@@ -58,12 +58,18 @@ def weighted_miss_costs(
 
 
 def qos_costs(
-    mrcs: Sequence[MissRatioCurve], miss_ratio_caps: Sequence[float]
+    mrcs: Sequence[MissRatioCurve],
+    miss_ratio_caps: Sequence[float],
+    *,
+    rtol: float = 1e-9,
 ) -> list[np.ndarray]:
     """Miss counts with hard QoS caps: sizes where ``mr_i(c) > cap_i`` are banned.
 
     Minimizing these curves yields the best throughput among allocations
     meeting every program's service-level bound (the paper's QoS use case).
+    Cap feasibility uses the same relative slack as :func:`constrained_costs`
+    (``cap + rtol * max(|cap|, 1)``) so a cap sitting exactly on a grid
+    point's miss ratio counts as met.
     """
     _grid_check(mrcs)
     if len(miss_ratio_caps) != len(mrcs):
@@ -71,7 +77,8 @@ def qos_costs(
     out: list[np.ndarray] = []
     for m, cap in zip(mrcs, miss_ratio_caps):
         cost = m.miss_counts()
-        out.append(np.where(m.ratios <= cap + 1e-15, cost, np.inf))
+        slack = cap + rtol * max(abs(cap), 1.0)
+        out.append(np.where(m.ratios <= slack, cost, np.inf))
     return out
 
 

@@ -1,0 +1,350 @@
+"""First-class objective policies (paper §V-B generality, made concrete).
+
+The DP minimizes *any* sum of per-program cost curves; this module turns
+that generality into a value object instead of scattered call-site
+conventions.  An :class:`ObjectivePolicy` bundles
+
+* per-tenant **weights** (priority-scaled miss counts),
+* optional per-tenant **miss-ratio SLO caps** (hard feasibility masks),
+* a **baseline family** — ``"none"`` / ``"equal"`` / ``"natural"`` /
+  explicit per-tenant miss-ratio thresholds — of which the two §VI
+  baselines (equal, natural) are two points,
+
+and every layer above (engine schemes, fold/solver caches, the online
+controller, the CLI) dispatches on it.  Three contracts matter:
+
+1. **Default transparency** — the default policy compiles to exactly
+   ``miss_count_costs``, bit for bit, so policy-aware code paths
+   reproduce the pre-policy outputs (golden-pinned in the tests).
+2. **Stable fingerprint** — :func:`policy_fingerprint` is a pure
+   function of the policy's *values* (stable across processes and runs)
+   and is mixed into every memo/warm-start cache key: two policies with
+   different objectives can never share a cached plan.
+3. **Compile-time infeasibility** — an SLO cap no size can satisfy is
+   detected while *building* the curves and raised as an actionable
+   :class:`InfeasibleSLOError` (naming the tenant and its best
+   achievable miss ratio) instead of surfacing as an opaque DP failure.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.baselines import equal_allocation
+from repro.core.objectives import (
+    constrained_costs,
+    miss_count_costs,
+    weighted_miss_costs,
+)
+from repro.locality.mrc import MissRatioCurve
+
+__all__ = [
+    "BASELINE_FAMILIES",
+    "DEFAULT_POLICY",
+    "InfeasibleSLOError",
+    "ObjectivePolicy",
+    "compile_costs",
+    "compile_tenant_cost",
+    "equal_share_costs",
+    "explicit_baseline_costs",
+    "policy_fingerprint",
+    "slo_headroom",
+]
+
+#: The named baseline families; an explicit tuple of per-tenant
+#: miss-ratio thresholds is the fourth (parameterized) member.
+BASELINE_FAMILIES = ("none", "equal", "natural")
+
+
+class InfeasibleSLOError(ValueError):
+    """An SLO cap (or explicit baseline threshold) no cache size can meet.
+
+    Subclasses :class:`ValueError` so callers that treat "no feasible
+    allocation" generically (e.g. QoS frontier sweeps) keep working.
+    """
+
+    def __init__(self, tenant: str, cap: float, best_achievable: float) -> None:
+        self.tenant = tenant
+        self.cap = cap
+        self.best_achievable = best_achievable
+        super().__init__(
+            f"SLO cap {cap:.6g} for tenant {tenant!r} is unsatisfiable at "
+            f"every cache size; best achievable miss ratio is "
+            f"{best_achievable:.6g}"
+        )
+
+
+def _pack_floats(tag: bytes, values: Sequence[float]) -> bytes:
+    # ``v + 0.0`` collapses -0.0 to +0.0 so equal values hash equally.
+    vals = [float(v) + 0.0 for v in values]
+    return tag + struct.pack(f"<q{len(vals)}d", len(vals), *vals)
+
+
+@dataclass(frozen=True)
+class ObjectivePolicy:
+    """Immutable objective description threaded through every solve.
+
+    ``weights``
+        Per-tenant non-negative priorities (``None`` = unweighted; Eq. 15).
+    ``slo_caps``
+        Per-tenant miss-ratio caps in ``[0, 1]``; ``None`` entries leave
+        that tenant uncapped, ``None`` for the field disables caps.
+    ``baseline``
+        ``"none"`` (unconstrained optimum), ``"equal"`` / ``"natural"``
+        (the §VI fairness baselines), or an explicit tuple of per-tenant
+        miss-ratio thresholds.
+    ``slo_rtol``
+        Relative tolerance for cap/threshold feasibility, matching
+        :func:`repro.core.objectives.constrained_costs`.
+    """
+
+    weights: tuple[float, ...] | None = None
+    slo_caps: tuple[float | None, ...] | None = None
+    baseline: str | tuple[float, ...] = "none"
+    slo_rtol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.weights is not None:
+            w = tuple(float(v) for v in self.weights)
+            if not w:
+                raise ValueError("weights must be a non-empty sequence")
+            if any(not np.isfinite(v) or v < 0 for v in w):
+                raise ValueError("weights must be finite and non-negative")
+            if not any(v > 0 for v in w):
+                raise ValueError("at least one weight must be positive")
+            object.__setattr__(self, "weights", w)
+        if self.slo_caps is not None:
+            caps = tuple(
+                None if c is None else float(c) for c in self.slo_caps
+            )
+            if not caps:
+                raise ValueError("slo_caps must be a non-empty sequence")
+            for c in caps:
+                if c is not None and (not np.isfinite(c) or not 0.0 <= c <= 1.0):
+                    raise ValueError("SLO caps must lie in [0, 1]")
+            object.__setattr__(self, "slo_caps", caps)
+        if isinstance(self.baseline, str):
+            if self.baseline not in BASELINE_FAMILIES:
+                raise ValueError(
+                    f"baseline must be one of {BASELINE_FAMILIES} or an "
+                    f"explicit threshold tuple, got {self.baseline!r}"
+                )
+        else:
+            thr = tuple(float(t) for t in self.baseline)
+            if not thr:
+                raise ValueError("explicit baseline needs at least one threshold")
+            if any(not np.isfinite(t) or not 0.0 <= t <= 1.0 for t in thr):
+                raise ValueError("baseline thresholds must lie in [0, 1]")
+            object.__setattr__(self, "baseline", thr)
+        rtol = float(self.slo_rtol)
+        if not np.isfinite(rtol) or rtol <= 0:
+            raise ValueError("slo_rtol must be a positive finite float")
+        object.__setattr__(self, "slo_rtol", rtol)
+        lengths = {
+            len(f)
+            for f in (self.weights, self.slo_caps)
+            if f is not None
+        }
+        if not isinstance(self.baseline, str):
+            lengths.add(len(self.baseline))
+        if len(lengths) > 1:
+            raise ValueError(
+                "weights, slo_caps and explicit baseline thresholds must "
+                "agree on the tenant count"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        """True for the identity policy (Eq. 15, no caps, no baseline)."""
+        return (
+            self.weights is None
+            and self.slo_caps is None
+            and isinstance(self.baseline, str)
+            and self.baseline == "none"
+        )
+
+    @property
+    def n_tenants(self) -> int | None:
+        """Tenant arity pinned by per-tenant fields (None = any)."""
+        if self.weights is not None:
+            return len(self.weights)
+        if self.slo_caps is not None:
+            return len(self.slo_caps)
+        if not isinstance(self.baseline, str):
+            return len(self.baseline)
+        return None
+
+    def check_arity(self, n: int) -> None:
+        """Raise unless this policy can describe ``n`` tenants."""
+        pinned = self.n_tenants
+        if pinned is not None and pinned != n:
+            raise ValueError(
+                f"policy describes {pinned} tenants but {n} were given"
+            )
+
+    def weight(self, index: int) -> float | None:
+        return None if self.weights is None else self.weights[index]
+
+    def cap(self, index: int) -> float | None:
+        return None if self.slo_caps is None else self.slo_caps[index]
+
+    def cap_slack(self, cap: float) -> float:
+        """Feasibility threshold for ``cap`` under this policy's rtol."""
+        return cap + self.slo_rtol * max(abs(cap), 1.0)
+
+    def fingerprint(self) -> bytes:
+        """Stable 16-byte digest of the policy's values.
+
+        Mixed into every solver-cache/fold-cache/warm-start key so a
+        policy change can never be served a stale plan.  Stable across
+        processes and runs (pure function of the field values).
+        """
+        h = blake2b(digest_size=16)
+        h.update(b"repro-policy-v1")
+        if self.weights is None:
+            h.update(b"W?")
+        else:
+            h.update(_pack_floats(b"W", self.weights))
+        if self.slo_caps is None:
+            h.update(b"S?")
+        else:
+            h.update(b"S" + struct.pack("<q", len(self.slo_caps)))
+            for c in self.slo_caps:
+                if c is None:
+                    h.update(b"n")
+                else:
+                    h.update(b"c" + struct.pack("<d", c + 0.0))
+        if isinstance(self.baseline, str):
+            h.update(b"B" + self.baseline.encode("ascii"))
+        else:
+            h.update(_pack_floats(b"BX", self.baseline))
+        h.update(struct.pack("<d", self.slo_rtol))
+        return h.digest()
+
+
+#: The identity policy: unweighted miss counts, no caps, no baseline.
+DEFAULT_POLICY = ObjectivePolicy()
+
+
+def policy_fingerprint(policy: ObjectivePolicy) -> bytes:
+    """Module-level alias for :meth:`ObjectivePolicy.fingerprint`."""
+    return policy.fingerprint()
+
+
+def compile_tenant_cost(
+    mrc: MissRatioCurve,
+    policy: ObjectivePolicy,
+    index: int,
+    *,
+    on_infeasible: str = "raise",
+) -> np.ndarray:
+    """One tenant's cost curve under ``policy`` (weight, then SLO mask).
+
+    Raises :class:`InfeasibleSLOError` when the tenant's cap is
+    unsatisfiable at every size on the grid; ``on_infeasible="relax"``
+    returns the uncapped (weighted) curve instead — the online
+    controller's best-effort degradation.
+    """
+    if on_infeasible not in ("raise", "relax"):
+        raise ValueError("on_infeasible must be 'raise' or 'relax'")
+    w = policy.weight(index)
+    if w is None:
+        cost = mrc.miss_counts()
+    else:
+        cost = weighted_miss_costs([mrc], [w])[0]
+    cap = policy.cap(index)
+    if cap is not None:
+        feasible = mrc.ratios <= policy.cap_slack(cap)
+        if not bool(feasible.any()):
+            if on_infeasible == "relax":
+                return cost
+            raise InfeasibleSLOError(mrc.name, cap, float(mrc.ratios.min()))
+        cost = np.where(feasible, cost, np.inf)
+    return cost
+
+
+def compile_costs(
+    mrcs: Sequence[MissRatioCurve], policy: ObjectivePolicy
+) -> list[np.ndarray]:
+    """Compose per-tenant DP cost curves from a policy.
+
+    The default policy returns exactly ``miss_count_costs(mrcs)`` —
+    bit for bit — so policy-threaded callers are transparent for the
+    paper's Eq. 15 objective.  Baselines are *not* applied here (they
+    constrain specific solves, not the objective itself); see
+    :func:`equal_share_costs` / :func:`explicit_baseline_costs`.
+    """
+    policy.check_arity(len(mrcs))
+    if policy.weights is None and policy.slo_caps is None:
+        return miss_count_costs(mrcs)
+    return [compile_tenant_cost(m, policy, i) for i, m in enumerate(mrcs)]
+
+
+def equal_share_costs(
+    costs: Sequence[np.ndarray],
+    budget: int,
+    group_size: int | None = None,
+    *,
+    rtol: float = 1e-9,
+) -> list[np.ndarray]:
+    """Mask cost curves at their value under an equal split (§VI baseline).
+
+    ``group_size`` is the number of co-running programs the equal share
+    is computed over (defaults to ``len(costs)``); every curve's
+    threshold is its cost at the first — largest — equal share, which
+    lets suite-level curves be masked once and reused across groups.
+    """
+    n = len(costs) if group_size is None else int(group_size)
+    share = int(equal_allocation(n, budget)[0])
+    thresholds = [float(np.asarray(c, dtype=np.float64)[share]) for c in costs]
+    return constrained_costs(costs, thresholds, rtol=rtol)
+
+
+def explicit_baseline_costs(
+    costs: Sequence[np.ndarray],
+    ratios: Sequence[np.ndarray],
+    thresholds: Sequence[float],
+    *,
+    rtol: float = 1e-9,
+    names: Sequence[str] | None = None,
+) -> list[np.ndarray]:
+    """Mask cost curves to sizes meeting explicit miss-ratio thresholds.
+
+    The parameterized member of the baseline family: tenant ``i`` may
+    only receive sizes where its miss ratio is at or below
+    ``thresholds[i]`` (with the same relative slack as SLO caps).
+    Raises :class:`InfeasibleSLOError` when a threshold is unsatisfiable.
+    """
+    if not len(costs) == len(ratios) == len(thresholds):
+        raise ValueError("costs, ratios and thresholds must align per tenant")
+    out: list[np.ndarray] = []
+    for i, (cost, ratio, thr) in enumerate(zip(costs, ratios, thresholds)):
+        r = np.asarray(ratio, dtype=np.float64)
+        thr = float(thr)
+        feasible = r <= thr + rtol * max(abs(thr), 1.0)
+        if not bool(feasible.any()):
+            name = names[i] if names is not None else f"tenant-{i}"
+            raise InfeasibleSLOError(name, thr, float(r.min()))
+        out.append(np.where(feasible, np.asarray(cost, dtype=np.float64), np.inf))
+    return out
+
+
+def slo_headroom(
+    policy: ObjectivePolicy, achieved_ratios: Sequence[float]
+) -> list[float | None]:
+    """Per-tenant ``cap - achieved`` slack (None for uncapped tenants).
+
+    Negative headroom is an SLO violation — the allocation the solver
+    (or a degraded best-effort epoch) landed on misses the cap.
+    """
+    policy.check_arity(len(achieved_ratios))
+    out: list[float | None] = []
+    for i, achieved in enumerate(achieved_ratios):
+        cap = policy.cap(i)
+        out.append(None if cap is None else cap - float(achieved))
+    return out

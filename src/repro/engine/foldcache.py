@@ -79,6 +79,7 @@ class _WarmState:
 
     quantum: float
     grid: int
+    salt: bytes
     curve_fps: list[bytes]
     prefixes: list[np.ndarray]
     splits: list[np.ndarray]
@@ -235,6 +236,7 @@ class FoldCache:
         *,
         quantum: float | None = None,
         warm: bool = False,
+        salt: bytes = b"",
     ) -> PartitionResult:
         """Memoized Eq. 15: identical (quantized) instances solve once.
 
@@ -244,15 +246,23 @@ class FoldCache:
         miss-count magnitudes shrink with it) keeps the same miss-ratio
         resolution as a full one instead of a silently coarser one.
 
+        ``salt`` is prepended to the memo key (and pins warm state):
+        callers whose cost curves depend on parameters *outside* the
+        curve bytes — the objective policy's weights/SLO caps, via
+        :func:`repro.core.policy.policy_fingerprint` — pass it so two
+        objectives can never be served each other's cached plan, even
+        when quantization makes their cost fingerprints collide.
+
         With ``warm=True`` the solve additionally keeps per-stage fold
         state keyed on per-curve fingerprints: if only a suffix of the
         curves changed since the last warm solve (on the same lattice
-        and grid), the fold resumes from the first changed stage instead
-        of refolding all P stages — O(k · C²) for k changed curves.  The
-        result is bit-identical to a cold solve because reused prefixes
-        *are* the arrays the cold fold would recompute from unchanged
-        inputs.  Callers gate this on their own drift verdict (the
-        online controller only warms once it has a prior solve).
+        and grid, under the same salt), the fold resumes from the first
+        changed stage instead of refolding all P stages — O(k · C²) for
+        k changed curves.  The result is bit-identical to a cold solve
+        because reused prefixes *are* the arrays the cold fold would
+        recompute from unchanged inputs.  Callers gate this on their own
+        drift verdict (the online controller only warms once it has a
+        prior solve).
         """
         q = self.quantum if quantum is None else float(quantum)
         if q < 0.0:
@@ -262,18 +272,25 @@ class FoldCache:
             "foldcache.solve", n_costs=len(costs), budget=int(budget)
         ) as span:
             if warm:
-                result = self._solve_warm(costs, budget, q)
+                result = self._solve_warm(costs, budget, q, salt)
             else:
-                result = optimal_partition(costs, budget, memo=self, quantum=q)
+                validate_instance(costs, budget)
+                key = salt + cost_fingerprint(costs, budget, quantum=q)
+                cached = self.get(key)
+                if cached is None:
+                    result = optimal_partition(costs, budget)
+                    self[key] = result
+                else:
+                    result = cast("PartitionResult", cached)
             span.set(hit=self.hits > hits_before, warm=warm)
         return result
 
     def _solve_warm(
-        self, costs: Sequence[np.ndarray], budget: int, q: float
+        self, costs: Sequence[np.ndarray], budget: int, q: float, salt: bytes
     ) -> PartitionResult:
         """Incremental re-solve: refold only from the first changed curve."""
         size = validate_instance(costs, budget)
-        key = cost_fingerprint(costs, budget, quantum=q)
+        key = salt + cost_fingerprint(costs, budget, quantum=q)
         cached = self.get(key)
         if cached is not None:
             return cast("PartitionResult", cached)
@@ -284,6 +301,7 @@ class FoldCache:
             state is not None
             and state.quantum == q
             and state.grid == size
+            and state.salt == salt
             and len(state.curve_fps) == len(fps)
         ):
             while changed < len(fps) and state.curve_fps[changed] == fps[changed]:
@@ -311,6 +329,7 @@ class FoldCache:
         self._warm = _WarmState(
             quantum=q,
             grid=size,
+            salt=salt,
             curve_fps=fps,
             prefixes=prefixes,
             splits=list(fold.splits),

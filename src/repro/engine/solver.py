@@ -46,7 +46,12 @@ from repro.core.baselines import (
 from repro.core.dp import optimal_partition
 from repro.core.kernels import active_kernel
 from repro.core.natural import natural_partition_units, round_to_units
-from repro.core.objectives import miss_count_costs
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    ObjectivePolicy,
+    compile_costs,
+    explicit_baseline_costs,
+)
 from repro.core.sttw import sttw_partition
 from repro.engine.foldcache import FoldCache
 from repro.engine.registry import register_scheme, resolve_schemes
@@ -65,11 +70,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SchemeOutcome:
-    """One scheme's result for one co-run group."""
+    """One scheme's result for one co-run group.
+
+    ``objective_cost`` is the policy objective Σ wᵢ·mcᵢ(aᵢ) realized at
+    the chosen allocation (equal to total expected misses under the
+    default policy); ``slo_headroom`` holds per-tenant ``cap − achieved``
+    slack when the policy carries SLO caps (``None`` per uncapped tenant,
+    ``None`` for the field when the policy has no caps at all).
+    """
 
     allocation: np.ndarray  # units; fractional for the natural scheme
     miss_ratios: np.ndarray
     group_miss_ratio: float
+    objective_cost: float = float("nan")
+    slo_headroom: tuple[float | None, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -102,15 +116,23 @@ class GroupEvaluation:
 class SweepShared:
     """Suite-level cost curves shared by every group of one sweep.
 
-    ``costs[i]`` is program ``i``'s unconstrained miss-count curve on the
-    unit grid; ``eq_costs`` the §VI equal-baseline masked curves (present
-    only when the sweep includes the equal-baseline scheme).  Groups
-    reference these by program index, which is what lets the FoldCache
-    key pair folds by identity instead of content.
+    ``costs[i]`` is program ``i``'s objective cost curve on the unit
+    grid (unconstrained miss counts under the default policy);
+    ``eq_costs`` the §VI equal-baseline masked curves (present only when
+    the sweep includes the equal-baseline scheme).  Groups reference
+    these by program index, which is what lets the FoldCache key pair
+    folds by identity instead of content.
+
+    ``policy_salt`` records the policy the curves were compiled under
+    (``b""`` for the default policy, else its fingerprint); the solver
+    refuses to mix a bundle with a different policy, and the salt flows
+    into every identity-keyed fold so two policies' pair curves can
+    never collide in a shared FoldCache.
     """
 
     costs: list[np.ndarray]
     eq_costs: list[np.ndarray] | None = None
+    policy_salt: bytes = b""
 
 
 def _weighted(mrs: np.ndarray, weights: np.ndarray) -> float:
@@ -135,6 +157,7 @@ class GroupContext:
         self.unit_blocks = solver.unit_blocks
         self.cache_blocks = solver.n_units * solver.unit_blocks
         self.fold_cache = solver.fold_cache
+        self.policy = solver.policy
         self._costs: list[np.ndarray] | None = None
         self._weights: np.ndarray | None = None
         self._corun: CorunSolver | None = None
@@ -154,15 +177,28 @@ class GroupContext:
             and self.n_programs == 4
         )
 
+    def policy_index(self, i: int) -> int:
+        """Map group position ``i`` to the policy's tenant index.
+
+        A policy with per-tenant fields used through a sweep's
+        :class:`SweepShared` bundle is suite-scoped: member ``i`` of the
+        group reads the policy at its suite program index.  Without
+        members (direct single-group calls) positions coincide.
+        """
+        if self.members is not None and self.policy.n_tenants is not None:
+            return self.members[i]
+        return i
+
     @property
     def costs(self) -> list[np.ndarray]:
-        """Per-program miss-count curves on the unit grid (Eq. 15 costs)."""
+        """Per-program policy cost curves on the unit grid (Eq. 15 costs
+        under the default policy; weighted/SLO-masked otherwise)."""
         if self._costs is None:
             shared = self.solver.shared
             if shared is not None and self.members is not None:
                 self._costs = [shared.costs[i] for i in self.members]
             else:
-                self._costs = miss_count_costs(self.mrcs)
+                self._costs = compile_costs(self.mrcs, self.policy)
         return self._costs
 
     @property
@@ -220,14 +256,19 @@ class GroupContext:
         cache = self.fold_cache
         if cache is None:
             raise ValueError("pair-tree fold requires the sweep FoldCache")
+        # identity tokens assume stable curve contents — the policy salt
+        # makes that true again when curves depend on weights/SLO caps
+        salt = self.solver.policy_salt
         val_ab, split_ab = cache.convolve(
-            suite_costs[a], suite_costs[b], key=("pair", tag, a, b)
+            suite_costs[a], suite_costs[b], key=("pair", tag, salt, a, b)
         )
         val_cd, split_cd = cache.convolve(
-            suite_costs[c], suite_costs[d], key=("pair", tag, c, d)
+            suite_costs[c], suite_costs[d], key=("pair", tag, salt, c, d)
         )
         budget = self.n_units
-        total, split = cache.convolve(val_ab, val_cd, key=("tree", tag, self.members))
+        total, split = cache.convolve(
+            val_ab, val_cd, key=("tree", tag, salt, self.members)
+        )
         if not np.isfinite(total[budget]):
             raise ValueError(f"no feasible allocation at budget {budget}")
         k_ab = int(split[budget])
@@ -242,13 +283,82 @@ class GroupContext:
     def solve_partition(self, costs: Sequence[np.ndarray]) -> np.ndarray:
         """Direct left-fold DP (Eq. 15/16) at the unit-grid budget."""
         if self.fold_cache is not None:
-            return self.fold_cache.solve(costs, self.n_units).allocation
+            return self.fold_cache.solve(
+                costs, self.n_units, salt=self.solver.policy_salt
+            ).allocation
         return optimal_partition(costs, self.n_units).allocation
+
+    def baseline_outcome(self, baseline: str | tuple[float, ...]) -> SchemeOutcome:
+        """Solve one member of the policy's baseline family (§VI, generalized).
+
+        ``"equal"`` / ``"natural"`` are the paper's two baselines; an
+        explicit tuple constrains each tenant to sizes at or below its
+        miss-ratio threshold (the parameterized family member).
+        """
+        if isinstance(baseline, str):
+            if baseline == "equal":
+                shared = self.solver.shared
+                if (
+                    self.pair_sharing
+                    and shared is not None
+                    and shared.eq_costs is not None
+                ):
+                    return self.grid_outcome(
+                        self.pair_tree_allocate(shared.eq_costs, "eq")
+                    )
+                alloc = equal_baseline_partition(self.costs, self.n_units).allocation
+            elif baseline == "natural":
+                alloc = natural_baseline_partition(
+                    self.costs, self.n_units, self.natural_units()
+                ).allocation
+            else:
+                raise ValueError(f"unknown baseline family {baseline!r}")
+        else:
+            thresholds = [
+                baseline[self.policy_index(i)] for i in range(self.n_programs)
+            ]
+            masked = explicit_baseline_costs(
+                self.costs,
+                [m.ratios for m in self.mrcs],
+                thresholds,
+                rtol=self.policy.slo_rtol,
+                names=[m.name for m in self.mrcs],
+            )
+            alloc = self.solve_partition(masked)
+        return self.grid_outcome(alloc)
 
     def grid_outcome(self, alloc: np.ndarray) -> SchemeOutcome:
         """Score an integer unit allocation on each member's solo curve."""
         mrs = np.array([m.ratios[a] for m, a in zip(self.mrcs, alloc.tolist())])
-        return SchemeOutcome(alloc, mrs, _weighted(mrs, self.weights))
+        return self._outcome(alloc, mrs)
+
+    def _outcome(self, alloc: np.ndarray, mrs: np.ndarray) -> SchemeOutcome:
+        """Assemble a :class:`SchemeOutcome`, scoring the policy objective.
+
+        The group miss ratio stays the paper's access-weighted metric
+        regardless of policy, so schemes remain comparable; the policy
+        shows up in ``objective_cost`` and the SLO headroom.
+        """
+        objective = 0.0
+        for i, (m, r) in enumerate(zip(self.mrcs, mrs.tolist())):
+            w = self.policy.weight(self.policy_index(i))
+            objective += (1.0 if w is None else w) * float(r) * float(m.n_accesses)
+        headroom: tuple[float | None, ...] | None = None
+        if self.policy.slo_caps is not None:
+            headroom = tuple(
+                None if cap is None else cap - float(r)
+                for cap, r in (
+                    (self.policy.cap(self.policy_index(i)), mrs[i])
+                    for i in range(self.n_programs)
+                )
+            )
+        return SchemeOutcome(
+            alloc,
+            mrs,
+            _weighted(mrs, self.weights),
+            objective_cost=objective,
+            slo_headroom=headroom,
+        )
 
 
 class GroupSolver:
@@ -268,6 +378,7 @@ class GroupSolver:
         fold_cache: FoldCache | None = None,
         shared: SweepShared | None = None,
         natural: str = "exact",
+        policy: ObjectivePolicy | None = None,
         tracer: TracerLike | None = None,
     ) -> None:
         if n_units < 1 or unit_blocks < 1:
@@ -278,6 +389,16 @@ class GroupSolver:
         if shared is not None and fold_cache is None:
             fold_cache = FoldCache(
                 max_entries=max(256, 4 * len(shared.costs) ** 2), tracer=self.tracer
+            )
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        # the default policy salts with b"" so default cache keys (and
+        # therefore default behavior) are byte-identical to pre-policy code
+        self.policy_salt = b"" if self.policy.is_default else self.policy.fingerprint()
+        if shared is not None and shared.policy_salt != self.policy_salt:
+            raise ValueError(
+                "SweepShared bundle was compiled under a different policy "
+                "than this solver's; rebuild the shared curves with the "
+                "same ObjectivePolicy"
             )
         self.n_units = int(n_units)
         self.unit_blocks = int(unit_blocks)
@@ -332,44 +453,51 @@ class GroupSolver:
 
 @register_scheme("equal")
 def _solve_equal(ctx: GroupContext) -> SchemeOutcome:
-    """Each program gets C/P units (the "socialist" allocation)."""
+    """Each program gets C/P units (the "socialist" allocation).
+
+    Policy-independent by construction; SLO headroom is still scored.
+    """
     return ctx.grid_outcome(equal_allocation(ctx.n_programs, ctx.n_units))
 
 
 @register_scheme("natural")
 def _solve_natural(ctx: GroupContext) -> SchemeOutcome:
-    """Free-for-all sharing = the Natural Cache Partition (§V-A)."""
+    """Free-for-all sharing = the Natural Cache Partition (§V-A).
+
+    Hardware decides the split, so the policy cannot steer it; the
+    outcome still reports the policy objective and SLO headroom.
+    """
     pred = ctx.natural_prediction()
-    return SchemeOutcome(
-        pred.occupancies / ctx.unit_blocks,
-        pred.miss_ratios,
-        _weighted(pred.miss_ratios, ctx.weights),
-    )
+    return ctx._outcome(pred.occupancies / ctx.unit_blocks, pred.miss_ratios)
 
 
 @register_scheme("equal_baseline")
 def _solve_equal_baseline(ctx: GroupContext) -> SchemeOutcome:
-    """§VI optimization with equal-partition fairness thresholds."""
-    shared = ctx.solver.shared
-    if ctx.pair_sharing and shared is not None and shared.eq_costs is not None:
-        alloc = ctx.pair_tree_allocate(shared.eq_costs, "eq")
-    else:
-        alloc = equal_baseline_partition(ctx.costs, ctx.n_units).allocation
-    return ctx.grid_outcome(alloc)
+    """§VI optimization with equal-partition fairness thresholds.
+
+    One point of the policy's baseline family (``baseline="equal"``),
+    kept as a named scheme for the paper's tables.
+    """
+    return ctx.baseline_outcome("equal")
 
 
 @register_scheme("natural_baseline")
 def _solve_natural_baseline(ctx: GroupContext) -> SchemeOutcome:
-    """§VI optimization with natural-partition fairness thresholds."""
-    alloc = natural_baseline_partition(
-        ctx.costs, ctx.n_units, ctx.natural_units()
-    ).allocation
-    return ctx.grid_outcome(alloc)
+    """§VI optimization with natural-partition fairness thresholds.
+
+    The second named point of the baseline family (``baseline="natural"``).
+    """
+    return ctx.baseline_outcome("natural")
 
 
 @register_scheme("optimal")
 def _solve_optimal(ctx: GroupContext) -> SchemeOutcome:
-    """The unconstrained DP optimum (Eq. 15)."""
+    """The policy optimum: unconstrained DP (Eq. 15) under
+    ``baseline="none"``, otherwise the policy's own baseline family
+    member (equal/natural/explicit thresholds)."""
+    baseline = ctx.policy.baseline
+    if not (isinstance(baseline, str) and baseline == "none"):
+        return ctx.baseline_outcome(baseline)
     shared = ctx.solver.shared
     if ctx.pair_sharing and shared is not None:
         alloc = ctx.pair_tree_allocate(shared.costs, "opt")

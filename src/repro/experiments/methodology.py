@@ -43,8 +43,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.baselines import equal_allocation
-from repro.core.objectives import constrained_costs
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    ObjectivePolicy,
+    compile_costs,
+    equal_share_costs,
+)
 from repro.engine import GroupSolver, SweepShared, resolve_schemes, scheme_names
 from repro.locality.footprint import FootprintCurve, average_footprint
 from repro.locality.mrc import MissRatioCurve
@@ -195,31 +199,45 @@ class StudyResult:
 
 
 def _sweep_solver(
-    profile: SuiteProfile, schemes: tuple[str, ...], tracer=None
+    profile: SuiteProfile,
+    schemes: tuple[str, ...],
+    policy: ObjectivePolicy | None = None,
+    tracer=None,
 ) -> GroupSolver:
     """The engine facade for one sweep: suite curves shared, grid natural.
 
     The :class:`~repro.engine.solver.SweepShared` bundle holds every
-    program's unconstrained cost curve (and, when the equal baseline is
-    requested, its §VI masked counterpart — per-program thresholds depend
+    program's policy-compiled cost curve (and, when the equal baseline
+    applies, its §VI masked counterpart — per-program thresholds depend
     only on the group-independent equal share, so they memoize across
     groups too).  The solver's FoldCache then shares pair folds across
-    all groups containing a pair.
+    all groups containing a pair.  A non-default policy's fingerprint
+    rides along as the bundle's salt so its curves can never collide
+    with another policy's in a reused cache.
     """
     cfg = profile.config
-    costs = [m.miss_counts() for m in profile.mrcs]
+    policy = policy if policy is not None else DEFAULT_POLICY
+    costs = compile_costs(profile.mrcs, policy)
     eq_costs = None
-    if "equal_baseline" in schemes:
-        eq_alloc = equal_allocation(cfg.group_size, cfg.n_units)
-        thresholds = [float(c[eq_alloc[0]]) for c in costs]
-        eq_costs = constrained_costs(costs, thresholds)
-    shared = SweepShared(costs=costs, eq_costs=eq_costs)
+    wants_equal = "equal_baseline" in schemes or (
+        isinstance(policy.baseline, str) and policy.baseline == "equal"
+    )
+    if wants_equal:
+        eq_costs = equal_share_costs(
+            costs, cfg.n_units, cfg.group_size, rtol=policy.slo_rtol
+        )
+    shared = SweepShared(
+        costs=costs,
+        eq_costs=eq_costs,
+        policy_salt=b"" if policy.is_default else policy.fingerprint(),
+    )
     return GroupSolver(
         cfg.n_units,
         cfg.unit_blocks,
         schemes=schemes,
         shared=shared,
         natural="grid",
+        policy=policy,
         tracer=tracer,
     )
 
@@ -277,12 +295,17 @@ _POOL_STATE: dict = {}
 
 
 def _pool_init(
-    profile: SuiteProfile, schemes: tuple[str, ...], trace: bool = False
+    profile: SuiteProfile,
+    schemes: tuple[str, ...],
+    policy: ObjectivePolicy | None = None,
+    trace: bool = False,
 ) -> None:
     _POOL_STATE["profile"] = profile
     _POOL_STATE["schemes"] = schemes
     _POOL_STATE["tracer"] = Tracer() if trace else NULL_TRACER
-    _POOL_STATE["solver"] = _sweep_solver(profile, schemes, _POOL_STATE["tracer"])
+    _POOL_STATE["solver"] = _sweep_solver(
+        profile, schemes, policy, _POOL_STATE["tracer"]
+    )
 
 
 def _pool_sweep(
@@ -308,6 +331,7 @@ def run_study(
     groups: Sequence[tuple[int, ...]] | None = None,
     progress: bool = False,
     n_jobs: int | None = None,
+    policy: ObjectivePolicy | None = None,
     tracer=None,
 ) -> StudyResult:
     """Sweep all co-run groups under every requested scheme.
@@ -316,6 +340,10 @@ def run_study(
     (the paper's exhaustive design).  Group miss ratios are weighted by
     access counts; individual miss ratios come from each program's solo
     curve at its allocation, per the Natural Partition Assumption.
+
+    ``policy`` (default: the identity :data:`~repro.core.policy.DEFAULT_POLICY`)
+    reshapes the objective: per-tenant fields are indexed by *suite*
+    program, so weights/caps follow a program into every group it joins.
 
     ``n_jobs`` overrides ``profile.config.n_jobs``; with more than one
     job the groups are split into contiguous chunks swept by worker
@@ -345,7 +373,7 @@ def run_study(
     jobs = min(jobs, n_g) if n_g else 1
 
     if jobs == 1:
-        solver = _sweep_solver(profile, scheme_tuple, tracer)
+        solver = _sweep_solver(profile, scheme_tuple, policy, tracer)
         with tracer.span("sweep.chunk", start=0, size=n_g):
             group_mr, program_mr, allocations = _sweep_chunk(
                 profile,
@@ -369,7 +397,7 @@ def run_study(
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_pool_init,
-            initargs=(profile, scheme_tuple, tracer.enabled),
+            initargs=(profile, scheme_tuple, policy, tracer.enabled),
         ) as pool:
             for start, (gm, pm, al), stats, spans in pool.map(_pool_sweep, tasks):
                 stop = start + gm.shape[0]

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.dp import optimal_partition
-from repro.core.objectives import qos_costs
+from repro.core.policy import ObjectivePolicy, compile_costs
 from repro.locality.mrc import MissRatioCurve
 
 __all__ = ["QoSPoint", "qos_frontier", "tightest_feasible_cap"]
@@ -37,8 +37,12 @@ class QoSPoint:
 
 
 def _solve(mrcs: Sequence[MissRatioCurve], caps: Sequence[float], budget: int):
-    costs = qos_costs(mrcs, caps)
+    # InfeasibleSLOError (a per-tenant compile-time verdict) and the DP's
+    # joint-infeasibility ValueError both mean "no point here"
     try:
+        costs = compile_costs(
+            mrcs, ObjectivePolicy(slo_caps=tuple(float(c) for c in caps))
+        )
         res = optimal_partition(costs, budget)
     except ValueError:
         return None

@@ -69,19 +69,28 @@ def render_dashboard(
             else f"epoch {row['epoch']:>4d}   re-solved   first solve"
         )
         lines.append("")
-        lines.append(
+        headroom = row.get("slo_headroom", [None] * len(series.names))
+        show_slo = any(h is not None for h in headroom)
+        header = (
             f"{'tenant':>10s} {'alloc':>6s} {'share':22s} "
             f"{'miss ratio':>10s} {'trend (' + str(history) + ' epochs)':24s} {'lag':>7s}"
         )
+        if show_slo:
+            header += f" {'slo headroom':>12s}"
+        lines.append(header)
         for i, name in enumerate(series.names):
             alloc = row["allocation"][i]
             mr = row["miss_ratio"][i]
             lag = row["lag"][i]
             trend = sparkline(series.series("miss_ratio", tenant=i), width=history, hi=1.0)
-            lines.append(
+            line = (
                 f"{name:>10.10s} {alloc:6.0f} [{bar(alloc / cache_blocks)}] "
                 f"{mr:10.4f} {trend:24s} {lag:7d}"
             )
+            if show_slo:
+                h = headroom[i]
+                line += f" {'-':>12s}" if h is None else f" {h:+12.4f}"
+            lines.append(line)
     lines.append("")
     lines.append(
         f"epochs {snapshot['epochs']:>5d}   re-solves {snapshot['resolves']:>5d}   "
@@ -99,4 +108,11 @@ def render_dashboard(
         f"hysteresis holds {snapshot['hysteresis_holds']:>4d}   "
         f"sampling {snapshot['effective_sampling_rate']:6.1%}"
     )
+    violations = snapshot.get("slo_violations", 0)
+    infeasible = snapshot.get("slo_infeasible_epochs", 0)
+    if violations or infeasible:
+        lines.append(
+            f"slo violations {violations:>5d}   "
+            f"infeasible epochs {infeasible:>5d}"
+        )
     return "\n".join(lines)

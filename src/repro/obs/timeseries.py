@@ -24,7 +24,7 @@ import numpy as np
 __all__ = ["EpochTimeSeries"]
 
 #: Per-tenant fields of one epoch row.
-TENANT_FIELDS = ("allocation", "miss_ratio", "lag")
+TENANT_FIELDS = ("allocation", "miss_ratio", "lag", "slo_headroom")
 #: Scalar fields of one epoch row.
 EPOCH_FIELDS = ("resolve_s", "drift", "resolved", "moved")
 
@@ -64,11 +64,23 @@ class EpochTimeSeries:
         drift: float,
         resolved: bool,
         moved: bool,
+        slo_headroom: Sequence[float | None] | None = None,
     ) -> None:
-        """Append one epoch's row (evicting the oldest beyond capacity)."""
+        """Append one epoch's row (evicting the oldest beyond capacity).
+
+        ``slo_headroom`` holds ``cap - achieved miss ratio`` per tenant
+        (``None`` for tenants without a cap); omitted, every tenant is
+        recorded as uncapped.
+        """
         n = len(self.names)
         if not (len(allocation) == len(miss_ratio) == len(lag) == n):
             raise ValueError(f"per-tenant fields must have {n} entries")
+        if slo_headroom is None:
+            headroom: list[float | None] = [None] * n
+        else:
+            if len(slo_headroom) != n:
+                raise ValueError(f"per-tenant fields must have {n} entries")
+            headroom = [None if h is None else float(h) for h in slo_headroom]
         if len(self._rows) == self.capacity:
             self.dropped += 1
         self._rows.append(
@@ -77,6 +89,7 @@ class EpochTimeSeries:
                 "allocation": [float(a) for a in allocation],
                 "miss_ratio": [float(m) for m in miss_ratio],
                 "lag": [int(v) for v in lag],
+                "slo_headroom": headroom,
                 "resolve_s": float(resolve_s),
                 "drift": float(drift),
                 "resolved": bool(resolved),

@@ -47,12 +47,21 @@ to a Prometheus registry for ``repro-cps serve --metrics-port``.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.dynamic import EpochPlan
 from repro.core.kernels import register_kernel_metric
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    InfeasibleSLOError,
+    ObjectivePolicy,
+    compile_tenant_cost,
+    equal_share_costs,
+    explicit_baseline_costs,
+    slo_headroom,
+)
 from repro.obs.timeseries import EpochTimeSeries
 from repro.obs.trace import NULL_TRACER
 from repro.online.metrics import OnlineMetrics
@@ -64,7 +73,24 @@ __all__ = [
     "ControllerConfig",
     "AllocationDecision",
     "OnlineController",
+    "check_online_policy",
 ]
+
+
+def check_online_policy(policy: ObjectivePolicy, n_tenants: int) -> None:
+    """Raise unless ``policy`` can drive an online controller.
+
+    The natural baseline needs offline footprint profiles the streaming
+    pipeline never measures; online policies support baseline ``"none"``,
+    ``"equal"`` or explicit per-tenant thresholds.
+    """
+    policy.check_arity(n_tenants)
+    if isinstance(policy.baseline, str) and policy.baseline == "natural":
+        raise ValueError(
+            "the natural baseline needs offline footprint profiles; "
+            "online policies support baseline 'none', 'equal' or "
+            "explicit per-tenant thresholds"
+        )
 
 
 class BackpressureError(RuntimeError):
@@ -131,6 +157,10 @@ class AllocationDecision:
     ``drift`` is the largest per-tenant mean-L1 MRC movement since the
     last solve; ``predicted_gain`` the solver's expected group-miss-ratio
     improvement over the standing walls (0 when not re-solved).
+    ``slo_violations`` counts capped tenants whose achieved miss ratio
+    exceeds their cap this epoch; ``slo_feasible`` is False when the
+    epoch had to degrade to best effort (an unsatisfiable per-tenant cap
+    or a jointly infeasible cap set).
     """
 
     epoch: int
@@ -139,6 +169,8 @@ class AllocationDecision:
     moved: bool
     drift: float
     predicted_gain: float
+    slo_violations: int = 0
+    slo_feasible: bool = True
 
 
 class OnlineController:
@@ -150,6 +182,7 @@ class OnlineController:
         config: ControllerConfig,
         *,
         names: tuple[str, ...] | None = None,
+        policy: ObjectivePolicy | None = None,
         tracer=None,
         timeseries_capacity: int = 1024,
     ) -> None:
@@ -159,6 +192,11 @@ class OnlineController:
             raise ValueError("one name per tenant")
         self.config = config
         self.names = names or tuple(f"tenant{i}" for i in range(n_tenants))
+        policy = policy if policy is not None else DEFAULT_POLICY
+        self._check_policy(policy, n_tenants)
+        self._policy = policy
+        self._policy_salt = self._salt_of(policy)
+        self._policy_changed = False
         self.metrics = OnlineMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.timeseries = EpochTimeSeries(self.names, capacity=timeseries_capacity)
@@ -190,6 +228,39 @@ class OnlineController:
         self._solved_ratios: list[np.ndarray] | None = None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_policy(policy: ObjectivePolicy, n_tenants: int) -> None:
+        check_online_policy(policy, n_tenants)
+
+    @staticmethod
+    def _salt_of(policy: ObjectivePolicy) -> bytes:
+        # the default policy salts with b"" so default-objective cache
+        # keys stay byte-identical to policy-unaware versions
+        return b"" if policy.is_default else policy.fingerprint()
+
+    @property
+    def policy(self) -> ObjectivePolicy:
+        return self._policy
+
+    def set_policy(self, policy: ObjectivePolicy) -> bool:
+        """Adopt a new objective between epochs; returns True if it changed.
+
+        Compared by :func:`~repro.core.policy.policy_fingerprint`, so a
+        value-identical policy is a no-op — warm solver state and the
+        drift damper are invalidated only when the objective actually
+        changed (the next epoch then re-solves unconditionally, under a
+        new cache salt that can never alias the old objective's plans).
+        """
+        self._check_policy(policy, self.n_tenants)
+        new_salt = self._salt_of(policy)
+        if new_salt == self._policy_salt:
+            self._policy = policy
+            return False
+        self._policy = policy
+        self._policy_salt = new_salt
+        self._policy_changed = True
+        return True
+
     @property
     def n_tenants(self) -> int:
         return len(self._profilers)
@@ -407,29 +478,74 @@ class OnlineController:
         ]
 
     # ------------------------------------------------------------------
-    def _epoch_costs(self) -> tuple[list[np.ndarray], list[np.ndarray], int, int]:
-        """Per-tenant (miss-count cost, miss-ratio) curves for this epoch."""
+    def _epoch_costs(
+        self,
+    ) -> tuple[list[np.ndarray], list[np.ndarray], int, int, list[str]]:
+        """Per-tenant (policy cost, miss-ratio) curves for this epoch.
+
+        Also returns the tenants whose SLO cap (or explicit baseline
+        threshold) was unsatisfiable this epoch: those degrade to a
+        best-effort uncapped curve instead of killing the controller,
+        and the epoch counts as SLO-infeasible.
+        """
         grid = self.config.cache_blocks
+        policy = self._policy
         costs: list[np.ndarray] = []
         ratios: list[np.ndarray] = []
+        infeasible: list[str] = []
         n_total = 0
         n_longest = 0
-        for prof in self._profilers:
+        for i, prof in enumerate(self._profilers):
             mrc = prof.mrc(grid)
             if mrc is None:  # idle or finished tenant: any allocation is free
                 costs.append(np.zeros(grid + 1))
                 ratios.append(np.zeros(grid + 1))
             else:
-                costs.append(mrc.miss_counts())
+                try:
+                    cost = compile_tenant_cost(mrc, policy, i)
+                except InfeasibleSLOError:
+                    infeasible.append(self.names[i])
+                    cost = compile_tenant_cost(mrc, policy, i, on_infeasible="relax")
+                costs.append(cost)
                 ratios.append(mrc.ratios)
                 n_total += prof.accesses_seen
                 n_longest = max(n_longest, prof.accesses_seen)
-        return costs, ratios, n_total, n_longest
+        baseline = policy.baseline
+        if isinstance(baseline, str):
+            if baseline == "equal":
+                costs = equal_share_costs(costs, grid, rtol=policy.slo_rtol)
+        else:
+            try:
+                costs = explicit_baseline_costs(
+                    costs,
+                    ratios,
+                    list(baseline),
+                    rtol=policy.slo_rtol,
+                    names=self.names,
+                )
+            except InfeasibleSLOError as err:
+                # keep the unmasked curves: best effort beats no epoch
+                infeasible.append(err.tenant)
+        return costs, ratios, n_total, n_longest, infeasible
+
+    def _relaxed_costs(self) -> list[np.ndarray]:
+        """Cap- and baseline-free weighted curves: the best-effort fallback."""
+        grid = self.config.cache_blocks
+        relaxed = ObjectivePolicy(weights=self._policy.weights)
+        out: list[np.ndarray] = []
+        for i, prof in enumerate(self._profilers):
+            mrc = prof.mrc(grid)
+            out.append(
+                np.zeros(grid + 1)
+                if mrc is None
+                else compile_tenant_cost(mrc, relaxed, i)
+            )
+        return out
 
     def _finalize_epoch(self) -> AllocationDecision:
         cfg = self.config
         with self.tracer.span("controller.epoch", epoch=self._epoch) as espan:
-            costs, ratios, n_total, n_longest = self._epoch_costs()
+            costs, ratios, n_total, n_longest, degraded = self._epoch_costs()
             self.metrics.epochs += 1
 
             drift = np.inf if self._solved_ratios is None else max(
@@ -439,6 +555,7 @@ class OnlineController:
             if (
                 self._current is not None
                 and self._solved_ratios is not None
+                and not self._policy_changed
                 and drift < cfg.drift_threshold
             ):
                 self.metrics.drift_skips += 1
@@ -451,7 +568,9 @@ class OnlineController:
                     drift=drift,
                     predicted_gain=0.0,
                 )
-                return self._commit(decision, ratios, resolve_s=0.0)
+                return self._commit(
+                    decision, ratios, resolve_s=0.0, infeasible=bool(degraded)
+                )
 
             with self.tracer.span("controller.resolve", epoch=self._epoch):
                 with self.metrics.resolve_timer:
@@ -463,14 +582,34 @@ class OnlineController:
                     # controller that has solved before (and therefore
                     # measured drift against that solve) may resume the
                     # fold from prior per-stage state
-                    result = self.solver_cache.solve(
-                        costs,
-                        cfg.cache_blocks,
-                        quantum=cfg.quantum * n_longest,
-                        warm=cfg.warm_start and self._solved_ratios is not None,
-                    )
+                    # the policy salt keys the memo: a weight/SLO change
+                    # can never be answered with the old objective's plan
+                    warm = cfg.warm_start and self._solved_ratios is not None
+                    try:
+                        result = self.solver_cache.solve(
+                            costs,
+                            cfg.cache_blocks,
+                            quantum=cfg.quantum * n_longest,
+                            warm=warm,
+                            salt=self._policy_salt,
+                        )
+                    except ValueError:
+                        if self._policy.slo_caps is None and isinstance(
+                            self._policy.baseline, str
+                        ):
+                            raise  # not an SLO artifact: surface it
+                        # jointly infeasible caps: degrade to best effort
+                        degraded.append("*joint*")
+                        result = self.solver_cache.solve(
+                            self._relaxed_costs(),
+                            cfg.cache_blocks,
+                            quantum=cfg.quantum * n_longest,
+                            warm=warm,
+                            salt=self._policy_salt,
+                        )
             resolve_s = self.metrics.resolve_timer.last_s
             self.metrics.resolves += 1
+            self._policy_changed = False
             self.metrics.warm_resolves = self.solver_cache.warm_folds
             self.metrics.solver_cache_hits = self.solver_cache.hits
             self.metrics.solver_cache_misses = self.solver_cache.misses
@@ -493,7 +632,10 @@ class OnlineController:
                         drift=drift,
                         predicted_gain=gain,
                     )
-                    return self._commit(decision, ratios, resolve_s=resolve_s)
+                    return self._commit(
+                        decision, ratios, resolve_s=resolve_s,
+                        infeasible=bool(degraded),
+                    )
             if moved and self._current is not None:
                 self.metrics.walls_moved += 1
                 self.metrics.blocks_moved += int(
@@ -513,7 +655,9 @@ class OnlineController:
                 drift=drift,
                 predicted_gain=gain,
             )
-            return self._commit(decision, ratios, resolve_s=resolve_s)
+            return self._commit(
+                decision, ratios, resolve_s=resolve_s, infeasible=bool(degraded)
+            )
 
     def _commit(
         self,
@@ -521,13 +665,28 @@ class OnlineController:
         ratios: list[np.ndarray],
         *,
         resolve_s: float,
+        infeasible: bool = False,
     ) -> AllocationDecision:
         alloc = decision.allocation
+        achieved = [float(r[int(a)]) for r, a in zip(ratios, alloc)]
+        headroom = slo_headroom(self._policy, achieved)
+        violations = 0
+        for i, mr in enumerate(achieved):
+            cap = self._policy.cap(i)
+            if cap is not None and mr > self._policy.cap_slack(cap):
+                violations += 1
+        self.metrics.slo_violations += violations
+        if infeasible:
+            self.metrics.slo_infeasible_epochs += 1
+        decision = replace(
+            decision, slo_violations=violations, slo_feasible=not infeasible
+        )
         self.timeseries.record(
             decision.epoch,
             allocation=alloc.tolist(),
-            miss_ratio=[float(r[int(a)]) for r, a in zip(ratios, alloc)],
+            miss_ratio=achieved,
             lag=self._tenant_lags(),
+            slo_headroom=headroom,
             resolve_s=resolve_s,
             drift=decision.drift,
             resolved=decision.resolved,

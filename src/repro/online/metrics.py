@@ -81,7 +81,11 @@ class OnlineMetrics:
     allocation was adopted; ``blocks_moved`` is the total allocation
     churn (blocks transferred between tenants across all adopted
     re-allocations); ``warm_resolves`` counts the re-solves that reused
-    fold stages from the previous epoch's state (warm start).
+    fold stages from the previous epoch's state (warm start);
+    ``slo_violations`` counts (tenant, epoch) pairs whose achieved miss
+    ratio exceeded the policy's cap, and ``slo_infeasible_epochs`` the
+    epochs that degraded to best effort because some cap was
+    unsatisfiable (alone or jointly).
     """
 
     accesses_seen: int = 0
@@ -98,6 +102,8 @@ class OnlineMetrics:
     blocks_moved: int = 0
     solver_cache_hits: int = 0
     solver_cache_misses: int = 0
+    slo_violations: int = 0
+    slo_infeasible_epochs: int = 0
     resolve_timer: Timer = field(default_factory=Timer)
 
     @property
@@ -136,6 +142,8 @@ class OnlineMetrics:
             "solver_cache_hits": self.solver_cache_hits,
             "solver_cache_misses": self.solver_cache_misses,
             "solver_cache_hit_ratio": self.solver_cache_hit_ratio,
+            "slo_violations": self.slo_violations,
+            "slo_infeasible_epochs": self.slo_infeasible_epochs,
             "resolve_latency_total_s": self.resolve_timer.total_s,
             "resolve_latency_mean_s": self.resolve_timer.mean_s,
             "resolve_latency_last_s": self.resolve_timer.last_s,
@@ -174,6 +182,14 @@ class OnlineMetrics:
                 "Re-solves held back by the hysteresis damper.",
             ),
             "blocks_moved": ("blocks_moved", "Total allocation churn in blocks."),
+            "slo_violations": (
+                "slo_violations",
+                "Tenant-epochs whose achieved miss ratio exceeded the SLO cap.",
+            ),
+            "slo_infeasible_epochs": (
+                "slo_infeasible_epochs",
+                "Epochs degraded to best effort by unsatisfiable SLO caps.",
+            ),
             "resolve_errors": (
                 "resolve_timer.errors",
                 "Solves that raised instead of completing.",

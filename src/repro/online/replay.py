@@ -22,6 +22,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.dynamic import PlanResult, EpochPlan, plan_dynamic, plan_static, simulate_plan
+from repro.core.policy import ObjectivePolicy
 from repro.online.controller import AllocationDecision, ControllerConfig, OnlineController
 from repro.workloads.generators import cyclic, phased, uniform_random, zipf
 from repro.workloads.trace import Trace
@@ -134,6 +135,13 @@ class ReplayReport:
             f"  churn             {m['walls_moved']} wall moves, "
             f"{m['blocks_moved']} blocks moved, {m['hysteresis_holds']} hysteresis holds",
         ]
+        violations = m.get("slo_violations", 0)
+        infeasible = m.get("slo_infeasible_epochs", 0)
+        if violations or infeasible:
+            lines.append(
+                f"  slo               {violations} cap violations, "
+                f"{infeasible} infeasible epochs"
+            )
         return "\n".join(lines)
 
 
@@ -188,6 +196,7 @@ def replay(
     batch_size: int | Sequence[int] | None = None,
     registry=None,
     tracer=None,
+    policy: ObjectivePolicy | None = None,
 ) -> ReplayReport:
     """Stream ``traces`` through a fresh controller and evaluate the result.
 
@@ -200,10 +209,16 @@ def replay(
     ``registry`` (a :class:`~repro.obs.prom.Registry`) gets the
     controller's metrics registered before the stream starts, so a
     scraper watching ``/metrics`` sees the run live; ``tracer`` records
-    the controller's epoch/resolve spans.
+    the controller's epoch/resolve spans.  ``policy`` carries per-tenant
+    weights/SLO caps/baseline constraints into the controller's epoch
+    objective (default: the plain group miss-count objective).
     """
     controller = OnlineController(
-        len(traces), config, names=tuple(t.name for t in traces), tracer=tracer
+        len(traces),
+        config,
+        names=tuple(t.name for t in traces),
+        tracer=tracer,
+        policy=policy,
     )
     if registry is not None:
         controller.register_metrics(registry)

@@ -37,6 +37,7 @@ AREAS: tuple[str, ...] = (
     "figures",
     "ablation",
     "validation",
+    "policy",
 )
 
 #: The recognized tiers, cheapest first.

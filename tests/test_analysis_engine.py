@@ -30,6 +30,7 @@ CATALOG = (
     "RL007",
     "RL008",
     "RL009",
+    "RL010",
 )
 
 

@@ -257,6 +257,39 @@ def test_rl008_ignores_non_pool_map_methods():
     assert lint("def f(frame, items):\n    return frame.map(lambda x: x)\n") == []
 
 
+# ------------------------------------------------------------------ RL010
+def test_rl010_flags_raw_cost_constructors_outside_core():
+    for name in (
+        "miss_count_costs", "weighted_miss_costs", "qos_costs", "constrained_costs",
+    ):
+        assert ids(lint(f"from repro.core import {name}\n", PLAIN)) == ["RL010"]
+        assert ids(
+            lint(f"from repro.core.objectives import {name}\n", PLAIN)
+        ) == ["RL010"]
+
+
+def test_rl010_flags_deep_objectives_import():
+    assert ids(lint("import repro.core.objectives\n", PLAIN)) == ["RL010"]
+
+
+def test_rl010_allows_the_policy_api():
+    src = """
+    from repro.core.policy import ObjectivePolicy, compile_costs
+
+    def build(mrcs, weights):
+        return compile_costs(mrcs, ObjectivePolicy(weights=weights))
+    """
+    assert lint(src, PLAIN) == []
+
+
+def test_rl010_is_silent_inside_core():
+    assert lint("from repro.core.objectives import qos_costs\n", CORE) == []
+
+
+def test_rl010_ignores_unrelated_core_imports():
+    assert lint("from repro.core import optimal_partition\n", PLAIN) == []
+
+
 # ------------------------------------------------------------ suppressions
 def test_suppression_is_line_scoped():
     src = """

@@ -28,6 +28,8 @@ SNAPSHOT_KEYS = {
     "solver_cache_hits": numbers.Integral,
     "solver_cache_misses": numbers.Integral,
     "solver_cache_hit_ratio": numbers.Real,
+    "slo_violations": numbers.Integral,
+    "slo_infeasible_epochs": numbers.Integral,
     "resolve_latency_total_s": numbers.Real,
     "resolve_latency_mean_s": numbers.Real,
     "resolve_latency_last_s": numbers.Real,
@@ -46,6 +48,8 @@ EXPOSITION_FAMILIES = {
     "repro_walls_moved_total": "counter",
     "repro_hysteresis_holds_total": "counter",
     "repro_blocks_moved_total": "counter",
+    "repro_slo_violations_total": "counter",
+    "repro_slo_infeasible_epochs_total": "counter",
     "repro_resolve_errors_total": "counter",
     "repro_buffered_accesses": "gauge",
     "repro_effective_sampling_rate": "gauge",

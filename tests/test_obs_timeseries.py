@@ -102,7 +102,8 @@ def test_to_dict_is_json_able_and_complete():
     assert d["dropped"] == 0
     assert len(d["rows"]) == 3
     assert set(d["rows"][0]) == {
-        "epoch", "allocation", "miss_ratio", "lag",
+        "epoch", "allocation", "miss_ratio", "lag", "slo_headroom",
         "resolve_s", "drift", "resolved", "moved",
     }
+    assert d["rows"][0]["slo_headroom"] == [None, None]
     json.dumps(d)  # must serialize without a custom encoder

@@ -108,9 +108,9 @@ def test_controller_scales_quantum_by_real_epoch_length(monkeypatch):
     seen: list[float] = []
     orig = SC.solve
 
-    def spy(self, costs, budget, *, quantum=None, warm=False):
+    def spy(self, costs, budget, *, quantum=None, warm=False, salt=b""):
         seen.append(quantum)
-        return orig(self, costs, budget, quantum=quantum, warm=warm)
+        return orig(self, costs, budget, quantum=quantum, warm=warm, salt=salt)
 
     monkeypatch.setattr(SC, "solve", spy)
     ctrl = OnlineController(
