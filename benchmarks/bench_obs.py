@@ -96,6 +96,46 @@ def bench_registry_render(benchmark):
     assert "repro_resolve_latency_seconds_count 50" in text
 
 
+def bench_flight_disabled_overhead(benchmark):
+    """ISSUE 9 acceptance: with the flight recorder off (the default
+    NULL_FLIGHT_RECORDER), the instrumented controller replays within 5%
+    of its pre-instrumentation cost; the recording path's price is
+    measured alongside."""
+    from repro.obs import FlightRecorder
+    from repro.online import ControllerConfig, replay
+    from repro.online.replay import phase_opposed_pair
+
+    traces, epoch = phase_opposed_pair(loops=10, big=240, small=20, segment=1200)
+    config = ControllerConfig(cache_blocks=280, epoch_length=epoch)
+
+    # warm-up (page cache, numpy init), then measure both variants
+    replay(traces, config)
+    t0 = time.perf_counter()
+    base = replay(traces, config)
+    t_disabled = time.perf_counter() - t0
+
+    timing = {}
+
+    def run_recording():
+        flight = FlightRecorder(capacity=1 << 16)
+        t = time.perf_counter()
+        result = replay(traces, config, flight=flight)
+        timing["wall"] = time.perf_counter() - t
+        timing["events"] = len(flight.events())
+        return result
+
+    recorded = benchmark.pedantic(run_recording, rounds=1, iterations=1)
+
+    # recording is inert: the allocation trajectory is bit-identical
+    assert [tuple(d.allocation) for d in base.decisions] == [
+        tuple(d.allocation) for d in recorded.decisions
+    ]
+    overhead = timing["wall"] / t_disabled - 1.0
+    print(f"\nflight off {t_disabled:.2f}s, on {timing['wall']:.2f}s "
+          f"({overhead:+.1%}, {timing['events']:,} events kept)")
+    record_metric("flight_overhead_ratio", overhead, direction="lower", noisy=True)
+
+
 def bench_span_record(benchmark):
     """Cost of one recorded span (open + clock reads + ring append)."""
     tracer = Tracer(capacity=1024)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CI smoke check: validate a flight journal written by ``serve --flight-out``.
+
+Loads the JSONL journal through the same consumer-side validator the
+tests use (:func:`repro.obs.flight.load_journal`): schema version, known
+event kinds, integer seq/pid, per-pid strictly increasing sequence
+numbers.  Then asserts the journal tells a complete serve story — every
+kind a healthy replay must record is present, the epoch numbering is
+contiguous from 0, and exactly one ``replay_summary`` closes the run.
+
+Usage: flight_check.py JOURNAL
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import sys
+
+from repro.obs.flight import load_journal
+
+#: A ``serve`` replay that finished must have recorded all of these.
+REQUIRED_KINDS = (
+    "epoch_finalized",
+    "drift_verdict",
+    "plan_delta",
+    "replay_summary",
+)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        events = load_journal(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"invalid flight journal: {exc}")
+    if not events:
+        raise SystemExit(f"{path}: journal is empty")
+
+    counts: dict[str, int] = {}
+    for ev in events:
+        counts[ev["kind"]] = counts.get(ev["kind"], 0) + 1
+    print(f"{path}: {len(events)} events, " + ", ".join(
+        f"{k}={v}" for k, v in sorted(counts.items())
+    ))
+
+    missing = [k for k in REQUIRED_KINDS if k not in counts]
+    if missing:
+        raise SystemExit(f"journal never recorded: {missing}")
+    if counts["replay_summary"] != 1:
+        raise SystemExit(
+            f"expected exactly one replay_summary, got {counts['replay_summary']}"
+        )
+
+    epochs = sorted(
+        {ev["epoch"] for ev in events if ev["kind"] == "epoch_finalized"}
+    )
+    if epochs != list(range(len(epochs))):
+        raise SystemExit(f"epoch numbering is not contiguous from 0: {epochs}")
+    if counts["epoch_finalized"] != len(epochs):
+        raise SystemExit(
+            f"{counts['epoch_finalized']} epoch_finalized events "
+            f"for {len(epochs)} distinct epochs"
+        )
+    print(f"flight check passed ({len(epochs)} epochs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,10 @@ cumulative with ``+Inf == _count``, no malformed or duplicate samples —
 then asserts no counter went backwards between the two scrapes and that
 the families the dashboards bind to are present.
 
-Usage: scrape_check.py URL  (e.g. http://127.0.0.1:9178)
+Usage: scrape_check.py URL [--expect-alerts]
+(e.g. http://127.0.0.1:9178).  ``--expect-alerts`` additionally requires
+the burn-rate alerting families (``repro_alert_active`` and the
+fired/cleared counters) that ``serve --alerts`` registers.
 Exits non-zero with a diagnostic on any failure.
 """
 
@@ -30,6 +33,14 @@ REQUIRED_FAMILIES = (
     "repro_slo_violations_total",
     "repro_slo_infeasible_epochs_total",
     "repro_resolve_latency_seconds",
+)
+
+ALERT_FAMILIES = (
+    "repro_alert_active",
+    "repro_alert_fast_burn_ratio",
+    "repro_alert_slow_burn_ratio",
+    "repro_alerts_fired_total",
+    "repro_alerts_cleared_total",
 )
 
 
@@ -53,10 +64,13 @@ def wait_healthy(base: str, deadline_s: float = 30.0) -> dict:
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
+    argv = sys.argv[1:]
+    expect_alerts = "--expect-alerts" in argv
+    argv = [a for a in argv if a != "--expect-alerts"]
+    if len(argv) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    base = sys.argv[1].rstrip("/")
+    base = argv[0].rstrip("/")
     health = wait_healthy(base)
     print(f"healthz ok (uptime {health['uptime_s']}s)")
 
@@ -65,9 +79,14 @@ def main() -> int:
     second = validate_exposition(get(f"{base}/metrics"))
     print(f"scraped {len(first)} -> {len(second)} valid families")
 
-    missing = [f for f in REQUIRED_FAMILIES if f not in second]
+    required = REQUIRED_FAMILIES + (ALERT_FAMILIES if expect_alerts else ())
+    missing = [f for f in required if f not in second]
     if missing:
         raise SystemExit(f"missing required families: {missing}")
+    if expect_alerts:
+        active = second["repro_alert_active"]["samples"]
+        gauges = {dict(labels).get("tenant"): v for (_, labels), v in active.items()}
+        print(f"alert gauges: {gauges}")
     check_counters_monotone(first, second)
 
     hist = second["repro_resolve_latency_seconds"]["samples"]

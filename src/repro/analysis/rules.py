@@ -1,4 +1,4 @@
-"""The ten project-contract rules (RL001–RL010).
+"""The eleven project-contract rules (RL001–RL011).
 
 Each rule encodes an invariant the repo's correctness or operability
 story depends on — none of them is a style preference, and none is
@@ -18,6 +18,8 @@ RL009  kernel-registry       min-plus convolutions go through the backend
                              registry, not the pinned reference kernel
 RL010  policy-integrity      cost curves are compiled from ObjectivePolicy,
                              not hand-assembled from the raw constructors
+RL011  flight-integrity      decision events go through the flight-recorder
+                             facade, never hand-built ``FlightEvent`` objects
 =====  ====================  ==================================================
 
 All checks are syntactic (stdlib :mod:`ast`, no imports of the linted
@@ -46,6 +48,7 @@ __all__ = [
     "PoolWorkerRule",
     "KernelRegistryRule",
     "PolicyIntegrityRule",
+    "FlightIntegrityRule",
 ]
 
 
@@ -739,4 +742,78 @@ class PolicyIntegrityRule(Rule):
                     "policy_fingerprint(); compile it from an ObjectivePolicy "
                     "(repro.core.policy.compile_costs) so the fold/solver "
                     "caches can tell policies apart",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL011 — flight events only via the recorder facade
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class FlightIntegrityRule(Rule):
+    """The flight journal is an audit trail only if every event goes
+    through :meth:`~repro.obs.flight.FlightRecorder.emit`.
+
+    ``emit()`` is where the schema version, the monotonically increasing
+    ``seq``, the recorder ``pid`` and the ambient epoch are stamped — a
+    hand-constructed ``FlightEvent`` (or a deep import of
+    :mod:`repro.obs.flight` internals) can forge any of them, and
+    :func:`~repro.obs.flight.validate_flight_events` would reject the
+    resulting journal (or worse, accept a misleading one).  Outside
+    ``repro/obs`` — where the recorder itself lives — code imports only
+    the facade names ``repro.obs`` re-exports (``FlightRecorder``,
+    ``NULL_FLIGHT_RECORDER``, ``FlightLike``, the loaders) and records
+    through ``emit()``.
+    """
+
+    id = "RL011"
+    name = "flight-integrity"
+    contract = "outside repro/obs, flight events are emitted, never hand-built"
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if ctx.in_subpackage("obs"):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs.flight" or alias.name.startswith(
+                    "repro.obs.flight."
+                ):
+                    ctx.report(
+                        node, self,
+                        f"deep import of {alias.name} reaches past the flight "
+                        "facade; import FlightRecorder/NULL_FLIGHT_RECORDER "
+                        "from repro.obs and record via emit()",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module is not None and (
+                node.module == "repro.obs.flight"
+                or node.module.startswith("repro.obs.flight.")
+            ):
+                ctx.report(
+                    node, self,
+                    f"deep import from {node.module}; import the flight "
+                    "facade names from repro.obs instead",
+                )
+                return
+            if node.module == "repro.obs":
+                for alias in node.names:
+                    if alias.name == "FlightEvent":
+                        ctx.report(
+                            node, self,
+                            "importing FlightEvent invites hand-built journal "
+                            "entries that skip emit()'s schema/seq/pid "
+                            "stamping; emit events through a FlightRecorder",
+                        )
+            return
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.split(".")[-1] == "FlightEvent":
+                ctx.report(
+                    node, self,
+                    "hand-built FlightEvent bypasses emit()'s schema/seq/pid "
+                    "stamping and breaks the journal's append-only audit "
+                    "guarantee; record through FlightRecorder.emit()",
                 )

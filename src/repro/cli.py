@@ -11,13 +11,19 @@ Subcommands mirror the paper's workflow:
   service (:mod:`repro.online`) and score it against the offline optima;
   ``--metrics-port`` exposes Prometheus ``/metrics`` + ``/healthz``
   while it runs, ``--metrics-out`` dumps the final snapshot and epoch
-  time-series as JSON, ``--trace-out`` journals spans as JSONL;
+  time-series as JSON, ``--trace-out`` journals spans as JSONL,
+  ``--flight-out`` journals decision provenance (the flight recorder)
+  and ``--alerts`` arms multi-window SLO burn-rate alerting;
+* ``explain``     — read a flight journal back as causal narratives:
+  why a tenant's allocation changed at an epoch, why an epoch
+  re-solved cold (:mod:`repro.obs.explain`);
 * ``top``         — the live terminal view of the controller: per-tenant
   allocation bars, miss-ratio sparklines, lag and solver counters,
-  redrawn as each epoch closes;
+  redrawn as each epoch closes; ``--format json`` instead runs the
+  stream headless and prints one machine-readable snapshot;
 * ``lint``        — repro-lint, the project's own static contract
   checker (:mod:`repro.analysis`): determinism, engine-facade,
-  telemetry, and robustness invariants as ``RL001``–``RL010``;
+  telemetry, and robustness invariants as ``RL001``–``RL011``;
 * ``bench``       — the perf subsystem (:mod:`repro.perf`):
   ``bench list`` shows the discovered suite, ``bench run`` executes a
   tier under the isolated-subprocess runner and persists
@@ -514,6 +520,18 @@ def _serve_setup(args: argparse.Namespace):
     return traces, config, policy
 
 
+def _parse_alert_policy(spec: str | None):
+    """``FAST,SLOW`` epoch windows → :class:`AlertPolicy` (None = defaults)."""
+    from repro.obs import AlertPolicy
+
+    if spec is None:
+        return AlertPolicy()
+    toks = [tok.strip() for tok in spec.split(",") if tok.strip()]
+    if len(toks) != 2:
+        raise ValueError("--alert-windows takes FAST,SLOW epoch counts")
+    return AlertPolicy(fast_window=int(toks[0]), slow_window=int(toks[1]))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.online.replay import replay
 
@@ -522,7 +540,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    registry = server = tracer = None
+    registry = server = tracer = flight = alerts = None
     if args.metrics_port is not None:
         from repro.obs import MetricsServer, Registry
 
@@ -533,6 +551,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(journal=args.trace_out)
+    if args.flight_out is not None:
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(journal=args.flight_out)
+    if args.alerts:
+        from repro.obs import BurnRateAlerts
+
+        try:
+            alert_policy = _parse_alert_policy(args.alert_windows)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        alerts = BurnRateAlerts(
+            tuple(t.name for t in traces), policy=alert_policy, flight=flight
+        )
     print(
         f"Serving the {args.workload} workload online "
         f"({', '.join(t.name for t in traces)}; cache {args.cache_blocks} blocks, "
@@ -546,8 +579,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             registry=registry,
             tracer=tracer,
             policy=policy,
+            flight=flight,
+            alerts=alerts,
         )
         print(report.summary())
+        if report.alerts is not None:
+            firing = sorted(t for t, s in report.alerts.items() if s["active"])
+            print(
+                f"  burn-rate alerts  {alerts.fired} fired, {alerts.cleared} cleared"
+                + (f"; still FIRING: {', '.join(firing)}" if firing else "")
+            )
         print("\nPer-epoch decisions:")
         print(f"{'epoch':>5s} {'allocation':>16s} {'solved':>6s} {'moved':>5s} "
               f"{'drift':>8s} {'gain':>8s}")
@@ -569,6 +610,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"\nwrote metrics snapshot + epoch time-series to {args.metrics_out}")
         if args.trace_out is not None:
             print(f"wrote span journal to {args.trace_out}")
+        if flight is not None:
+            flight.close()
+            print(f"wrote flight journal to {args.flight_out}")
         if server is not None and args.linger > 0:
             print(f"holding /metrics open for {args.linger:.0f}s (final snapshot)...")
             time.sleep(args.linger)
@@ -577,6 +621,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server.stop()
         if tracer is not None:
             tracer.close()
+        if flight is not None:
+            flight.close()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import explain_allocation, explain_resolve, load_journal
+
+    try:
+        events = load_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.tenant is not None:
+            print(explain_allocation(events, args.tenant, args.epoch))
+        else:
+            print(explain_resolve(events, args.epoch))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -587,12 +652,38 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     try:
         traces, config, policy = _serve_setup(args)
+        alerts = None
+        if args.alerts:
+            from repro.obs import BurnRateAlerts
+
+            alerts = BurnRateAlerts(
+                tuple(t.name for t in traces),
+                policy=_parse_alert_policy(args.alert_windows),
+            )
         controller = OnlineController(
-            len(traces), config, names=tuple(t.name for t in traces), policy=policy
+            len(traces), config, names=tuple(t.name for t in traces),
+            policy=policy, alerts=alerts,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.format == "json":
+        import json
+
+        for _ in stream(traces, controller, batch_size=args.batch):
+            pass
+        doc = {
+            "workload": args.workload,
+            "cache_blocks": config.cache_blocks,
+            "epoch_length": config.epoch_length,
+            "metrics": controller.metrics.snapshot(),
+            "timeseries": controller.timeseries.to_dict(),
+        }
+        if alerts is not None:
+            doc["alerts"] = alerts.states()
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+        return 0
     use_ansi = sys.stdout.isatty() and not args.plain
     header = (
         f"repro-cps top — {args.workload} workload, "
@@ -603,6 +694,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
             controller.timeseries,
             controller.metrics.snapshot(),
             cache_blocks=config.cache_blocks,
+            alerts=None if alerts is None else alerts.states(),
         )
         if use_ansi:
             sys.stdout.write(f"{ANSI_HOME_CLEAR}{header}\n\n{frame}\n")
@@ -714,10 +806,29 @@ def main(argv: list[str] | None = None) -> int:
                         "to this path as JSON")
     p.add_argument("--trace-out", default=None,
                    help="journal controller/solver spans to this path as JSONL")
+    p.add_argument("--flight-out", default=None,
+                   help="journal decision provenance (flight-recorder events) "
+                        "to this path as JSONL — the input of repro-cps explain")
+    p.add_argument("--alerts", action="store_true",
+                   help="arm multi-window SLO burn-rate alerting "
+                        "(repro_alert_active gauges; needs --slo to fire)")
+    p.add_argument("--alert-windows", default=None, metavar="FAST,SLOW",
+                   help="burn-rate windows in epochs (default: 5,20)")
     p.add_argument("--linger", type=float, default=0.0,
                    help="keep /metrics up this many seconds after the replay "
                         "so scrapers can collect the final snapshot")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "explain", help="answer why-questions from a flight journal"
+    )
+    p.add_argument("journal", help="JSONL flight journal (serve --flight-out)")
+    p.add_argument("--epoch", type=int, required=True,
+                   help="the epoch to narrate")
+    p.add_argument("--tenant", default=None,
+                   help="narrate this tenant's allocation change "
+                        "(default: the epoch's re-solve provenance)")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "top", help="live terminal dashboard of the online controller"
@@ -727,10 +838,17 @@ def main(argv: list[str] | None = None) -> int:
                    help="pause this many seconds between epoch frames")
     p.add_argument("--plain", action="store_true",
                    help="print frames sequentially instead of redrawing in place")
+    p.add_argument("--format", choices=("live", "json"), default="live",
+                   help="'json' streams headless and prints one snapshot "
+                        "document (metrics, time-series, SLO headroom, alerts)")
+    p.add_argument("--alerts", action="store_true",
+                   help="arm burn-rate alerting and show the alert panel")
+    p.add_argument("--alert-windows", default=None, metavar="FAST,SLOW",
+                   help="burn-rate windows in epochs (default: 5,20)")
     p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
-        "lint", help="check the project contracts (repro-lint, rules RL001-RL010)"
+        "lint", help="check the project contracts (repro-lint, rules RL001-RL011)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")

@@ -55,6 +55,7 @@ from repro.core.dp import (
 )
 from repro.core.kernels import convolve
 from repro.core.minplus import MinPlusFold, fold_curves_stages
+from repro.obs import NULL_FLIGHT_RECORDER, FlightLike
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -99,6 +100,11 @@ class FoldCache:
     tracer:
         Span tracer recording computed folds/solves; the default no-op
         tracer keeps the uninstrumented cost.
+    flight:
+        Flight recorder receiving one ``solve`` provenance event per
+        :meth:`solve` call (memo hit, warm-start stages reused vs.
+        recomputed, why warm state was unusable); the default no-op
+        recorder keeps the uninstrumented cost.
     """
 
     def __init__(
@@ -107,6 +113,7 @@ class FoldCache:
         quantum: float = 0.0,
         max_entries: int = 128,
         tracer: TracerLike | None = None,
+        flight: FlightLike | None = None,
     ) -> None:
         if quantum < 0.0:
             raise ValueError("quantum must be >= 0")
@@ -115,8 +122,12 @@ class FoldCache:
         self.quantum = float(quantum)
         self.max_entries = int(max_entries)
         self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
+        self.flight: FlightLike = flight if flight is not None else NULL_FLIGHT_RECORDER
         self._store: OrderedDict[Hashable, Any] = OrderedDict()
         self._warm: _WarmState | None = None
+        # provenance of the most recent solve(): (reuse reason, stages
+        # reused, stages computed) — the flight recorder's `solve` event
+        self._last_reuse: tuple[str, int, int] = ("cold", 0, 0)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -268,6 +279,7 @@ class FoldCache:
         if q < 0.0:
             raise ValueError("quantum must be >= 0")
         hits_before = self.hits
+        self._last_reuse = ("cold", 0, len(costs))
         with self.tracer.span(
             "foldcache.solve", n_costs=len(costs), budget=int(budget)
         ) as span:
@@ -282,7 +294,22 @@ class FoldCache:
                     self[key] = result
                 else:
                     result = cast("PartitionResult", cached)
-            span.set(hit=self.hits > hits_before, warm=warm)
+            hit = self.hits > hits_before
+            span.set(hit=hit, warm=warm)
+        reuse, reused, computed = self._last_reuse
+        if hit:
+            reuse, reused, computed = "memo_hit", 0, 0
+        self.flight.emit(
+            "solve",
+            n_costs=len(costs),
+            budget=int(budget),
+            cache_hit=hit,
+            warm=bool(warm),
+            salted=bool(salt),
+            reuse=reuse,
+            stages_reused=reused,
+            stages_computed=computed,
+        )
         return result
 
     def _solve_warm(
@@ -297,16 +324,20 @@ class FoldCache:
         fps = [curve_fingerprint(c, quantum=q) for c in costs]
         state = self._warm
         changed = 0
-        if (
-            state is not None
-            and state.quantum == q
-            and state.grid == size
-            and state.salt == salt
-            and len(state.curve_fps) == len(fps)
-        ):
-            while changed < len(fps) and state.curve_fps[changed] == fps[changed]:
-                changed += 1
-        if state is None or changed == 0:
+        reason = "no_state"
+        if state is not None:
+            if state.salt != salt:
+                reason = "salt_changed"
+            elif state.quantum != q or state.grid != size:
+                reason = "lattice_changed"
+            elif len(state.curve_fps) != len(fps):
+                reason = "tenant_count_changed"
+            else:
+                while changed < len(fps) and state.curve_fps[changed] == fps[changed]:
+                    changed += 1
+                reason = "first_curve_changed" if changed == 0 else "warm"
+        if reason != "warm":
+            self._last_reuse = (reason, 0, len(costs))
             fold, prefixes = fold_curves_stages(costs)
         else:
             # stage j folds curve j in: curve m changing invalidates
@@ -325,6 +356,7 @@ class FoldCache:
             self.warm_folds += 1
             self.warm_stages_reused += start
             self.warm_stages_computed += len(costs) - start
+            self._last_reuse = ("warm", start, len(costs) - start)
         # state is valid even if allocate() raises on an infeasible budget
         self._warm = _WarmState(
             quantum=q,

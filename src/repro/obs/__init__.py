@@ -13,16 +13,42 @@ through three complementary views, all dependency-free:
   tests and CI scrape-check consume);
 * :mod:`repro.obs.timeseries` — per-epoch ring buffers of tenant
   allocation, miss ratio, lag and resolve latency;
+* :mod:`repro.obs.flight` — the flight recorder: an append-only,
+  schema-versioned journal of structured *decision* events (drift
+  verdicts, warm-start outcomes, policy swaps, SLO events, plan deltas)
+  with the same bounded-ring + ``drain()``/``adopt()`` discipline as
+  the tracer and a shared no-op
+  :data:`~repro.obs.flight.NULL_FLIGHT_RECORDER`;
+* :mod:`repro.obs.alerts` — multi-window SLO burn-rate alerting over
+  the epoch stream (``repro_alert_active`` gauges, ``alert`` flight
+  events);
+* :mod:`repro.obs.explain` — ``repro-cps explain``: causal narratives
+  reconstructed from a flight journal;
 * :mod:`repro.obs.server` — the ``/metrics`` + ``/healthz`` endpoint on
   a stdlib ``http.server`` thread (``repro-cps serve --metrics-port``);
 * :mod:`repro.obs.console` — the ``repro-cps top`` frame renderer.
 
 The library convention: every instrumentable class takes a ``tracer``
-(default :data:`~repro.obs.trace.NULL_TRACER`) and offers a
-``register_with(registry)`` that binds its live counters to callback
-metrics — observability is opt-in per call site and zero-cost when off.
+(default :data:`~repro.obs.trace.NULL_TRACER`) and a ``flight``
+recorder (default :data:`~repro.obs.flight.NULL_FLIGHT_RECORDER`), and
+offers a ``register_with(registry)`` that binds its live counters to
+callback metrics — observability is opt-in per call site and zero-cost
+when off.  Code outside this package imports flight names from this
+facade (lint rule RL011): the facade is the emission API's single front
+door.
 """
 
+from repro.obs.alerts import AlertPolicy, BurnRateAlerts
+from repro.obs.explain import explain_allocation, explain_resolve
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    NULL_FLIGHT_RECORDER,
+    FlightLike,
+    FlightRecorder,
+    NullFlightRecorder,
+    load_journal,
+    validate_flight_events,
+)
 from repro.obs.prom import (
     LATENCY_BUCKETS,
     Counter,
@@ -52,4 +78,15 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "FLIGHT_SCHEMA",
+    "FlightLike",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT_RECORDER",
+    "validate_flight_events",
+    "load_journal",
+    "AlertPolicy",
+    "BurnRateAlerts",
+    "explain_allocation",
+    "explain_resolve",
 ]

@@ -1,0 +1,203 @@
+"""Multi-window SLO burn-rate alerting over the epoch time-series.
+
+A single-epoch cap violation is noise; a tenant violating its cap for
+most of the last *N* epochs is an incident.  :class:`BurnRateAlerts`
+implements the standard multi-window multi-burn-rate scheme over the
+controller's epoch stream: per tenant, a **fast** window (reacts within
+a few epochs) and a **slow** window (confirms the breach is sustained),
+each with its own violation-rate threshold.
+
+State machine, evaluated once per finalized epoch:
+
+* **fire** when the fast-window rate ≥ ``fast_burn`` *and* the
+  slow-window rate ≥ ``slow_burn`` — the fast window alone would page on
+  one bad epoch, the slow window alone would page minutes late; the
+  conjunction is both prompt and sturdy (the two-window trade-off from
+  the SRE burn-rate playbook);
+* **clear** when the fast-window rate drops below ``fast_burn`` — the
+  slow window is deliberately ignored on the way down, so recovery is
+  observed at the fast window's latency instead of lingering until old
+  violations age out;
+* firing needs a full fast window of history — a controller that has
+  seen two epochs has no business paging anyone.
+
+Everything is deterministic in the epoch stream: same violations in,
+same transitions out, which is what lets the tests (and the CI smoke
+job) assert fire/clear exactly.  Transitions are journaled as ``alert``
+events on the flight recorder, and :meth:`BurnRateAlerts.register_with`
+exposes the state as ``repro_alert_active{tenant=...}`` gauges plus the
+live burn ratios for dashboards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.flight import NULL_FLIGHT_RECORDER, FlightLike
+
+__all__ = ["AlertPolicy", "BurnRateAlerts"]
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """Window lengths (in epochs) and burn-rate thresholds.
+
+    Defaults fire after roughly three consecutive violating epochs
+    (3/5 ≥ 0.5 needs epoch five's history) provided at least a quarter
+    of the slow window is burning, and clear two clean epochs after the
+    breach stops.
+    """
+
+    fast_window: int = 5
+    slow_window: int = 20
+    fast_burn: float = 0.5
+    slow_burn: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.fast_window < 1 or self.slow_window < 1:
+            raise ValueError("alert windows must be >= 1 epoch")
+        if self.fast_window > self.slow_window:
+            raise ValueError("fast_window must not exceed slow_window")
+        if not 0.0 < self.fast_burn <= 1.0 or not 0.0 < self.slow_burn <= 1.0:
+            raise ValueError("burn thresholds must be in (0, 1]")
+
+
+class BurnRateAlerts:
+    """Per-tenant burn-rate alert state over the epoch violation stream."""
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        *,
+        policy: AlertPolicy | None = None,
+        flight: FlightLike | None = None,
+    ) -> None:
+        if not names:
+            raise ValueError("need at least one tenant")
+        self.names = tuple(names)
+        self.policy = policy if policy is not None else AlertPolicy()
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
+        self._window: dict[str, deque[bool]] = {
+            n: deque(maxlen=self.policy.slow_window) for n in self.names
+        }
+        self._active: dict[str, bool] = {n: False for n in self.names}
+        self.fired = 0
+        self.cleared = 0
+
+    # ---------------------------------------------------------- updating
+    def observe(self, epoch: int, violations: Sequence[bool]) -> list[tuple[str, str]]:
+        """Fold one epoch's per-tenant violation flags into the windows.
+
+        Returns the transitions this epoch caused as ``(tenant,
+        "fired"|"cleared")`` pairs, already journaled as ``alert``
+        flight events.
+        """
+        if len(violations) != len(self.names):
+            raise ValueError(
+                f"expected {len(self.names)} violation flags, got {len(violations)}"
+            )
+        transitions: list[tuple[str, str]] = []
+        pol = self.policy
+        for name, violated in zip(self.names, violations):
+            window = self._window[name]
+            window.append(bool(violated))
+            fast, slow = self._rates(window)
+            if not self._active[name]:
+                if (
+                    len(window) >= pol.fast_window
+                    and fast >= pol.fast_burn
+                    and slow >= pol.slow_burn
+                ):
+                    self._active[name] = True
+                    self.fired += 1
+                    transitions.append((name, "fired"))
+                    self.flight.emit(
+                        "alert",
+                        epoch=epoch,
+                        tenant=name,
+                        transition="fired",
+                        fast_burn=fast,
+                        slow_burn=slow,
+                        fast_window=pol.fast_window,
+                        slow_window=pol.slow_window,
+                    )
+            elif fast < pol.fast_burn:
+                self._active[name] = False
+                self.cleared += 1
+                transitions.append((name, "cleared"))
+                self.flight.emit(
+                    "alert",
+                    epoch=epoch,
+                    tenant=name,
+                    transition="cleared",
+                    fast_burn=fast,
+                    slow_burn=slow,
+                    fast_window=pol.fast_window,
+                    slow_window=pol.slow_window,
+                )
+        return transitions
+
+    def _rates(self, window: deque[bool]) -> tuple[float, float]:
+        recent = list(window)[-self.policy.fast_window :]
+        fast = sum(recent) / len(recent) if recent else 0.0
+        slow = sum(window) / len(window) if window else 0.0
+        return fast, slow
+
+    # ----------------------------------------------------------- reading
+    @property
+    def active(self) -> dict[str, bool]:
+        """Current alert state per tenant."""
+        return dict(self._active)
+
+    def burn_rates(self, tenant: str) -> tuple[float, float]:
+        """Current (fast, slow) violation rates for one tenant."""
+        return self._rates(self._window[tenant])
+
+    def states(self) -> dict[str, dict]:
+        """JSON-able per-tenant view (dashboards, ``top --format json``)."""
+        out: dict[str, dict] = {}
+        for name in self.names:
+            fast, slow = self._rates(self._window[name])
+            out[name] = {
+                "active": self._active[name],
+                "fast_burn": fast,
+                "slow_burn": slow,
+                "epochs_observed": len(self._window[name]),
+            }
+        return out
+
+    def register_with(self, registry, *, prefix: str = "repro"):
+        """Expose the alert state on a :class:`~repro.obs.prom.Registry`.
+
+        ``<prefix>_alert_active{tenant=...}`` is 1 while a tenant's
+        burn-rate alert is firing; the two burn-ratio gauges carry the
+        live window rates, and the transition counters let a scraper
+        catch a fire/clear pair that happened between scrapes.  Returns
+        the registry for chaining.
+        """
+        registry.gauge(
+            f"{prefix}_alert_active",
+            "1 while the tenant's SLO burn-rate alert is firing.",
+            labelnames=("tenant",),
+        ).set_function(
+            lambda: {n: (1 if self._active[n] else 0) for n in self.names}
+        )
+        registry.gauge(
+            f"{prefix}_alert_fast_burn_ratio",
+            "Violation rate over the fast alert window.",
+            labelnames=("tenant",),
+        ).set_function(lambda: {n: self._rates(self._window[n])[0] for n in self.names})
+        registry.gauge(
+            f"{prefix}_alert_slow_burn_ratio",
+            "Violation rate over the slow alert window.",
+            labelnames=("tenant",),
+        ).set_function(lambda: {n: self._rates(self._window[n])[1] for n in self.names})
+        registry.counter(
+            f"{prefix}_alerts_fired_total", "Burn-rate alert fire transitions."
+        ).set_function(lambda: self.fired)
+        registry.counter(
+            f"{prefix}_alerts_cleared_total", "Burn-rate alert clear transitions."
+        ).set_function(lambda: self.cleared)
+        return registry

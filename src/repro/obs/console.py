@@ -47,13 +47,16 @@ def render_dashboard(
     *,
     cache_blocks: int,
     history: int = 24,
+    alerts: dict | None = None,
 ) -> str:
     """One frame of the ``top`` view.
 
     ``series`` is the controller's epoch ring, ``snapshot`` its
     ``OnlineMetrics.snapshot()``; ``cache_blocks`` scales the allocation
-    bars.  Returns a plain multi-line string (no ANSI codes — the CLI
-    owns screen control).
+    bars; ``alerts`` (a ``BurnRateAlerts.states()`` dict) adds a
+    burn-rate panel naming each tenant's alert state and window rates.
+    Returns a plain multi-line string (no ANSI codes — the CLI owns
+    screen control).
     """
     rows = series.last(1)
     lines: list[str] = []
@@ -115,4 +118,13 @@ def render_dashboard(
             f"slo violations {violations:>5d}   "
             f"infeasible epochs {infeasible:>5d}"
         )
+    if alerts:
+        parts = []
+        for name, state in alerts.items():
+            label = "FIRING" if state.get("active") else "ok"
+            parts.append(
+                f"{name} {label:6s} fast {state.get('fast_burn', 0.0):4.0%} "
+                f"slow {state.get('slow_burn', 0.0):4.0%}"
+            )
+        lines.append("burn-rate alerts   " + "   ".join(parts))
     return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""``repro-cps explain``: causal narratives from a flight journal.
+
+Given the JSONL journal written by ``serve --flight-out`` (or any
+:class:`~repro.obs.flight.FlightRecorder`), reconstruct the answer to
+the two questions an operator asks of a live allocator:
+
+* :func:`explain_allocation` — *why did tenant T's allocation change at
+  epoch E?*  Stitches the epoch's ``drift_verdict`` (which tenant's MRC
+  moved, how far past the threshold), ``policy_swap`` (did the objective
+  change under it), ``solve`` (memo hit / warm resume / cold fold),
+  ``plan_delta`` (the actual diff and predicted gain) and ``slo``
+  events into one chronological story;
+* :func:`explain_resolve` — *why did epoch E re-solve cold?*  Follows
+  the warm-start provenance on the ``solve`` events: whether warm state
+  existed, why it was unusable (``salt_changed`` after a policy swap,
+  ``lattice_changed`` after a quantum/grid change, ...), and how many
+  fold stages were reused vs. recomputed when it wasn't cold after all.
+
+Pure functions over event dicts — the CLI owns I/O and exit codes; the
+journal loader/validator lives in :mod:`repro.obs.flight`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["explain_allocation", "explain_resolve"]
+
+#: ``solve`` reuse codes → operator-readable causes.
+_REUSE_CAUSE = {
+    "memo_hit": "the solver cache already held this instance's plan",
+    "cold": "warm start was not requested for this solve",
+    "no_state": "no warm fold state existed yet — first warm-eligible solve",
+    "salt_changed": "the policy salt changed (objective swap re-keys all warm state)",
+    "lattice_changed": "the quantization lattice or grid changed since the last solve",
+    "tenant_count_changed": "the tenant count changed since the last solve",
+    "first_curve_changed": "the first tenant's curve changed (no reusable prefix)",
+    "warm": "a prefix of tenant curves was unchanged",
+}
+
+#: ``drift_verdict`` reason codes → operator-readable causes.
+_VERDICT_CAUSE = {
+    "first_solve": "no prior solve existed — the first epoch always solves",
+    "policy_changed": "the objective policy changed since the last solve",
+    "drift_exceeded": "MRC drift exceeded the threshold",
+    "below_threshold": "every tenant's MRC stayed within the drift threshold",
+}
+
+
+def _at_epoch(events: list[dict], epoch: int) -> dict[str, list[dict]]:
+    by_kind: dict[str, list[dict]] = {}
+    for ev in events:
+        if ev.get("epoch") == epoch:
+            by_kind.setdefault(ev["kind"], []).append(ev)
+    return by_kind
+
+
+def _epochs_present(events: list[dict]) -> list[int]:
+    return sorted(
+        {ev["epoch"] for ev in events if isinstance(ev.get("epoch"), int)}
+    )
+
+
+def _require_epoch(events: list[dict], epoch: int) -> dict[str, list[dict]]:
+    by_kind = _at_epoch(events, epoch)
+    if not by_kind:
+        present = _epochs_present(events)
+        span = f"{present[0]}..{present[-1]}" if present else "none"
+        raise ValueError(f"journal has no events for epoch {epoch} (epochs: {span})")
+    return by_kind
+
+
+def _fmt_solve(ev: dict) -> str:
+    d = ev.get("data", {})
+    reuse = d.get("reuse", "cold")
+    cause = _REUSE_CAUSE.get(reuse, reuse)
+    if d.get("cache_hit"):
+        return f"solve: cache hit — {_REUSE_CAUSE['memo_hit']}; no fold ran"
+    reused = d.get("stages_reused", 0)
+    computed = d.get("stages_computed", d.get("n_costs", 0))
+    if d.get("warm") and reused > 0:
+        return (
+            f"solve: warm start resumed the fold — {reused} stage(s) reused, "
+            f"{computed} recomputed ({cause})"
+        )
+    label = "cold fold" if not d.get("warm") else "warm-eligible but fully refolded"
+    return f"solve: {label} — all {computed} stage(s) computed ({cause})"
+
+
+def _drift_line(by_kind: dict[str, list[dict]], tenant: str | None = None) -> list[str]:
+    lines: list[str] = []
+    for ev in by_kind.get("drift_verdict", []):
+        d = ev.get("data", {})
+        verdict = d.get("verdict", "?")
+        reason = d.get("reason", "?")
+        cause = _VERDICT_CAUSE.get(reason, reason)
+        threshold = d.get("threshold", 0.0)
+        distances = d.get("distances")
+        if distances:
+            mover = max(distances, key=lambda n: distances[n])
+            lines.append(
+                f"drift: {'re-solve' if verdict == 'resolve' else 'skip'} — {cause} "
+                f"(largest mover {mover!r}: {distances[mover]:.4f} mean-L1 "
+                f"vs threshold {threshold:.4f})"
+            )
+            if tenant is not None and tenant in distances and tenant != mover:
+                lines.append(
+                    f"drift: tenant {tenant!r} itself moved {distances[tenant]:.4f}"
+                )
+        else:
+            lines.append(f"drift: {'re-solve' if verdict == 'resolve' else 'skip'} — {cause}")
+    return lines
+
+
+def _policy_lines(by_kind: dict[str, list[dict]]) -> list[str]:
+    lines = []
+    for ev in by_kind.get("policy_swap", []):
+        d = ev.get("data", {})
+        if d.get("changed"):
+            lines.append(
+                f"policy: objective swapped {d.get('old', '?')[:12]} -> "
+                f"{d.get('new', '?')[:12]} — caches re-salted, next solve forced cold"
+            )
+        else:
+            lines.append("policy: set_policy() called with a value-identical objective (no-op)")
+    return lines
+
+
+def _slo_lines(by_kind: dict[str, list[dict]], tenant: str | None = None) -> list[str]:
+    lines = []
+    for ev in by_kind.get("slo", []):
+        d = ev.get("data", {})
+        if d.get("type") == "relax":
+            who = ", ".join(repr(t) for t in d.get("tenants", []))
+            lines.append(
+                f"slo: infeasible caps degraded this epoch to best effort ({who})"
+            )
+        elif d.get("type") == "violation":
+            if tenant is not None and ev.get("tenant") != tenant:
+                continue
+            lines.append(
+                f"slo: tenant {ev.get('tenant')!r} achieved "
+                f"{d.get('achieved', 0.0):.4f} vs cap {d.get('cap', 0.0):.4f} "
+                f"(headroom {d.get('headroom', 0.0):+.4f}) — violation"
+            )
+    return lines
+
+
+def explain_allocation(events: list[dict], tenant: str, epoch: int) -> str:
+    """Why did ``tenant``'s allocation change (or hold) at ``epoch``?"""
+    by_kind = _require_epoch(events, epoch)
+    deltas = by_kind.get("plan_delta")
+    if not deltas:
+        raise ValueError(f"epoch {epoch} has no plan_delta event in this journal")
+    d = deltas[-1].get("data", {})
+    alloc = d.get("allocation", {})
+    if tenant not in alloc:
+        known = ", ".join(repr(n) for n in alloc)
+        raise ValueError(f"unknown tenant {tenant!r} (journal tenants: {known})")
+
+    lines = [f"epoch {epoch}, tenant {tenant!r}:"]
+    previous = d.get("previous") or {}
+    now = int(alloc[tenant])
+    if tenant in previous:
+        before = int(previous[tenant])
+        diff = now - before
+        if diff:
+            lines.append(
+                f"allocation: {before} -> {now} blocks ({diff:+d}) — walls moved"
+            )
+        elif d.get("moved"):
+            lines.append(
+                f"allocation: held at {now} blocks while other tenants' walls moved"
+            )
+        else:
+            held = "hysteresis held the standing walls" if d.get("held_by_hysteresis") else (
+                "the re-solve reproduced the standing walls" if d.get("resolved")
+                else "the epoch was drift-skipped"
+            )
+            lines.append(f"allocation: held at {now} blocks — {held}")
+    else:
+        lines.append(f"allocation: first epoch, {now} blocks assigned")
+    lines += _drift_line(by_kind, tenant)
+    lines += _policy_lines(by_kind)
+    lines += [_fmt_solve(ev) for ev in by_kind.get("solve", [])]
+    predicted = d.get("predicted_miss_ratio", {})
+    if tenant in predicted:
+        gain = d.get("predicted_gain", 0.0)
+        lines.append(
+            f"plan: predicted miss ratio {predicted[tenant]:.4f} for {tenant!r} "
+            f"at this allocation (group gain {gain:+.4f} over standing walls)"
+        )
+    lines += _slo_lines(by_kind, tenant)
+    fin = by_kind.get("epoch_finalized")
+    if fin:
+        fd = fin[-1].get("data", {})
+        lag = fd.get("lag", {}).get(tenant)
+        if lag is not None:
+            lines.append(f"ingest: tenant {tenant!r} buffer lag {int(lag)} accesses at the close")
+    return "\n  ".join(lines)
+
+
+def explain_resolve(events: list[dict], epoch: int) -> str:
+    """Why did ``epoch`` re-solve cold (or warm, or not at all)?"""
+    by_kind = _require_epoch(events, epoch)
+    lines = [f"epoch {epoch}:"]
+    verdicts = by_kind.get("drift_verdict", [])
+    solves = by_kind.get("solve", [])
+    if verdicts and verdicts[-1].get("data", {}).get("verdict") == "skip":
+        lines += _drift_line(by_kind)
+        lines.append("solve: none ran — the standing allocation was kept at zero cost")
+    else:
+        lines += _drift_line(by_kind)
+        lines += _policy_lines(by_kind)
+        if not solves:
+            lines.append("solve: no solve event recorded for this epoch")
+        for ev in solves:
+            lines.append(_fmt_solve(ev))
+    lines += _slo_lines(by_kind)
+    return "\n  ".join(lines)

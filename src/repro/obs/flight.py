@@ -1,0 +1,402 @@
+"""Flight recorder: why every allocation decision was made.
+
+Counters (:mod:`repro.obs.prom`) say how *often* the controller skipped,
+re-solved or violated an SLO; spans (:mod:`repro.obs.trace`) say where
+the *time* went.  Neither can answer the question an operator actually
+asks after an incident: *why did tenant T's allocation change at epoch
+E?*  The :class:`FlightRecorder` closes that gap with an append-only,
+schema-versioned journal of structured decision events — the inputs of
+every verdict, not just its tally:
+
+=================  ========================================================
+``drift_verdict``  per-tenant MRC distance vs. the drift threshold, and
+                   the reason the epoch re-solved (or did not)
+``solve``          solver-cache and warm-start outcome: memo hit, stages
+                   reused vs. recomputed, why warm state was unusable
+                   (``salt_changed``, ``lattice_changed``, ...)
+``policy_swap``    old/new objective fingerprints on ``set_policy()``
+``slo``            cap violations (tenant, achieved, cap, headroom) and
+                   infeasible→relax degradations
+``plan_delta``     per-tenant allocation diff vs. the previous epoch,
+                   predicted miss ratios, hysteresis holds
+``epoch_finalized``  per-tenant buffer lag, achieved miss ratios,
+                   feasibility — the epoch's closing line
+``alert``          burn-rate alert transitions (:mod:`repro.obs.alerts`)
+``replay_summary`` realized group miss ratios after simulation, closing
+                   the predicted-vs-realized loop for a replay run
+``truncated``      ring overflow marker: *n* older events were dropped
+                   between drains
+=================  ========================================================
+
+The mechanics mirror the tracer deliberately: a bounded in-memory ring
+(memory is O(capacity), never O(run length)) plus an optional JSONL
+journal (one event per line, flushed on :meth:`FlightRecorder.close`);
+:meth:`FlightRecorder.drain` exports-and-clears for worker-to-parent
+handoff and :meth:`FlightRecorder.adopt` merges drained batches with
+per-``pid`` sequence watermarks, so re-adopting an overlapping batch
+deduplicates instead of double-counting.  The disabled path is the
+shared no-op :data:`NULL_FLIGHT_RECORDER`, exactly like
+:data:`~repro.obs.trace.NULL_TRACER`: no allocation, no clock read, no
+branch beyond the method call.
+
+Events are consumed by ``repro-cps explain`` (:mod:`repro.obs.explain`),
+``scripts/flight_check.py`` in CI, and anything that can read JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import IO, Any, Iterable, Protocol
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "EVENT_KINDS",
+    "FlightEvent",
+    "FlightLike",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT_RECORDER",
+    "validate_flight_events",
+    "load_journal",
+]
+
+#: Journal schema version; bumped on any incompatible event-shape change.
+FLIGHT_SCHEMA = 1
+
+#: The closed set of event kinds; :meth:`FlightRecorder.emit` rejects
+#: anything else so a typo cannot silently fork the schema.
+EVENT_KINDS = frozenset(
+    {
+        "epoch_finalized",
+        "drift_verdict",
+        "solve",
+        "plan_delta",
+        "policy_swap",
+        "slo",
+        "alert",
+        "replay_summary",
+        "truncated",
+    }
+)
+
+
+class FlightLike(Protocol):
+    """The recorder surface instrumented code depends on.
+
+    Both :class:`FlightRecorder` and :class:`NullFlightRecorder` satisfy
+    this structurally, so typed callers (the engine) take a recorder
+    without caring whether it records.
+    """
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        epoch: int | None = None,
+        tenant: str | None = None,
+        **data: Any,
+    ) -> None: ...
+
+    def set_epoch(self, epoch: int | None) -> None: ...
+
+
+class FlightEvent:
+    """One recorded decision event (the journal line, materialized)."""
+
+    __slots__ = ("kind", "seq", "pid", "t", "epoch", "tenant", "data")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        seq: int,
+        pid: int,
+        t: float,
+        epoch: int | None = None,
+        tenant: str | None = None,
+        data: dict[str, Any] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.seq = seq
+        self.pid = pid
+        self.t = t
+        self.epoch = epoch
+        self.tenant = tenant
+        self.data = data if data is not None else {}
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "schema": FLIGHT_SCHEMA,
+            "kind": self.kind,
+            "seq": self.seq,
+            "pid": self.pid,
+            "t": self.t,
+        }
+        if self.epoch is not None:
+            d["epoch"] = self.epoch
+        if self.tenant is not None:
+            d["tenant"] = self.tenant
+        if self.data:
+            d["data"] = self.data
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlightEvent({self.kind!r}, seq={self.seq}, pid={self.pid}, "
+            f"epoch={self.epoch}, tenant={self.tenant})"
+        )
+
+
+class NullFlightRecorder:
+    """The disabled recorder: every method is a no-op.
+
+    Library code takes a ``flight`` argument defaulting to
+    :data:`NULL_FLIGHT_RECORDER` and calls it unconditionally; keeping
+    the no-op free of clock reads, pid lookups and allocations is what
+    lets the solve and epoch hot paths stay instrumented at their
+    uninstrumented cost.
+    """
+
+    enabled = False
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        epoch: int | None = None,
+        tenant: str | None = None,
+        **data: Any,
+    ) -> None:
+        return None
+
+    def set_epoch(self, epoch: int | None) -> None:
+        return None
+
+    def events(self) -> tuple[FlightEvent, ...]:
+        return ()
+
+    def export(self) -> list[dict]:
+        return []
+
+    def drain(self) -> list[dict]:
+        return []
+
+    def adopt(self, events: list[dict]) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_FLIGHT_RECORDER = NullFlightRecorder()
+
+
+class FlightRecorder:
+    """Recording flight recorder: bounded ring + optional JSONL journal.
+
+    Parameters
+    ----------
+    capacity:
+        Events kept in memory; older events age out of the ring (the
+        journal, if any, keeps everything) and are announced by a
+        ``truncated`` marker on the next :meth:`drain`.
+    journal:
+        Path (or open text file) receiving one JSON object per event.
+        Lines are written at emit time and flushed on :meth:`close`, so
+        a crashed run still leaves a usable journal.
+    """
+
+    enabled = True
+
+    def __init__(self, *, capacity: int = 4096, journal: str | IO[str] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: deque[FlightEvent] = deque(maxlen=self.capacity)
+        self._next_seq = 0
+        self._epoch: int | None = None
+        self.pid = os.getpid()
+        self._journal: IO[str] | None
+        self._owns_journal = isinstance(journal, str)
+        if isinstance(journal, str):
+            self._journal = open(journal, "w", encoding="utf-8")
+        else:
+            self._journal = journal
+        self.dropped = 0  # events aged out of the ring, ever
+        self._drained_dropped = 0  # value of `dropped` at the last drain
+        # highest adopted seq per foreign pid: re-adopting an overlapping
+        # batch (a worker drained twice into the same parent) must not
+        # double-count events
+        self._watermarks: dict[int, int] = {}
+
+    # ----------------------------------------------------------- writing
+    def set_epoch(self, epoch: int | None) -> None:
+        """Set the ambient epoch stamped on events that pass none."""
+        self._epoch = epoch
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        epoch: int | None = None,
+        tenant: str | None = None,
+        **data: Any,
+    ) -> None:
+        """Record one decision event.
+
+        ``epoch`` defaults to the ambient epoch (:meth:`set_epoch`);
+        ``data`` must be JSON-serializable — the journal is the contract.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown flight event kind {kind!r}")
+        ev = FlightEvent(
+            kind,
+            seq=self._next_seq,
+            pid=self.pid,
+            t=time.monotonic(),
+            epoch=epoch if epoch is not None else self._epoch,
+            tenant=tenant,
+            data=data,
+        )
+        self._next_seq += 1
+        self._record(ev)
+
+    def _record(self, ev: FlightEvent) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(ev)
+        if self._journal is not None:
+            self._journal.write(json.dumps(ev.to_dict()) + "\n")
+
+    # ----------------------------------------------------------- reading
+    def events(self) -> tuple[FlightEvent, ...]:
+        """Events still in the ring, oldest first."""
+        return tuple(self._ring)
+
+    def export(self) -> list[dict]:
+        """The ring as JSON-able dicts (the journal line format)."""
+        return [ev.to_dict() for ev in self._ring]
+
+    def drain(self) -> list[dict]:
+        """Export the ring and clear it (worker-to-parent handoff).
+
+        If the ring overflowed since the previous drain, the batch ends
+        with a ``truncated`` marker carrying the number of events lost —
+        a merged journal says *that* history is incomplete, and by how
+        much, instead of silently looking complete.
+        """
+        if self.dropped > self._drained_dropped:
+            lost = self.dropped - self._drained_dropped
+            if len(self._ring) == self.capacity:
+                lost += 1  # appending the marker evicts one more event
+            self.emit("truncated", n_dropped=lost)
+            self._drained_dropped = self.dropped
+        out = self.export()
+        self._ring.clear()
+        return out
+
+    def adopt(self, events: list[dict]) -> None:
+        """Merge a batch drained from another recorder (a worker process).
+
+        Events keep their original ``pid``/``seq``/``t`` — unlike span
+        ids there is nothing to remap, the (pid, seq) pair *is* the
+        identity — and a per-pid watermark drops duplicates, so adopting
+        overlapping drains is idempotent.
+        """
+        batch = sorted(events, key=lambda d: (int(d["pid"]), int(d["seq"])))
+        for d in batch:
+            if int(d.get("schema", -1)) != FLIGHT_SCHEMA:
+                raise ValueError(
+                    f"cannot adopt flight event with schema {d.get('schema')!r} "
+                    f"(this recorder speaks schema {FLIGHT_SCHEMA})"
+                )
+            pid, seq = int(d["pid"]), int(d["seq"])
+            if seq <= self._watermarks.get(pid, -1):
+                continue
+            self._watermarks[pid] = seq
+            self._record(
+                FlightEvent(
+                    str(d["kind"]),
+                    seq=seq,
+                    pid=pid,
+                    t=float(d["t"]),
+                    epoch=d.get("epoch"),
+                    tenant=d.get("tenant"),
+                    data=dict(d.get("data", {})),
+                )
+            )
+
+    def close(self) -> None:
+        """Flush (and, if this recorder opened it, close) the journal."""
+        if self._journal is not None:
+            self._journal.flush()
+            if self._owns_journal:
+                self._journal.close()
+            self._journal = None
+
+
+# ---------------------------------------------------------------- checking
+def validate_flight_events(events: Iterable[dict]) -> dict[str, int]:
+    """Validate journal events; returns per-kind counts.
+
+    The consumer-side contract check shared by the tests and CI's
+    ``scripts/flight_check.py``: every event must carry the current
+    schema version, a known kind, integer ``seq``/``pid``, a float
+    ``t``, and per-``pid`` strictly increasing sequence numbers (the
+    append-only guarantee, surviving cross-process merges).  Raises
+    ``ValueError`` on the first violation.
+    """
+    counts: dict[str, int] = {}
+    last_seq: dict[int, int] = {}
+    for i, d in enumerate(events):
+        if not isinstance(d, dict):
+            raise ValueError(f"event {i}: not a JSON object")
+        if d.get("schema") != FLIGHT_SCHEMA:
+            raise ValueError(
+                f"event {i}: schema {d.get('schema')!r} != {FLIGHT_SCHEMA}"
+            )
+        kind = d.get("kind")
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"event {i}: unknown kind {kind!r}")
+        if not isinstance(d.get("seq"), int) or d["seq"] < 0:
+            raise ValueError(f"event {i}: bad seq {d.get('seq')!r}")
+        if not isinstance(d.get("pid"), int):
+            raise ValueError(f"event {i}: bad pid {d.get('pid')!r}")
+        if not isinstance(d.get("t"), (int, float)):
+            raise ValueError(f"event {i}: bad timestamp {d.get('t')!r}")
+        epoch = d.get("epoch")
+        if epoch is not None and not isinstance(epoch, int):
+            raise ValueError(f"event {i}: bad epoch {epoch!r}")
+        tenant = d.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise ValueError(f"event {i}: bad tenant {tenant!r}")
+        if "data" in d and not isinstance(d["data"], dict):
+            raise ValueError(f"event {i}: data is not an object")
+        pid = d["pid"]
+        if pid in last_seq and d["seq"] <= last_seq[pid]:
+            raise ValueError(
+                f"event {i}: seq {d['seq']} not increasing for pid {pid} "
+                f"(last {last_seq[pid]}) — duplicate or reordered journal?"
+            )
+        last_seq[pid] = d["seq"]
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def load_journal(path: str) -> list[dict]:
+    """Read and validate a JSONL flight journal; returns its events."""
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+    validate_flight_events(events)
+    return events

@@ -42,6 +42,14 @@ miss ratio, lag; resolve latency, drift, decision flags); a ``tracer``
 records ``controller.epoch``/``controller.resolve`` spans (no-op by
 default); :meth:`OnlineController.register_metrics` binds the counters
 to a Prometheus registry for ``repro-cps serve --metrics-port``.
+
+Decision provenance: a ``flight`` recorder (default: the no-op
+:data:`~repro.obs.flight.NULL_FLIGHT_RECORDER`) journals every epoch's
+``drift_verdict``, ``solve`` (via the solver cache), ``plan_delta``,
+``slo`` and ``epoch_finalized`` events plus ``policy_swap`` on
+:meth:`OnlineController.set_policy` — the input of ``repro-cps
+explain``; an optional :class:`~repro.obs.alerts.BurnRateAlerts`
+instance is fed each epoch's per-tenant cap-violation flags.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ from repro.core.policy import (
     explicit_baseline_costs,
     slo_headroom,
 )
+from repro.obs import NULL_FLIGHT_RECORDER
 from repro.obs.timeseries import EpochTimeSeries
 from repro.obs.trace import NULL_TRACER
 from repro.online.metrics import OnlineMetrics
@@ -184,6 +193,8 @@ class OnlineController:
         names: tuple[str, ...] | None = None,
         policy: ObjectivePolicy | None = None,
         tracer=None,
+        flight=None,
+        alerts=None,
         timeseries_capacity: int = 1024,
     ) -> None:
         if n_tenants < 1:
@@ -199,11 +210,14 @@ class OnlineController:
         self._policy_changed = False
         self.metrics = OnlineMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
+        self.alerts = alerts
         self.timeseries = EpochTimeSeries(self.names, capacity=timeseries_capacity)
         self.solver_cache = SolverCache(
             quantum=config.quantum * config.epoch_length,
             max_entries=config.cache_entries,
             tracer=self.tracer,
+            flight=self.flight,
         )
         self._profilers = [
             StreamingProfiler(
@@ -253,12 +267,20 @@ class OnlineController:
         """
         self._check_policy(policy, self.n_tenants)
         new_salt = self._salt_of(policy)
+        old_fp = self._policy.fingerprint().hex()
+        new_fp = policy.fingerprint().hex()
         if new_salt == self._policy_salt:
             self._policy = policy
+            self.flight.emit(
+                "policy_swap", epoch=self._epoch, old=old_fp, new=new_fp, changed=False
+            )
             return False
         self._policy = policy
         self._policy_salt = new_salt
         self._policy_changed = True
+        self.flight.emit(
+            "policy_swap", epoch=self._epoch, old=old_fp, new=new_fp, changed=True
+        )
         return True
 
     @property
@@ -299,6 +321,8 @@ class OnlineController:
         self.metrics.register_with(registry, prefix=prefix)
         self.solver_cache.register_with(registry, prefix=f"{prefix}_solver_cache")
         register_kernel_metric(registry, prefix=prefix)
+        if self.alerts is not None:
+            self.alerts.register_with(registry, prefix=prefix)
         registry.gauge(
             f"{prefix}_tenant_allocation_blocks",
             "Standing per-tenant allocation in cache blocks.",
@@ -544,20 +568,44 @@ class OnlineController:
 
     def _finalize_epoch(self) -> AllocationDecision:
         cfg = self.config
+        self.flight.set_epoch(self._epoch)
         with self.tracer.span("controller.epoch", epoch=self._epoch) as espan:
             costs, ratios, n_total, n_longest, degraded = self._epoch_costs()
             self.metrics.epochs += 1
+            previous = None if self._current is None else self._current.copy()
 
-            drift = np.inf if self._solved_ratios is None else max(
-                float(np.mean(np.abs(r - prev)))
-                for r, prev in zip(ratios, self._solved_ratios)
-            )
-            if (
+            if self._solved_ratios is None:
+                distances = None
+                drift = np.inf
+            else:
+                distances = {
+                    name: float(np.mean(np.abs(r - prev)))
+                    for name, r, prev in zip(self.names, ratios, self._solved_ratios)
+                }
+                drift = max(distances.values())
+            skip = (
                 self._current is not None
                 and self._solved_ratios is not None
                 and not self._policy_changed
                 and drift < cfg.drift_threshold
-            ):
+            )
+            if self._solved_ratios is None:
+                reason = "first_solve"
+            elif self._policy_changed:
+                reason = "policy_changed"
+            elif skip:
+                reason = "below_threshold"
+            else:
+                reason = "drift_exceeded"
+            self.flight.emit(
+                "drift_verdict",
+                distances=distances,
+                max_drift=float(drift) if np.isfinite(drift) else None,
+                threshold=float(cfg.drift_threshold),
+                verdict="skip" if skip else "resolve",
+                reason=reason,
+            )
+            if skip:
                 self.metrics.drift_skips += 1
                 espan.set(resolved=False, moved=False)
                 decision = AllocationDecision(
@@ -569,7 +617,8 @@ class OnlineController:
                     predicted_gain=0.0,
                 )
                 return self._commit(
-                    decision, ratios, resolve_s=0.0, infeasible=bool(degraded)
+                    decision, ratios, resolve_s=0.0, degraded=degraded,
+                    previous=previous,
                 )
 
             with self.tracer.span("controller.resolve", epoch=self._epoch):
@@ -634,7 +683,7 @@ class OnlineController:
                     )
                     return self._commit(
                         decision, ratios, resolve_s=resolve_s,
-                        infeasible=bool(degraded),
+                        degraded=degraded, previous=previous, held=True,
                     )
             if moved and self._current is not None:
                 self.metrics.walls_moved += 1
@@ -656,7 +705,8 @@ class OnlineController:
                 predicted_gain=gain,
             )
             return self._commit(
-                decision, ratios, resolve_s=resolve_s, infeasible=bool(degraded)
+                decision, ratios, resolve_s=resolve_s, degraded=degraded,
+                previous=previous,
             )
 
     def _commit(
@@ -665,27 +715,77 @@ class OnlineController:
         ratios: list[np.ndarray],
         *,
         resolve_s: float,
-        infeasible: bool = False,
+        degraded: list[str] | None = None,
+        previous: np.ndarray | None = None,
+        held: bool = False,
     ) -> AllocationDecision:
+        degraded = degraded or []
+        infeasible = bool(degraded)
         alloc = decision.allocation
         achieved = [float(r[int(a)]) for r, a in zip(ratios, alloc)]
         headroom = slo_headroom(self._policy, achieved)
-        violations = 0
+        flags = []
         for i, mr in enumerate(achieved):
             cap = self._policy.cap(i)
-            if cap is not None and mr > self._policy.cap_slack(cap):
-                violations += 1
+            flags.append(cap is not None and mr > self._policy.cap_slack(cap))
+        violations = sum(flags)
         self.metrics.slo_violations += violations
         if infeasible:
             self.metrics.slo_infeasible_epochs += 1
         decision = replace(
             decision, slo_violations=violations, slo_feasible=not infeasible
         )
+        for i, name in enumerate(self.names):
+            if flags[i]:
+                cap = self._policy.cap(i)
+                self.flight.emit(
+                    "slo",
+                    tenant=name,
+                    type="violation",
+                    achieved=achieved[i],
+                    cap=float(cap) if cap is not None else None,
+                    headroom=None if headroom[i] is None else float(headroom[i]),
+                )
+        if degraded:
+            self.flight.emit("slo", type="relax", tenants=[str(t) for t in degraded])
+        alloc_map = {n: int(a) for n, a in zip(self.names, alloc)}
+        prev_map = (
+            None if previous is None
+            else {n: int(a) for n, a in zip(self.names, previous)}
+        )
+        self.flight.emit(
+            "plan_delta",
+            allocation=alloc_map,
+            previous=prev_map,
+            delta=(
+                None if prev_map is None
+                else {n: alloc_map[n] - prev_map[n] for n in alloc_map}
+            ),
+            moved=bool(decision.moved),
+            resolved=bool(decision.resolved),
+            held_by_hysteresis=held,
+            predicted_gain=float(decision.predicted_gain),
+            predicted_miss_ratio={n: m for n, m in zip(self.names, achieved)},
+        )
+        lags = self._tenant_lags()
+        self.flight.emit(
+            "epoch_finalized",
+            lag={n: int(lag) for n, lag in zip(self.names, lags)},
+            achieved={n: m for n, m in zip(self.names, achieved)},
+            slo_headroom={
+                n: (None if h is None else float(h))
+                for n, h in zip(self.names, headroom)
+            },
+            violations=int(violations),
+            feasible=not infeasible,
+        )
+        if self.alerts is not None:
+            self.alerts.observe(decision.epoch, flags)
         self.timeseries.record(
             decision.epoch,
             allocation=alloc.tolist(),
             miss_ratio=achieved,
-            lag=self._tenant_lags(),
+            lag=lags,
             slo_headroom=headroom,
             resolve_s=resolve_s,
             drift=decision.drift,

@@ -8,11 +8,14 @@ state exports as one flat dict (:meth:`OnlineMetrics.snapshot`) so a
 scraper — or a test — can read it atomically.
 
 For Prometheus scraping, :meth:`OnlineMetrics.register_with` binds every
-counter to a callback metric in a :class:`~repro.obs.prom.Registry` and
-upgrades resolve latency from a bare mean to an explicit-bucket
-histogram (``repro_resolve_latency_seconds``) fed by the
-:class:`Timer` — the live dataclass stays the single source of truth;
-the registry reads it at scrape time.
+counter to a callback metric in a :class:`~repro.obs.prom.Registry`.
+Resolve latency has **one** source of truth: the
+``repro_resolve_latency_seconds`` :class:`~repro.obs.prom.Histogram` is
+constructed *with* the metrics object and wired into
+:attr:`OnlineMetrics.resolve_timer` from the first solve on, so the
+distribution a scraper sees covers every clean sample ever taken — a
+registry attached mid-run registers the existing histogram instead of
+starting an empty one whose count would drift from ``resolves_total``.
 """
 
 from __future__ import annotations
@@ -20,7 +23,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.prom import Histogram
+
 __all__ = ["Timer", "OnlineMetrics"]
+
+
+def _resolve_latency_histogram() -> Histogram:
+    return Histogram(
+        "repro_resolve_latency_seconds",
+        "Wall-clock latency of epoch DP re-solves.",
+    )
 
 
 @dataclass
@@ -105,6 +117,14 @@ class OnlineMetrics:
     slo_violations: int = 0
     slo_infeasible_epochs: int = 0
     resolve_timer: Timer = field(default_factory=Timer)
+    resolve_histogram: Histogram = field(
+        default_factory=_resolve_latency_histogram, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # latency bookkeeping has one path: Timer.__exit__ feeds both the
+        # scalar totals and the histogram buckets, from the first solve
+        self.resolve_timer.histogram = self.resolve_histogram
 
     @property
     def effective_sampling_rate(self) -> float:
@@ -160,10 +180,12 @@ class OnlineMetrics:
         instantaneous ones gauges; per-tenant lag becomes a labeled
         gauge (``<prefix>_tenant_lag{tenant=...}``) whose series follow
         :attr:`tenant_lag` — a pruned (closed) tenant stops being
-        scraped.  Resolve latency is exposed as an explicit-bucket
-        histogram wired into :attr:`resolve_timer`, which starts
-        recording the distribution from registration on.  Returns the
-        registry for chaining.
+        scraped.  Resolve latency is exposed by registering the
+        *existing* :attr:`resolve_histogram` — the distribution already
+        holds every clean sample since construction, so its ``_count``
+        can never drift from the timer's (under a non-default ``prefix``
+        a fresh histogram is created and the timer re-wired to it).
+        Returns the registry for chaining.
         """
         counters = {
             "accesses_ingested": ("accesses_seen", "Accesses attributed to epochs."),
@@ -215,9 +237,12 @@ class OnlineMetrics:
             "Accesses by which a live tenant trails the furthest live stream.",
             labelnames=("tenant",),
         ).set_function(lambda: dict(self.tenant_lag))
-        hist = registry.histogram(
-            f"{prefix}_resolve_latency_seconds",
-            "Wall-clock latency of epoch DP re-solves.",
-        )
-        self.resolve_timer.histogram = hist
+        name = f"{prefix}_resolve_latency_seconds"
+        if name == self.resolve_histogram.name:
+            registry.register(self.resolve_histogram)
+        else:
+            self.resolve_histogram = registry.histogram(
+                name, "Wall-clock latency of epoch DP re-solves."
+            )
+            self.resolve_timer.histogram = self.resolve_histogram
         return registry

@@ -102,6 +102,7 @@ class ReplayReport:
     oracle: PlanResult
     metrics: dict[str, float | int]
     timeseries: dict = field(default_factory=dict)
+    alerts: dict | None = None
 
     @property
     def online_miss_ratio(self) -> float:
@@ -197,6 +198,8 @@ def replay(
     registry=None,
     tracer=None,
     policy: ObjectivePolicy | None = None,
+    flight=None,
+    alerts=None,
 ) -> ReplayReport:
     """Stream ``traces`` through a fresh controller and evaluate the result.
 
@@ -212,6 +215,14 @@ def replay(
     the controller's epoch/resolve spans.  ``policy`` carries per-tenant
     weights/SLO caps/baseline constraints into the controller's epoch
     objective (default: the plain group miss-count objective).
+
+    ``flight`` (a :class:`~repro.obs.flight.FlightRecorder`) journals
+    every decision's provenance — the input of ``repro-cps explain`` —
+    closing with one ``replay_summary`` event carrying the *realized*
+    group miss ratios next to the plan's predictions; ``alerts`` (a
+    :class:`~repro.obs.alerts.BurnRateAlerts`) is fed each epoch's SLO
+    violation flags and its final per-tenant state lands in
+    :attr:`ReplayReport.alerts`.
     """
     controller = OnlineController(
         len(traces),
@@ -219,6 +230,8 @@ def replay(
         names=tuple(t.name for t in traces),
         tracer=tracer,
         policy=policy,
+        flight=flight,
+        alerts=alerts,
     )
     if registry is not None:
         controller.register_metrics(registry)
@@ -227,12 +240,24 @@ def replay(
 
     plan = controller.plan()
     cb, L = config.cache_blocks, config.epoch_length
+    online = simulate_plan(traces, plan)
+    static = simulate_plan(traces, plan_static(traces, cb, L))
+    oracle = simulate_plan(traces, plan_dynamic(traces, cb, L))
+    controller.flight.set_epoch(None)
+    controller.flight.emit(
+        "replay_summary",
+        online_miss_ratio=float(online.group_miss_ratio()),
+        static_miss_ratio=float(static.group_miss_ratio()),
+        oracle_miss_ratio=float(oracle.group_miss_ratio()),
+        epochs=plan.n_epochs,
+    )
     return ReplayReport(
         plan=plan,
         decisions=controller.decisions,
-        online=simulate_plan(traces, plan),
-        static=simulate_plan(traces, plan_static(traces, cb, L)),
-        oracle=simulate_plan(traces, plan_dynamic(traces, cb, L)),
+        online=online,
+        static=static,
+        oracle=oracle,
         metrics=controller.metrics.snapshot(),
         timeseries=controller.timeseries.to_dict(),
+        alerts=None if alerts is None else alerts.states(),
     )

@@ -31,6 +31,7 @@ CATALOG = (
     "RL008",
     "RL009",
     "RL010",
+    "RL011",
 )
 
 

@@ -290,6 +290,49 @@ def test_rl010_ignores_unrelated_core_imports():
     assert lint("from repro.core import optimal_partition\n", PLAIN) == []
 
 
+# ------------------------------------------------------------------ RL011
+def test_rl011_flags_deep_flight_imports():
+    assert ids(lint("import repro.obs.flight\n", PLAIN)) == ["RL011"]
+    assert ids(
+        lint("from repro.obs.flight import FlightRecorder\n", PLAIN)
+    ) == ["RL011"]
+
+
+def test_rl011_flags_flight_event_import_from_facade():
+    assert ids(lint("from repro.obs import FlightEvent\n", PLAIN)) == ["RL011"]
+
+
+def test_rl011_flags_hand_built_events():
+    src = """
+    def forge(flight):
+        ev = FlightEvent("solve", seq=0, pid=1, t=0.0)
+        return ev
+    """
+    assert ids(lint(src, PLAIN)) == ["RL011"]
+    src = """
+    import repro.obs as obs
+
+    def forge():
+        return obs.FlightEvent("solve", seq=0, pid=1, t=0.0)
+    """
+    assert ids(lint(src, PLAIN)) == ["RL011"]
+
+
+def test_rl011_allows_the_facade_and_emit():
+    src = """
+    from repro.obs import NULL_FLIGHT_RECORDER, FlightRecorder, load_journal
+
+    def record(flight=NULL_FLIGHT_RECORDER):
+        flight.emit("solve", cache_hit=True)
+    """
+    assert lint(src, PLAIN) == []
+
+
+def test_rl011_is_silent_inside_obs():
+    src = "from repro.obs.flight import FlightEvent\nev = FlightEvent('slo', seq=0, pid=1, t=0.0)\n"
+    assert lint(src, "src/repro/obs/alerts.py") == []
+
+
 # ------------------------------------------------------------ suppressions
 def test_suppression_is_line_scoped():
     src = """

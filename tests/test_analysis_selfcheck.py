@@ -48,8 +48,8 @@ def test_cli_self_check_exits_zero(capsys):
     assert "no findings" in capsys.readouterr().out
 
 
-def test_all_ten_rules_are_active():
-    assert len(rule_ids()) == 10
+def test_all_eleven_rules_are_active():
+    assert len(rule_ids()) == 11
 
 
 def test_mypy_strict_passes_on_typed_core():

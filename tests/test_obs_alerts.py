@@ -1,0 +1,114 @@
+"""Burn-rate alerting: deterministic fire/clear over the epoch stream."""
+
+import pytest
+
+from repro.obs import AlertPolicy, BurnRateAlerts, FlightRecorder, Registry
+
+
+def feed(alerts, flags_per_epoch):
+    """Observe a violation sequence; return the transitions in order."""
+    out = []
+    for epoch, flags in enumerate(flags_per_epoch):
+        out += [(epoch, t, tr) for t, tr in alerts.observe(epoch, flags)]
+    return out
+
+
+def test_policy_validates_windows_and_burns():
+    AlertPolicy()  # defaults are legal
+    with pytest.raises(ValueError, match=">= 1 epoch"):
+        AlertPolicy(fast_window=0)
+    with pytest.raises(ValueError, match="must not exceed"):
+        AlertPolicy(fast_window=10, slow_window=5)
+    with pytest.raises(ValueError, match="in \\(0, 1\\]"):
+        AlertPolicy(fast_burn=0.0)
+    with pytest.raises(ValueError, match="in \\(0, 1\\]"):
+        AlertPolicy(slow_burn=1.5)
+
+
+def test_needs_at_least_one_tenant_and_matching_flags():
+    with pytest.raises(ValueError, match="at least one tenant"):
+        BurnRateAlerts(())
+    alerts = BurnRateAlerts(("a", "b"))
+    with pytest.raises(ValueError, match="expected 2 violation flags"):
+        alerts.observe(0, [True])
+
+
+def test_fires_only_after_a_full_fast_window():
+    # 2/2 violating is a 100% fast rate, but two epochs of history must
+    # not page: the fire condition needs fast_window observations
+    alerts = BurnRateAlerts(("a",), policy=AlertPolicy(fast_window=3, slow_window=6))
+    assert feed(alerts, [[True], [True]]) == []
+    assert alerts.observe(2, [True]) == [("a", "fired")]
+    assert alerts.active == {"a": True}
+
+
+def test_fire_needs_both_windows_burning():
+    # slow_burn=0.9 over 10 epochs: a 3-epoch burst satisfies the fast
+    # window but not the sustained one — no page
+    pol = AlertPolicy(fast_window=3, slow_window=10, fast_burn=1.0, slow_burn=0.9)
+    alerts = BurnRateAlerts(("a",), policy=pol)
+    transitions = feed(alerts, [[False]] * 7 + [[True]] * 3)
+    assert transitions == []
+    assert alerts.burn_rates("a") == (1.0, 0.3)
+
+
+def test_clears_at_the_fast_window_not_the_slow_one():
+    pol = AlertPolicy(fast_window=2, slow_window=8, fast_burn=0.5, slow_burn=0.25)
+    alerts = BurnRateAlerts(("a",), policy=pol)
+    transitions = feed(alerts, [[True]] * 4 + [[False]] * 2 + [[True]] * 0)
+    # fired once a full fast window existed; cleared two clean epochs
+    # later even though the slow window still carries the old burn
+    assert transitions == [(1, "a", "fired"), (5, "a", "cleared")]
+    fast, slow = alerts.burn_rates("a")
+    assert fast == 0.0 and slow == pytest.approx(4 / 6)
+    assert alerts.fired == 1 and alerts.cleared == 1
+
+
+def test_refire_after_recovery_is_counted():
+    pol = AlertPolicy(fast_window=2, slow_window=4, fast_burn=1.0, slow_burn=0.5)
+    alerts = BurnRateAlerts(("a",), policy=pol)
+    seq = [[True]] * 2 + [[False]] * 2 + [[True]] * 2
+    assert feed(alerts, seq) == [
+        (1, "a", "fired"), (2, "a", "cleared"), (5, "a", "fired"),
+    ]
+    assert alerts.fired == 2 and alerts.cleared == 1
+
+
+def test_tenants_are_independent():
+    pol = AlertPolicy(fast_window=2, slow_window=4)
+    alerts = BurnRateAlerts(("a", "b"), policy=pol)
+    transitions = feed(alerts, [[True, False], [True, False], [True, False]])
+    assert transitions == [(1, "a", "fired")]
+    assert alerts.active == {"a": True, "b": False}
+    states = alerts.states()
+    assert states["b"] == {
+        "active": False, "fast_burn": 0.0, "slow_burn": 0.0, "epochs_observed": 3,
+    }
+
+
+def test_transitions_are_journaled_as_flight_alert_events():
+    fl = FlightRecorder()
+    pol = AlertPolicy(fast_window=2, slow_window=4, fast_burn=1.0, slow_burn=0.5)
+    alerts = BurnRateAlerts(("a",), policy=pol, flight=fl)
+    feed(alerts, [[True], [True], [False], [False]])
+    events = [ev for ev in fl.export() if ev["kind"] == "alert"]
+    assert [(ev["epoch"], ev["tenant"], ev["data"]["transition"]) for ev in events] == [
+        (1, "a", "fired"), (2, "a", "cleared"),
+    ]
+    fired = events[0]["data"]
+    assert fired["fast_window"] == 2 and fired["slow_window"] == 4
+    assert fired["fast_burn"] == 1.0
+
+
+def test_register_with_exposes_gauges_and_counters():
+    pol = AlertPolicy(fast_window=2, slow_window=4)
+    alerts = BurnRateAlerts(("a", "b"), policy=pol)
+    registry = Registry()
+    alerts.register_with(registry)
+    feed(alerts, [[True, False], [True, False]])
+    text = registry.render()
+    assert 'repro_alert_active{tenant="a"} 1' in text
+    assert 'repro_alert_active{tenant="b"} 0' in text
+    assert 'repro_alert_fast_burn_ratio{tenant="a"} 1' in text
+    assert "repro_alerts_fired_total 1" in text
+    assert "repro_alerts_cleared_total 0" in text

@@ -1,0 +1,298 @@
+"""Flight recorder: ring bounds, journal, drain/adopt, cross-process merge.
+
+The spawn-based tests at the bottom are the ISSUE 9 satellite: both the
+tracer and the flight recorder promise a drain()/adopt() handoff that
+survives real process boundaries — worker events keep their identity
+(pid, seq), re-adopting an overlapping drain deduplicates instead of
+double-counting, and a bounded ring that overflowed says so with a
+``truncated`` marker rather than silently looking complete.
+"""
+
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro.obs import (
+    FLIGHT_SCHEMA,
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    Tracer,
+    load_journal,
+    validate_flight_events,
+)
+
+
+def test_emit_stamps_schema_seq_pid_and_epoch():
+    fl = FlightRecorder()
+    fl.set_epoch(3)
+    fl.emit("solve", cache_hit=True)
+    fl.emit("slo", epoch=7, tenant="a", achieved=0.5)
+    first, second = fl.export()
+    assert first["schema"] == FLIGHT_SCHEMA
+    assert first["kind"] == "solve"
+    assert first["epoch"] == 3  # ambient epoch
+    assert first["data"] == {"cache_hit": True}
+    assert second["epoch"] == 7  # explicit epoch wins
+    assert second["tenant"] == "a"
+    assert [first["seq"], second["seq"]] == [0, 1]
+    assert first["pid"] == second["pid"]
+
+
+def test_emit_rejects_unknown_kind():
+    fl = FlightRecorder()
+    with pytest.raises(ValueError, match="unknown flight event kind"):
+        fl.emit("made_up_kind")
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_ring_is_bounded_and_counts_drops():
+    fl = FlightRecorder(capacity=3)
+    for i in range(5):
+        fl.emit("solve", i=i)
+    assert [ev.data["i"] for ev in fl.events()] == [2, 3, 4]
+    assert fl.dropped == 2
+
+
+def test_journal_round_trips_through_loader(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    fl = FlightRecorder(journal=str(path))
+    fl.set_epoch(0)
+    fl.emit("drift_verdict", verdict="resolve")
+    fl.emit("plan_delta", tenant="a", moved=True)
+    fl.close()
+    events = load_journal(str(path))
+    assert [ev["kind"] for ev in events] == ["drift_verdict", "plan_delta"]
+    assert events == fl.export()  # journal and ring agree
+
+
+def test_journal_outlives_the_ring(tmp_path):
+    # the ring bounds memory; the journal keeps the full history
+    path = tmp_path / "flight.jsonl"
+    fl = FlightRecorder(capacity=2, journal=str(path))
+    for i in range(6):
+        fl.emit("solve", i=i)
+    fl.close()
+    assert len(fl.events()) == 2
+    assert [ev["data"]["i"] for ev in load_journal(str(path))] == list(range(6))
+
+
+def test_drain_clears_and_marks_truncation():
+    fl = FlightRecorder(capacity=3)
+    for i in range(6):
+        fl.emit("solve", i=i)
+    batch = fl.drain()
+    assert fl.events() == ()
+    # the marker itself evicted one more event: 3 aged out + 1 evicted
+    assert batch[-1]["kind"] == "truncated"
+    assert batch[-1]["data"]["n_dropped"] == 4
+    assert [ev["data"]["i"] for ev in batch[:-1]] == [4, 5]
+    # a second drain with no overflow since is clean
+    fl.emit("solve", i=6)
+    assert [ev["kind"] for ev in fl.drain()] == ["solve"]
+
+
+def test_drain_without_overflow_has_no_marker():
+    fl = FlightRecorder(capacity=8)
+    fl.emit("solve")
+    assert [ev["kind"] for ev in fl.drain()] == ["solve"]
+
+
+def test_adopt_keeps_identity_and_deduplicates():
+    worker = FlightRecorder()
+    worker.emit("solve", i=0)
+    first = worker.drain()
+    worker.emit("solve", i=1)
+    second = worker.drain()
+
+    parent = FlightRecorder()
+    parent.emit("epoch_finalized")
+    parent.adopt(first)
+    parent.adopt(first + second)  # overlapping re-delivery
+    kinds = [ev.kind for ev in parent.events()]
+    assert kinds == ["epoch_finalized", "solve", "solve"]
+    adopted = [ev for ev in parent.events() if ev.kind == "solve"]
+    assert [ev.data["i"] for ev in adopted] == [0, 1]
+    # original pid/seq survive: (pid, seq) is the event identity
+    assert all(ev.pid == worker.pid for ev in adopted)
+    assert [ev.seq for ev in adopted] == [0, 1]
+
+
+def test_adopt_rejects_foreign_schema():
+    fl = FlightRecorder()
+    with pytest.raises(ValueError, match="schema"):
+        fl.adopt([{"schema": 99, "kind": "solve", "seq": 0, "pid": 1, "t": 0.0}])
+
+
+def test_null_recorder_is_inert_and_shared():
+    assert NULL_FLIGHT_RECORDER.enabled is False
+    assert isinstance(NULL_FLIGHT_RECORDER, NullFlightRecorder)
+    NULL_FLIGHT_RECORDER.emit("not_even_a_kind", epoch=1, tenant="a", x=1)
+    NULL_FLIGHT_RECORDER.set_epoch(5)
+    assert NULL_FLIGHT_RECORDER.events() == ()
+    assert NULL_FLIGHT_RECORDER.export() == []
+    assert NULL_FLIGHT_RECORDER.drain() == []
+    NULL_FLIGHT_RECORDER.adopt([{"schema": 0}])
+    NULL_FLIGHT_RECORDER.close()
+
+
+def test_validator_counts_kinds_and_rejects_damage():
+    fl = FlightRecorder()
+    fl.emit("solve")
+    fl.emit("solve")
+    fl.emit("slo", tenant="a")
+    counts = validate_flight_events(fl.export())
+    assert counts == {"solve": 2, "slo": 1}
+
+    good = fl.export()
+    for mutate, match in (
+        (lambda d: d.update(schema=2), "schema"),
+        (lambda d: d.update(kind="nope"), "unknown kind"),
+        (lambda d: d.update(seq=-1), "bad seq"),
+        (lambda d: d.update(pid="x"), "bad pid"),
+        (lambda d: d.update(t="late"), "bad timestamp"),
+        (lambda d: d.update(epoch="one"), "bad epoch"),
+        (lambda d: d.update(tenant=7), "bad tenant"),
+        (lambda d: d.update(data=[1]), "not an object"),
+    ):
+        bad = [dict(d) for d in good]
+        mutate(bad[0])
+        with pytest.raises(ValueError, match=match):
+            validate_flight_events(bad)
+
+
+def test_validator_rejects_non_increasing_seq_per_pid():
+    ev = {"schema": FLIGHT_SCHEMA, "kind": "solve", "seq": 0, "pid": 1, "t": 0.0}
+    with pytest.raises(ValueError, match="not increasing"):
+        validate_flight_events([ev, dict(ev)])
+    # the same seq on another pid is a different stream: fine
+    validate_flight_events([ev, dict(ev, pid=2)])
+
+
+def test_load_journal_rejects_broken_lines(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    path.write_text('{"schema": 1, "kind": "solve", "seq": 0,\n')
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_journal(str(path))
+
+
+# ----------------------------------------------------- cross-process merge
+#
+# Module-level workers: the spawn start method pickles the callable by
+# qualified name, so closures/lambdas would fail before proving anything.
+
+
+def _flight_worker(conn, n_events: int, capacity: int) -> None:
+    fl = FlightRecorder(capacity=capacity)
+    fl.set_epoch(0)
+    half = n_events // 2
+    for i in range(half):
+        fl.emit("solve", i=i)
+    conn.send(fl.drain())
+    for i in range(half, n_events):
+        fl.emit("solve", i=i)
+    conn.send(fl.drain())
+    conn.close()
+
+
+def _tracer_worker(conn, n_spans: int) -> None:
+    tr = Tracer()
+    for i in range(n_spans):
+        with tr.span("work", i=i):
+            pass
+    conn.send(tr.drain())
+    conn.close()
+
+
+def _spawn(target, *args):
+    ctx = mp.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=target, args=(child_conn, *args))
+    proc.start()
+    child_conn.close()
+    return proc, parent_conn
+
+
+def test_flight_merge_across_spawned_workers():
+    procs = [_spawn(_flight_worker, 6, 64) for _ in range(2)]
+    parent = FlightRecorder()
+    parent.emit("epoch_finalized")
+    batches = []
+    for proc, conn in procs:
+        batches.append(conn.recv())
+        batches.append(conn.recv())
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+    for batch in batches:
+        parent.adopt(batch)
+        parent.adopt(batch)  # re-delivery must be idempotent
+
+    events = parent.export()
+    validate_flight_events(sorted(events, key=lambda d: (d["pid"], d["seq"])))
+    worker_pids = {ev["pid"] for ev in events if ev["kind"] == "solve"}
+    assert len(worker_pids) == 2
+    assert parent.pid not in worker_pids
+    by_pid = {}
+    for ev in events:
+        if ev["kind"] == "solve":
+            by_pid.setdefault(ev["pid"], []).append(ev["data"]["i"])
+    # per-worker order survives the merge, nothing lost or doubled
+    assert all(seen == list(range(6)) for seen in by_pid.values())
+
+
+def test_flight_merge_carries_truncation_markers_across_processes():
+    proc, conn = _spawn(_flight_worker, 8, 2)  # capacity 2 -> overflow
+    first, second = conn.recv(), conn.recv()
+    proc.join(timeout=30)
+    assert proc.exitcode == 0
+    parent = FlightRecorder()
+    parent.adopt(first)
+    parent.adopt(second)
+    markers = [ev for ev in parent.export() if ev["kind"] == "truncated"]
+    assert len(markers) == 2  # each drain announced its own overflow
+    assert all(m["data"]["n_dropped"] > 0 for m in markers)
+    # the merged journal still validates (per-pid seq stays increasing)
+    validate_flight_events(parent.export())
+
+
+def test_tracer_drain_adopt_across_spawned_workers():
+    procs = [_spawn(_tracer_worker, 3) for _ in range(2)]
+    parent = Tracer()
+    with parent.span("study"):
+        pass
+    for label, (proc, conn) in enumerate(procs):
+        batch = conn.recv()
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        parent.adopt(batch, worker=f"w{label}")
+    spans = parent.spans()
+    assert sum(1 for s in spans if s.name == "work") == 6
+    # adoption remapped ids: no collisions across the three origins
+    ids = [s.span_id for s in spans]
+    assert len(set(ids)) == len(ids)
+    assert {s.worker for s in spans if s.name == "work"} == {"w0", "w1"}
+
+
+def test_flight_journal_merge_under_spawned_workers(tmp_path):
+    # end to end: workers drain over a pipe, the parent journals the
+    # merged stream, and the journal file validates like any serve run
+    path = tmp_path / "merged.jsonl"
+    parent = FlightRecorder(journal=str(path))
+    proc, conn = _spawn(_flight_worker, 4, 64)
+    batches = [conn.recv(), conn.recv()]
+    proc.join(timeout=30)
+    assert proc.exitcode == 0
+    for batch in batches:
+        parent.adopt(batch)
+    parent.set_epoch(None)
+    parent.emit("replay_summary", epochs=1)
+    parent.close()
+    lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+    assert [ev["kind"] for ev in lines].count("solve") == 4
+    assert lines[-1]["kind"] == "replay_summary"
+    validate_flight_events(lines)

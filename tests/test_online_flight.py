@@ -1,0 +1,294 @@
+"""End to end: the flight recorder on the live controller, and explain.
+
+Covers the ISSUE 9 acceptance stories: a replay journals every
+decision's provenance (drift verdicts, solve reuse, plan deltas, SLO
+events), warm-start and policy-swap causes show up with the right
+reason codes, a seeded SLO breach fires and clears the burn-rate alert
+deterministically, and ``repro-cps explain`` answers both operator
+questions from the journal a ``serve --flight-out`` run wrote.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.policy import ObjectivePolicy
+from repro.obs import (
+    AlertPolicy,
+    BurnRateAlerts,
+    FlightRecorder,
+    explain_allocation,
+    explain_resolve,
+    validate_flight_events,
+)
+from repro.online.controller import ControllerConfig, OnlineController
+from repro.online.replay import phase_opposed_pair, replay
+from repro.workloads.generators import cyclic, phased, zipf
+
+
+def by_kind(events, kind, epoch=None):
+    return [
+        ev for ev in events
+        if ev["kind"] == kind and (epoch is None or ev.get("epoch") == epoch)
+    ]
+
+
+@pytest.fixture(scope="module")
+def opposed_journal():
+    """One phase-opposed replay, journaled (shared: replay is not cheap)."""
+    traces, epoch = phase_opposed_pair(loops=4)
+    fl = FlightRecorder()
+    report = replay(
+        traces, ControllerConfig(cache_blocks=56, epoch_length=epoch), flight=fl
+    )
+    return report, fl.export()
+
+
+def test_replay_journals_every_epochs_provenance(opposed_journal):
+    report, events = opposed_journal
+    validate_flight_events(events)
+    n = report.metrics["epochs"]
+    for kind in ("epoch_finalized", "drift_verdict", "plan_delta"):
+        epochs = [ev["epoch"] for ev in by_kind(events, kind)]
+        assert epochs == list(range(n)), kind
+    # every re-solved epoch carries its solver-cache/warm-start outcome
+    assert len(by_kind(events, "solve")) == report.metrics["resolves"]
+
+
+def test_replay_summary_closes_predicted_vs_realized(opposed_journal):
+    report, events = opposed_journal
+    (summary,) = by_kind(events, "replay_summary")
+    assert summary.get("epoch") is None  # run-level, not epoch-level
+    d = summary["data"]
+    assert d["online_miss_ratio"] == pytest.approx(report.online_miss_ratio)
+    assert d["static_miss_ratio"] == pytest.approx(report.static_miss_ratio)
+    assert d["oracle_miss_ratio"] == pytest.approx(report.oracle_miss_ratio)
+    assert d["epochs"] == report.plan.n_epochs
+    # per-epoch predictions exist for the realized ratios to be compared to
+    for ev in by_kind(events, "plan_delta"):
+        predicted = ev["data"]["predicted_miss_ratio"]
+        assert set(predicted) == {"a", "b"}
+
+
+def test_plan_delta_records_the_allocation_diff(opposed_journal):
+    _, events = opposed_journal
+    first = by_kind(events, "plan_delta", epoch=0)[0]["data"]
+    assert first["previous"] is None  # nothing to diff on the first epoch
+    later = by_kind(events, "plan_delta", epoch=1)[0]["data"]
+    assert later["previous"] is not None
+    for name in ("a", "b"):
+        assert later["delta"][name] == later["allocation"][name] - later["previous"][name]
+    assert later["moved"] is True  # phase-opposed epoch 1 swaps the walls
+
+
+def test_drift_verdict_reasons(opposed_journal):
+    _, events = opposed_journal
+    first = by_kind(events, "drift_verdict", epoch=0)[0]["data"]
+    assert (first["verdict"], first["reason"]) == ("resolve", "first_solve")
+    assert first["max_drift"] is None
+    second = by_kind(events, "drift_verdict", epoch=1)[0]["data"]
+    assert (second["verdict"], second["reason"]) == ("resolve", "drift_exceeded")
+    assert second["distances"]["a"] == pytest.approx(second["max_drift"])
+
+
+def test_warm_start_reuse_shows_the_unchanged_prefix():
+    # tenant a repeats the same loop every epoch (bit-identical curve);
+    # tenant b drifts every epoch — the warm re-solve must resume past
+    # a's fold stage instead of refolding both
+    a = phased([cyclic(240, 8)] * 4, repeats=1, name="a")
+    b = phased([zipf(240, 30, seed=i) for i in range(4)], repeats=1, name="b")
+    fl = FlightRecorder()
+    replay([a, b], ControllerConfig(cache_blocks=48, epoch_length=240), flight=fl)
+    events = fl.export()
+    warm = [
+        ev["data"] for ev in by_kind(events, "solve")
+        if ev["data"]["reuse"] == "warm"
+    ]
+    assert warm, [ev["data"] for ev in by_kind(events, "solve")]
+    assert all(d["stages_reused"] >= 1 and d["stages_computed"] >= 1 for d in warm)
+    cold = by_kind(events, "solve", epoch=0)[0]["data"]
+    assert cold["reuse"] in ("cold", "no_state")
+    assert cold["stages_reused"] == 0
+
+
+def test_policy_swap_journals_fingerprints_and_forces_cold():
+    traces, epoch = phase_opposed_pair(loops=2)
+    fl = FlightRecorder()
+    controller = OnlineController(
+        2, ControllerConfig(cache_blocks=56, epoch_length=epoch),
+        names=("a", "b"), flight=fl,
+    )
+    batches = [t.blocks[:epoch] for t in traces]
+    assert list(controller.ingest(batches))
+    controller.set_policy(ObjectivePolicy(weights=(2.0, 1.0)))
+    assert list(controller.ingest([t.blocks[epoch : 2 * epoch] for t in traces]))
+
+    events = fl.export()
+    (swap,) = by_kind(events, "policy_swap")
+    assert swap["data"]["changed"] is True
+    assert swap["data"]["old"] != swap["data"]["new"]
+    verdict = by_kind(events, "drift_verdict", epoch=1)[0]["data"]
+    assert verdict["reason"] == "policy_changed"
+    solve = by_kind(events, "solve", epoch=1)[0]["data"]
+    assert solve["salted"] is True
+    assert solve["cache_hit"] is False  # the salt re-keyed the memo
+    # a value-identical swap is journaled as a no-op
+    controller.set_policy(ObjectivePolicy(weights=(2.0, 1.0)))
+    noop = by_kind(fl.export(), "policy_swap")[-1]
+    assert noop["data"]["changed"] is False
+
+
+def breach_workload():
+    """Tenant a needs more cache than exists for 4 epochs, then almost none."""
+    a = phased(
+        [cyclic(240, 100)] * 4 + [cyclic(240, 4)] * 4, repeats=1, name="a"
+    )
+    b = phased([cyclic(240, 8)] * 8, repeats=1, name="b")
+    return [a, b], ControllerConfig(cache_blocks=56, epoch_length=240)
+
+
+def test_slo_breach_fires_and_clears_the_alert_deterministically():
+    traces, config = breach_workload()
+    policy = ObjectivePolicy(slo_caps=(0.5, None))
+    fl = FlightRecorder()
+    alerts = BurnRateAlerts(
+        ("a", "b"), policy=AlertPolicy(fast_window=2, slow_window=4), flight=fl
+    )
+    report = replay(traces, config, policy=policy, flight=fl, alerts=alerts)
+    events = fl.export()
+
+    # the breach itself is journaled per violating tenant-epoch
+    violations = [
+        ev for ev in by_kind(events, "slo") if ev["data"]["type"] == "violation"
+    ]
+    assert {ev["tenant"] for ev in violations} == {"a"}
+    assert sorted({ev["epoch"] for ev in violations}) == [0, 1, 2, 3]
+    assert all(
+        ev["data"]["achieved"] > ev["data"]["cap"] == 0.5 for ev in violations
+    )
+
+    # fired once the fast window filled, cleared two clean epochs after
+    transitions = [
+        (ev["epoch"], ev["data"]["transition"]) for ev in by_kind(events, "alert")
+    ]
+    assert transitions == [(1, "fired"), (5, "cleared")]
+    assert alerts.fired == 1 and alerts.cleared == 1
+    assert report.alerts["a"]["active"] is False
+    # the window deque bounds history at slow_window epochs
+    assert report.alerts["b"] == {
+        "active": False, "fast_burn": 0.0, "slow_burn": 0.0, "epochs_observed": 4,
+    }
+
+
+def test_explain_answers_both_questions_from_the_journal(opposed_journal):
+    _, events = opposed_journal
+    alloc = explain_allocation(events, "a", 1)
+    assert "epoch 1, tenant 'a':" in alloc
+    assert "walls moved" in alloc
+    assert "MRC drift exceeded the threshold" in alloc
+    assert "predicted miss ratio" in alloc
+    assert "buffer lag" in alloc
+
+    resolve0 = explain_resolve(events, 0)
+    assert "the first epoch always solves" in resolve0
+    assert "cold fold" in resolve0 or "stage(s) computed" in resolve0
+    resolve1 = explain_resolve(events, 1)
+    assert "MRC drift exceeded the threshold" in resolve1
+
+
+def test_explain_rejects_unknown_epoch_and_tenant(opposed_journal):
+    _, events = opposed_journal
+    with pytest.raises(ValueError, match="no events for epoch 99"):
+        explain_resolve(events, 99)
+    with pytest.raises(ValueError, match="unknown tenant 'zzz'"):
+        explain_allocation(events, "zzz", 1)
+
+
+def test_drift_skip_explains_as_no_solve():
+    # an absurd threshold drift-skips every epoch after the first
+    traces, epoch = phase_opposed_pair(loops=2)
+    fl = FlightRecorder()
+    replay(
+        traces,
+        ControllerConfig(cache_blocks=56, epoch_length=epoch, drift_threshold=10.0),
+        flight=fl,
+    )
+    events = fl.export()
+    verdict = by_kind(events, "drift_verdict", epoch=1)[0]["data"]
+    assert (verdict["verdict"], verdict["reason"]) == ("skip", "below_threshold")
+    text = explain_resolve(events, 1)
+    assert "none ran" in text
+    assert "stayed within the drift threshold" in text
+
+
+# --------------------------------------------------------------- CLI layer
+def test_serve_flight_out_and_alerts(tmp_path, capsys):
+    from repro.obs import load_journal
+
+    path = tmp_path / "flight.jsonl"
+    rc = main([
+        "serve", "--workload", "steady", "--epoch", "480",
+        "--slo", "0.01,none", "--alerts", "--alert-windows", "2,4",
+        "--flight-out", str(path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"wrote flight journal to {path}" in out
+    assert "burn-rate alerts" in out
+    events = load_journal(str(path))  # validates schema + ordering
+    kinds = {ev["kind"] for ev in events}
+    assert {"epoch_finalized", "drift_verdict", "plan_delta", "replay_summary"} <= kinds
+    # the 1% cap on a ~50% miss-ratio steady tenant breached every epoch
+    assert any(k == "slo" for k in kinds)
+    assert "still FIRING: steady-a" in out
+
+
+def test_cli_explain_from_a_served_journal(tmp_path, capsys):
+    path = tmp_path / "flight.jsonl"
+    assert main([
+        "serve", "--workload", "steady", "--epoch", "480",
+        "--flight-out", str(path),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["explain", str(path), "--epoch", "1"]) == 0
+    assert "epoch 1:" in capsys.readouterr().out
+    assert main(["explain", str(path), "--epoch", "1", "--tenant", "steady-a"]) == 0
+    out = capsys.readouterr().out
+    assert "tenant 'steady-a':" in out and "allocation:" in out
+
+    assert main(["explain", str(path), "--epoch", "99"]) == 1
+    assert "no events for epoch 99" in capsys.readouterr().err
+    assert main(["explain", str(path), "--epoch", "1", "--tenant", "zzz"]) == 1
+    assert "unknown tenant" in capsys.readouterr().err
+    assert main(["explain", str(tmp_path / "missing.jsonl"), "--epoch", "0"]) == 2
+
+
+def test_top_json_one_shot_snapshot(capsys):
+    rc = main([
+        "top", "--workload", "steady", "--epoch", "480",
+        "--slo", "0.01,none", "--alerts", "--format", "json",
+    ])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["workload"] == "steady"
+    assert doc["metrics"]["epochs"] == 3
+    rows = doc["timeseries"]["rows"]
+    assert len(rows) == 3
+    assert all("slo_headroom" in row for row in rows)
+    assert set(doc["alerts"]) == {"steady-a", "steady-b"}
+    assert set(doc["alerts"]["steady-a"]) == {
+        "active", "fast_burn", "slow_burn", "epochs_observed",
+    }
+
+
+def test_top_plain_shows_the_alert_panel(capsys):
+    rc = main([
+        "top", "--workload", "steady", "--epoch", "480",
+        "--slo", "0.01,none", "--alerts", "--alert-windows", "2,4", "--plain",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "burn-rate alerts" in out
+    assert "steady-a FIRING" in out
