@@ -48,7 +48,7 @@ def bench_policy_comparison(traces, benchmark):
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
-    names = list(next(iter(table.values())))
+    names = list(policies)
     print(f"\n{'program':10s}" + "".join(f" {p:>10s}" for p in names))
     for prog, row in table.items():
         print(f"{prog:10s}" + "".join(f" {row[p]:10.4f}" for p in names))

@@ -1,0 +1,94 @@
+"""Whole-program lint cost and incremental-cache payoff.
+
+The analyzer (ISSUE 10) lints the tree as one program: import graph,
+dataflow, cross-file rules.  That buys precision but costs wall time, so
+the cache has to earn it back: this bench prices a cold full lint of a
+copy of ``src/`` against a warm re-lint after a one-file edit, and pins
+the contract that the warm pass is at least 5x faster.
+"""
+
+BENCH_AREA = "analysis"
+BENCH_TIER = "quick"
+
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintCache,
+    build_graph,
+    catalog_fingerprint,
+    iter_python_files,
+    lint_project,
+    rule_ids,
+)
+from repro.perf import record_metric
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOUCHED = Path("src") / "repro" / "workloads" / "stats.py"
+
+
+@pytest.fixture(scope="module")
+def tree(tmp_path_factory):
+    """A disposable copy of ``src/`` so the warm pass can edit a file."""
+    root = tmp_path_factory.mktemp("lint_tree")
+    shutil.copytree(
+        REPO_ROOT / "src", root / "src",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    return root
+
+
+def bench_incremental_lint(tree, benchmark):
+    src = tree / "src"
+    cache_path = tree / "lint-cache.json"
+    catalog = catalog_fingerprint(list(rule_ids()))
+
+    def timed_lint():
+        cache = LintCache.load(cache_path, catalog)
+        t0 = time.perf_counter()
+        run = lint_project([src], cache=cache)
+        return run, time.perf_counter() - t0
+
+    def run():
+        cold_run, cold_s = timed_lint()
+        # a one-file edit: the cache must invalidate the file and its
+        # importers (deps hash), and nothing else
+        target = tree / TOUCHED
+        target.write_text(target.read_text() + "\n# touched by bench\n")
+        warm_run, warm_s = timed_lint()
+
+        files = iter_python_files([src])
+        sources = {p: p.read_text() for p in files}
+        t0 = time.perf_counter()
+        graph = build_graph(sources)
+        graph_s = time.perf_counter() - t0
+        return cold_run, cold_s, warm_run, warm_s, graph, graph_s
+
+    cold_run, cold_s, warm_run, warm_s, graph, graph_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = cold_s / warm_s
+    hit_rate = warm_run.cache_hits / warm_run.files
+    print(
+        f"\ncold {cold_s * 1e3:8.1f}ms ({cold_run.linted} files)   "
+        f"warm {warm_s * 1e3:8.1f}ms ({warm_run.linted} files, "
+        f"{hit_rate:.0%} hits)   speedup {speedup:.1f}x   "
+        f"graph {graph_s * 1e3:.1f}ms ({len(graph.modules)} modules)"
+    )
+    record_metric("cold_lint_s", cold_s, unit="s", direction="lower", noisy=True)
+    record_metric("warm_lint_s", warm_s, unit="s", direction="lower", noisy=True)
+    record_metric("warm_speedup", speedup, unit="x", direction="higher", noisy=True)
+    record_metric("warm_hit_rate", hit_rate, unit="frac", direction="higher")
+    record_metric("graph_build_s", graph_s, unit="s", direction="lower", noisy=True)
+
+    # the tree we shipped lints clean, cold and warm
+    assert not cold_run.findings
+    assert not warm_run.findings
+    # cold pass linted everything; warm pass only the edit and its importers
+    assert cold_run.linted == cold_run.files
+    assert warm_run.linted < warm_run.files // 2
+    # the incremental contract: a one-file edit re-lints >=5x faster
+    assert warm_s * 5 <= cold_s, f"warm {warm_s:.3f}s vs cold {cold_s:.3f}s"

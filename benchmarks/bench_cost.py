@@ -129,8 +129,7 @@ def bench_ablation_pair_memoization(suite_profile, benchmark):
     """
     from itertools import combinations
 
-    from repro.engine import FoldCache, SweepShared
-    from repro.engine.solver import GroupContext, GroupSolver
+    from repro.engine import FoldCache, GroupContext, GroupSolver, SweepShared
 
     costs = [m.miss_counts() for m in suite_profile.mrcs]
     n_units = suite_profile.config.n_units

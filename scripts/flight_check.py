@@ -14,7 +14,7 @@ Exits non-zero with a diagnostic on any failure.
 
 import sys
 
-from repro.obs.flight import load_journal
+from repro.obs import load_journal
 
 #: A ``serve`` replay that finished must have recorded all of these.
 REQUIRED_KINDS = (

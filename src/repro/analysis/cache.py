@@ -1,0 +1,172 @@
+"""The incremental lint cache: per-file findings + module summaries.
+
+Whole-program analysis is superlinear in tree size, so re-running it
+from scratch on every ``repro-cps lint`` would eventually make the CI
+gate the slowest job in the workflow.  The cache brings the warm cost
+down to "what changed":
+
+* **findings** for a file are valid iff three hashes match — the file's
+  own content hash, the hash of its *direct project dependencies'*
+  contents (the import graph is the invalidation oracle: RL012's
+  subclass closure and RL003's facade ``__all__`` read across files),
+  and the **catalog fingerprint**;
+* **module summaries** (:class:`repro.analysis.graph.ModuleInfo`) are
+  valid on content hash alone — a summary is a pure function of one
+  file — so an incremental run re-parses only changed files and rebuilds
+  the graph from cached summaries for the rest;
+* the **catalog fingerprint** hashes the ``repro.analysis`` package's
+  own sources plus the selected rule ids: editing any rule, the engine,
+  or the dataflow invalidates everything, which is the only safe answer
+  when the analyzer itself changed.
+
+The store is one JSON file (default ``.repro-lint-cache.json``,
+git-ignored).  A cache that fails to load for any reason degrades to
+empty — the linter must never be wrong because a cache was stale, only
+slower because it was absent.
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.graph import ModuleInfo
+
+__all__ = ["LintCache", "catalog_fingerprint", "content_hash", "DEFAULT_CACHE_PATH"]
+
+#: Where ``repro-cps lint --cache`` persists by default (repo root relative).
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+_SCHEMA = 1
+
+
+def content_hash(data: bytes | str) -> str:
+    """Stable 16-byte blake2b hex of file content."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return blake2b(data, digest_size=16).hexdigest()
+
+
+def catalog_fingerprint(rule_ids: Sequence[str]) -> str:
+    """Hash of the analyzer's own sources + the selected rule ids.
+
+    Any edit to the ``repro.analysis`` package (a rule, the dataflow,
+    the engine, this module) must invalidate every cached finding; so
+    must changing which rules are selected.
+    """
+    h = blake2b(digest_size=16)
+    pkg = Path(__file__).resolve().parent
+    for path in sorted(pkg.glob("*.py"), key=lambda p: p.name):
+        h.update(path.name.encode("utf-8"))
+        h.update(path.read_bytes())
+    for rid in rule_ids:
+        h.update(rid.encode("utf-8"))
+    return h.hexdigest()
+
+
+class LintCache:
+    """One JSON file mapping path → {content, deps, module, findings}."""
+
+    def __init__(self, path: str | Path, catalog: str) -> None:
+        self.path = Path(path)
+        self.catalog = catalog
+        self._files: dict[str, dict[str, Any]] = {}
+
+    # -------------------------------------------------------------- load/save
+    @classmethod
+    def load(cls, path: str | Path, catalog: str) -> "LintCache":
+        """Read the cache; any mismatch or corruption yields an empty one."""
+        cache = cls(path, catalog)
+        p = Path(path)
+        if not p.is_file():
+            return cache
+        try:
+            payload = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != _SCHEMA
+            or payload.get("catalog") != catalog
+        ):
+            return cache
+        files = payload.get("files")
+        if isinstance(files, dict):
+            cache._files = {
+                str(k): v for k, v in files.items() if isinstance(v, dict)
+            }
+        return cache
+
+    def save(self) -> None:
+        payload = {
+            "schema": _SCHEMA,
+            "catalog": self.catalog,
+            "files": {k: self._files[k] for k in sorted(self._files)},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+        tmp.replace(self.path)
+
+    # --------------------------------------------------------------- queries
+    def module_summary(self, path: str, chash: str) -> ModuleInfo | None:
+        """Cached :class:`ModuleInfo` for ``path``, if content still matches."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("content") != chash:
+            return None
+        module = entry.get("module")
+        if not isinstance(module, dict):
+            return None
+        try:
+            return ModuleInfo.from_dict(module)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def findings_for(self, path: str, chash: str, deps_hash: str) -> list[Finding] | None:
+        """Cached findings, valid only when content *and* deps both match."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("content") != chash or entry.get("deps") != deps_hash:
+            return None
+        raw = entry.get("findings")
+        if not isinstance(raw, list):
+            return None
+        out: list[Finding] = []
+        for item in raw:
+            if not (isinstance(item, list) and len(item) == 4):
+                return None
+            line, col, rule_id, message = item
+            out.append(
+                Finding(
+                    path=path,
+                    line=int(line),
+                    col=int(col),
+                    rule_id=str(rule_id),
+                    message=str(message),
+                )
+            )
+        return out
+
+    # --------------------------------------------------------------- updates
+    def store_summary(self, path: str, chash: str, module: ModuleInfo) -> None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("content") != chash:
+            entry = {"content": chash}
+            self._files[path] = entry
+        entry["module"] = module.to_dict()
+
+    def store_findings(
+        self, path: str, chash: str, deps_hash: str, findings: Iterable[Finding]
+    ) -> None:
+        entry = self._files.setdefault(path, {"content": chash})
+        entry["content"] = chash
+        entry["deps"] = deps_hash
+        entry["findings"] = [[f.line, f.col, f.rule_id, f.message] for f in findings]
+
+    def prune(self, keep: Iterable[str]) -> None:
+        """Drop entries for files no longer part of the linted tree."""
+        keep_set = set(keep)
+        for path in [p for p in self._files if p not in keep_set]:
+            del self._files[path]

@@ -1,0 +1,533 @@
+"""Intraprocedural reaching-definitions with a small taint lattice.
+
+The flow rules (RL012–RL014) ask questions about *values*, not syntax:
+"does the ``salt=`` argument derive from a policy fingerprint?", "does
+anything crossing the spawn boundary capture nondeterministic state?",
+"did this cache key iterate a set without ``sorted()``?".  This module
+answers them with a deliberately small abstract interpreter:
+
+* the lattice is the powerset of four taints, joined by union —
+
+  ========== ==========================================================
+  SALT       derives from a policy fingerprint (``*.fingerprint()``,
+             ``*salt*``-named values) — the *good* taint RL012 requires
+  NONDET     derives from wall clocks, the OS entropy pool, uuid1/4, or
+             the global RNG stream — varies across runs
+  UNPICKLABLE lambdas, nested functions, generators, open files, locks —
+             dies at a ``spawn`` pickle boundary
+  UNORDERED  drawn from ``set``/``frozenset`` or dict-view iteration —
+             iteration order is not part of the value's equality
+  ========== ==========================================================
+
+* ``sorted(...)`` launders UNORDERED (that is the fix the rules ask
+  for); every other operator unions its operands;
+* analysis is intraprocedural: each function body is one scope seeded
+  with empty-taint parameters, module and class bodies are interpreted
+  linearly, ``if`` joins branch environments, loops run to a small
+  fixpoint.  Calls are not followed — a name that *looks* like salt
+  (``policy_salt``, ``_salt_of``) or a ``*fingerprint*`` call is a SALT
+  source by pattern, which keeps the analysis honest about its limits
+  while matching how the repo actually spells these values.
+
+Alongside taints, the interpreter tracks *constructor bindings*: which
+class a name was last constructed from (``cache = FoldCache(...)``,
+``self.fold_cache = SolverCache(...)`` across a class's methods).  RL012
+uses this to type cache receivers without a real type checker.
+
+Every visited expression's taint is cached by node identity, so rules
+query :meth:`ModuleDataflow.taint_of` on arbitrary sub-expressions for
+free after one pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import ClassVar, Iterable
+
+__all__ = [
+    "SALT",
+    "NONDET",
+    "UNPICKLABLE",
+    "UNORDERED",
+    "ModuleDataflow",
+    "terminal_name",
+]
+
+SALT = "salt"
+NONDET = "nondet"
+UNPICKLABLE = "unpicklable"
+UNORDERED = "unordered"
+
+_EMPTY: frozenset[str] = frozenset()
+
+_SALT_NAME_RE = re.compile(r"(^|_)salt($|_)", re.IGNORECASE)
+_FINGERPRINT_RE = re.compile(r"fingerprint", re.IGNORECASE)
+
+_NONDET_DOTTED: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.random",
+    }
+)
+_NONDET_TERMINALS: frozenset[str] = frozenset(
+    {"urandom", "uuid1", "uuid4", "token_bytes", "token_hex", "token_urlsafe"}
+)
+_GLOBAL_STREAM_TERMINALS: frozenset[str] = frozenset(
+    {"rand", "randn", "randint", "choice", "shuffle", "permutation"}
+)
+_UNPICKLABLE_CTORS: frozenset[str] = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
+_UNORDERED_CTORS: frozenset[str] = frozenset({"set", "frozenset"})
+_DICT_VIEWS: frozenset[str] = frozenset({"keys", "values", "items"})
+#: calls that *consume* their (possibly lazy) argument into a concrete
+#: container/scalar — the result pickles fine even if built from a genexp
+_MATERIALIZERS: frozenset[str] = frozenset(
+    {"tuple", "list", "dict", "sorted", "sum", "min", "max", "any", "all", "len", "join"}
+)
+
+
+def terminal_name(expr: ast.expr) -> str | None:
+    """The last identifier of a name/attribute chain (``a.b.c`` → ``c``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _dotted(expr: ast.expr) -> str | None:
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _attr_path(expr: ast.expr) -> str | None:
+    """``self.x``-style paths used as pseudo-names in the environment."""
+    dotted = _dotted(expr)
+    if dotted is not None and dotted.startswith("self."):
+        return dotted
+    return None
+
+
+class _Env:
+    """One scope's abstract state: taints and constructor bindings."""
+
+    __slots__ = ("taints", "ctors")
+
+    def __init__(self) -> None:
+        self.taints: dict[str, frozenset[str]] = {}
+        self.ctors: dict[str, str] = {}
+
+    def copy(self) -> "_Env":
+        child = _Env()
+        child.taints = dict(self.taints)
+        child.ctors = dict(self.ctors)
+        return child
+
+    def join(self, other: "_Env") -> None:
+        for name, taint in other.taints.items():
+            self.taints[name] = self.taints.get(name, _EMPTY) | taint
+        for name, ctor in other.ctors.items():
+            self.ctors.setdefault(name, ctor)
+
+    def snapshot(self) -> tuple[tuple[str, frozenset[str]], ...]:
+        return tuple(sorted(self.taints.items()))
+
+
+class ModuleDataflow:
+    """One module's taint/constructor facts, queryable per AST node."""
+
+    #: loop bodies are re-interpreted at most this many times
+    _LOOP_PASSES: ClassVar[int] = 3
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._taint: dict[int, frozenset[str]] = {}
+        self._ctor_at: dict[int, str] = {}
+        self._in_function = False
+        module_env = _Env()
+        self._exec(tree.body, module_env, class_ctors=None)
+
+    # ------------------------------------------------------------- queries
+    def taint_of(self, node: ast.expr) -> frozenset[str]:
+        """Taint set of an analysed expression (empty for unseen nodes)."""
+        return self._taint.get(id(node), _EMPTY)
+
+    def ctor_of(self, node: ast.expr) -> str | None:
+        """Class name the value at ``node`` was constructed from, if known."""
+        return self._ctor_at.get(id(node))
+
+    # ------------------------------------------------------- interpretation
+    def _exec(
+        self,
+        stmts: Iterable[ast.stmt],
+        env: _Env,
+        class_ctors: dict[str, str] | None,
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env, class_ctors)
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: _Env, class_ctors: dict[str, str] | None
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value, env)
+            ctor = self._ctor_name(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint, ctor, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self._eval(stmt.value, env)
+                self._bind(stmt.target, taint, self._ctor_name(stmt.value), env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value, env)
+            name = self._target_name(stmt.target)
+            if name is not None:
+                env.taints[name] = env.taints.get(name, _EMPTY) | taint
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = env.copy()
+            self._exec(stmt.body, then_env, class_ctors)
+            else_env = env.copy()
+            self._exec(stmt.orelse, else_env, class_ctors)
+            env.taints = {}
+            env.ctors = {}
+            env.join(then_env)
+            env.join(else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self._eval(stmt.iter, env)
+            # the loop *target* is one element — order-dependence (UNORDERED)
+            # is a property of the sequence, not of each drawn value
+            self._bind(stmt.target, iter_taint - {UNORDERED}, None, env)
+            self._fixpoint(stmt.body, env, class_ctors)
+            self._exec(stmt.orelse, env, class_ctors)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            self._fixpoint(stmt.body, env, class_ctors)
+            self._exec(stmt.orelse, env, class_ctors)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars, taint, self._ctor_name(item.context_expr), env
+                    )
+            self._exec(stmt.body, env, class_ctors)
+        elif isinstance(stmt, ast.Try):
+            self._exec(stmt.body, env, class_ctors)
+            for handler in stmt.handlers:
+                self._exec(handler.body, env, class_ctors)
+            self._exec(stmt.orelse, env, class_ctors)
+            self._exec(stmt.finalbody, env, class_ctors)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if self._in_function:
+                # a def nested inside a function cannot cross a pickle boundary
+                env.taints[stmt.name] = env.taints.get(stmt.name, _EMPTY) | {UNPICKLABLE}
+            else:
+                env.taints.setdefault(stmt.name, _EMPTY)
+            self._run_function(stmt, class_ctors)
+        elif isinstance(stmt, ast.ClassDef):
+            self._run_class(stmt)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                name = self._target_name(target)
+                if name is not None:
+                    env.taints.pop(name, None)
+                    env.ctors.pop(name, None)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+
+    def _fixpoint(
+        self, body: list[ast.stmt], env: _Env, class_ctors: dict[str, str] | None
+    ) -> None:
+        for _ in range(self._LOOP_PASSES):
+            before = env.snapshot()
+            self._exec(body, env, class_ctors)
+            if env.snapshot() == before:
+                break
+
+    def _run_function(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, class_ctors: dict[str, str] | None
+    ) -> None:
+        env = _Env()
+        args = fn.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            env.taints[arg.arg] = _EMPTY
+        if args.vararg is not None:
+            env.taints[args.vararg.arg] = _EMPTY
+        if args.kwarg is not None:
+            env.taints[args.kwarg.arg] = _EMPTY
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            self._eval(default, env)
+        if class_ctors:
+            for attr, ctor in class_ctors.items():
+                env.ctors[f"self.{attr}"] = ctor
+        outer = self._in_function
+        self._in_function = True
+        try:
+            self._exec(fn.body, env, class_ctors)
+        finally:
+            self._in_function = outer
+
+    def _run_class(self, cls: ast.ClassDef) -> None:
+        # Pre-pass: which class does each ``self.attr`` hold?  Collected
+        # across *all* methods (execution order is unknown), then seeded
+        # into every method scope so receivers type through ``self``.
+        attr_ctors: dict[str, str] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                ctor = self._ctor_name(node.value)
+                if ctor is None:
+                    continue
+                for target in node.targets:
+                    path = _attr_path(target) if isinstance(target, ast.expr) else None
+                    if path is not None:
+                        attr_ctors.setdefault(path.removeprefix("self."), ctor)
+        class_env = _Env()
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._run_function(stmt, attr_ctors)
+            elif isinstance(stmt, ast.ClassDef):
+                self._run_class(stmt)
+            else:
+                self._exec_stmt(stmt, class_env, attr_ctors)
+
+    # ------------------------------------------------------------- binding
+    @staticmethod
+    def _target_name(target: ast.expr) -> str | None:
+        if isinstance(target, ast.Name):
+            return target.id
+        return _attr_path(target)
+
+    def _bind(
+        self, target: ast.expr, taint: frozenset[str], ctor: str | None, env: _Env
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind(inner, taint, None, env)
+            return
+        name = self._target_name(target)
+        if name is None:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._eval(target.value, env)
+            return
+        env.taints[name] = taint
+        if ctor is not None:
+            env.ctors[name] = ctor
+        else:
+            env.ctors.pop(name, None)
+
+    def _ctor_name(self, expr: ast.expr) -> str | None:
+        """Class name when ``expr`` (or one of its branches) is ``Klass(...)``."""
+        if isinstance(expr, ast.Call):
+            name = terminal_name(expr.func)
+            if name is not None and name[:1].isupper():
+                return name
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self._ctor_name(expr.body) or self._ctor_name(expr.orelse)
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            # propagate through aliasing assignments later via env in _bind
+            return None
+        return None
+
+    # ---------------------------------------------------------- evaluation
+    def _remember(self, node: ast.expr, taint: frozenset[str]) -> frozenset[str]:
+        self._taint[id(node)] = taint
+        return taint
+
+    def _eval(self, node: ast.expr, env: _Env) -> frozenset[str]:
+        taint = self._eval_inner(node, env)
+        return self._remember(node, taint)
+
+    def _eval_inner(self, node: ast.expr, env: _Env) -> frozenset[str]:  # noqa: C901
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            taint = env.taints.get(node.id, _EMPTY)
+            if _SALT_NAME_RE.search(node.id):
+                taint = taint | {SALT}
+            ctor = env.ctors.get(node.id)
+            if ctor is not None:
+                self._ctor_at[id(node)] = ctor
+            return taint
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env)
+            path = _attr_path(node)
+            taint = base
+            if path is not None:
+                taint = taint | env.taints.get(path, _EMPTY)
+                ctor = env.ctors.get(path)
+                if ctor is not None:
+                    self._ctor_at[id(node)] = ctor
+            if _SALT_NAME_RE.search(node.attr):
+                taint = taint | {SALT}
+            return taint
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Lambda):
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                self._eval(default, env)
+            return frozenset({UNPICKLABLE})
+        if isinstance(node, ast.GeneratorExp):
+            taint = self._eval_comprehension(node.generators, [node.elt], env)
+            return taint | {UNPICKLABLE}
+        if isinstance(node, ast.SetComp):
+            taint = self._eval_comprehension(node.generators, [node.elt], env)
+            return taint | {UNORDERED}
+        if isinstance(node, ast.ListComp):
+            return self._eval_comprehension(node.generators, [node.elt], env)
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(node.generators, [node.key, node.value], env)
+        if isinstance(node, ast.Set):
+            taint = _EMPTY
+            for elt in node.elts:
+                taint = taint | self._eval(elt, env)
+            return taint | {UNORDERED}
+        if isinstance(node, (ast.Tuple, ast.List)):
+            taint = _EMPTY
+            for elt in node.elts:
+                taint = taint | self._eval(elt, env)
+            return taint
+        if isinstance(node, ast.Dict):
+            taint = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    taint = taint | self._eval(key, env)
+            for value in node.values:
+                taint = taint | self._eval(value, env)
+            return taint
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, env) | self._eval(node.right, env)
+        if isinstance(node, ast.BoolOp):
+            taint = _EMPTY
+            for value in node.values:
+                taint = taint | self._eval(value, env)
+            return taint
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            taint = self._eval(node.left, env)
+            for comparator in node.comparators:
+                taint = taint | self._eval(comparator, env)
+            return taint
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._eval(node.body, env) | self._eval(node.orelse, env)
+        if isinstance(node, ast.Subscript):
+            taint = self._eval(node.value, env)
+            self._eval(node.slice, env)
+            return taint
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Slice):
+            taint = _EMPTY
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    taint = taint | self._eval(part, env)
+            return taint
+        if isinstance(node, ast.JoinedStr):
+            taint = _EMPTY
+            for value in node.values:
+                taint = taint | self._eval(value, env)
+            return taint
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            return self._eval(node.value, env) if node.value is not None else _EMPTY
+        if isinstance(node, ast.NamedExpr):
+            taint = self._eval(node.value, env)
+            self._bind(node.target, taint, self._ctor_name(node.value), env)
+            return taint
+        return _EMPTY
+
+    def _eval_comprehension(
+        self,
+        generators: list[ast.comprehension],
+        results: list[ast.expr],
+        env: _Env,
+    ) -> frozenset[str]:
+        scope = env.copy()
+        taint = _EMPTY
+        for gen in generators:
+            iter_taint = self._eval(gen.iter, scope)
+            taint = taint | iter_taint
+            self._bind(gen.target, iter_taint - {UNORDERED}, None, scope)
+            for cond in gen.ifs:
+                self._eval(cond, scope)
+        for result in results:
+            taint = taint | self._eval(result, scope)
+        return taint
+
+    def _eval_call(self, node: ast.Call, env: _Env) -> frozenset[str]:
+        func_taint = self._eval(node.func, env)
+        arg_taint = _EMPTY
+        for arg in node.args:
+            arg_taint = arg_taint | self._eval(arg, env)
+        for kw in node.keywords:
+            arg_taint = arg_taint | self._eval(kw.value, env)
+
+        dotted = _dotted(node.func)
+        tail = terminal_name(node.func)
+
+        if tail is not None and _FINGERPRINT_RE.search(tail):
+            return arg_taint | {SALT}
+        if tail is not None and _SALT_NAME_RE.search(tail):
+            return arg_taint | {SALT}
+        if tail == "sorted":
+            return (func_taint | arg_taint) - {UNORDERED, UNPICKLABLE}
+        if tail in _UNORDERED_CTORS and dotted in ("set", "frozenset"):
+            return (arg_taint - {UNPICKLABLE}) | {UNORDERED}
+        if tail in _MATERIALIZERS:
+            return (func_taint | arg_taint) - {UNPICKLABLE}
+        if (
+            tail in _DICT_VIEWS
+            and isinstance(node.func, ast.Attribute)
+            and not node.args
+            and not node.keywords
+        ):
+            return func_taint | {UNORDERED}
+        if dotted in _NONDET_DOTTED or (tail in _NONDET_TERMINALS):
+            return arg_taint | {NONDET}
+        if tail == "default_rng" and not node.args and not node.keywords:
+            return frozenset({NONDET})
+        if tail in _GLOBAL_STREAM_TERMINALS and dotted is not None:
+            parts = dotted.split(".")
+            if "random" in parts[:-1]:
+                return arg_taint | {NONDET}
+        if tail in _UNPICKLABLE_CTORS or dotted == "open":
+            return arg_taint | {UNPICKLABLE}
+        # generic call: we don't know the callee; propagate operand taints
+        # (keeps `tuple(sorted(x))` laundered and `str(uuid4())` nondet)
+        return func_taint | arg_taint

@@ -1,9 +1,9 @@
-"""The lint driver: one AST walk per file, rules fan out per node type.
+"""The lint driver: per-file AST walks orchestrated whole-program.
 
 ``repro-lint`` is a *contract* checker, not a style checker: every rule
 encodes an invariant the repo's correctness story depends on (bit-exact
-sweep replay, the engine facade, monotonic-clock latency, Prometheus
-naming).  The driver's job is mechanical:
+sweep replay, the engine facade, policy-salted memo keys, monotonic-
+clock latency, Prometheus naming).  The per-file pipeline is mechanical:
 
 1. parse the file with :mod:`ast` (a syntax error is itself reported,
    as ``RL000``, rather than crashing the run);
@@ -13,10 +13,18 @@ naming).  The driver's job is mechanical:
    file- or block-scoped escape hatch, by design: a contract you need
    to opt out of wholesale is a contract to renegotiate in review);
 3. walk the tree once, dispatching each node to the rules that declared
-   interest in its class, then filter suppressed findings.
+   interest in its class (only rules whose ``domains`` include the
+   file's category run at all), then filter suppressed findings.
 
-The per-file cost is one parse + one walk regardless of rule count, so
-adding rules stays O(nodes), and findings come back in source order.
+On top of that, :func:`lint_project` runs the *whole-program* pipeline:
+every file is summarised into the import graph
+(:mod:`repro.analysis.graph`), the graph is handed to each
+:class:`FileContext` so cross-file rules (RL012–RL014) can resolve
+facade re-exports and subclass closures, per-file results are memoized
+in the incremental cache (:mod:`repro.analysis.cache`), and independent
+files fan out over a ``spawn`` process pool when ``jobs > 1``.  Findings
+are deterministic regardless of jobs/cache/ordering: same tree in, same
+sorted findings out.
 """
 
 from __future__ import annotations
@@ -25,19 +33,50 @@ import ast
 import io
 import re
 import tokenize
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from hashlib import blake2b
+from multiprocessing import get_context
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+from repro.analysis.dataflow import ModuleDataflow
 from repro.analysis.findings import Finding
+from repro.analysis.graph import ModuleInfo, ProjectGraph, module_info
 from repro.analysis.registry import Rule, resolve_rules
 
-__all__ = ["FileContext", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.cache import LintCache
+
+__all__ = [
+    "FileContext",
+    "LintRun",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+    "iter_python_files",
+    "path_category",
+]
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9, ]+)")
 
 #: Pseudo-rule id for files the parser rejects.
 PARSE_ERROR_ID = "RL000"
+
+
+def path_category(path: str | Path) -> str:
+    """Which rule domain a file belongs to, from its directory parts.
+
+    ``tests/``, ``benchmarks/`` and ``scripts/`` trees map to their own
+    categories; everything else — ``src/``, fixture snippets, ad-hoc
+    files — is ``library``, the strictest domain.
+    """
+    parts = Path(path).parts[:-1]
+    for category in ("tests", "benchmarks", "scripts"):
+        if category in parts:
+            return category
+    return "library"
 
 
 @dataclass
@@ -48,18 +87,24 @@ class FileContext:
     path (``.../src/repro/engine/solver.py`` → ``("repro", "engine",
     "solver")``); rules scoped to a subpackage (RL003's engine
     exemption, RL004's numeric packages) test membership on it rather
-    than re-deriving paths.
+    than re-deriving paths.  ``project`` is the whole-program import
+    graph when the file is linted as part of one (``None`` for single
+    snippets), and ``dataflow`` lazily computes the module's taint
+    facts the first time a flow rule asks.
     """
 
     path: str
     source: str
     tree: ast.Module
     module_parts: tuple[str, ...]
+    category: str = "library"
+    project: ProjectGraph | None = None
     findings: list[Finding] = field(default_factory=list)
     #: line -> rule ids suppressed on that line (``{"all"}`` matches any).
     suppressions: dict[int, set[str]] = field(default_factory=dict)
     #: child node -> parent node, for rules that need enclosure (RL006).
     parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    _dataflow: ModuleDataflow | None = field(default=None, repr=False)
 
     def report(self, node: ast.AST, rule: Rule, message: str) -> None:
         """Record one violation at ``node``'s location."""
@@ -84,6 +129,13 @@ class FileContext:
             if part == "repro" and parts[i + 1] in names:
                 return True
         return False
+
+    @property
+    def dataflow(self) -> ModuleDataflow:
+        """The module's taint/constructor facts (computed on first use)."""
+        if self._dataflow is None:
+            self._dataflow = ModuleDataflow(self.tree)
+        return self._dataflow
 
 
 def _module_parts(path: str) -> tuple[str, ...]:
@@ -135,15 +187,19 @@ def lint_source(
     path: str,
     *,
     rules: Sequence[type[Rule]] | None = None,
+    project: ProjectGraph | None = None,
 ) -> list[Finding]:
     """Lint one source string as if it lived at ``path``.
 
     The unit every caller reduces to: :func:`lint_file` reads then
-    delegates here, and the fixture tests feed bad/good snippets through
-    it directly.  Returns findings in source order, already filtered
-    through the inline suppressions.
+    delegates here, :func:`lint_project` calls it per file with the
+    shared import graph, and the fixture tests feed bad/good snippets
+    through it directly.  Returns findings in source order, already
+    filtered through the inline suppressions.
     """
     rule_classes = resolve_rules(None) if rules is None else tuple(rules)
+    category = path_category(path)
+    rule_classes = tuple(cls for cls in rule_classes if category in cls.domains)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -161,6 +217,8 @@ def lint_source(
         source=source,
         tree=tree,
         module_parts=_module_parts(path),
+        category=category,
+        project=project,
         suppressions=_collect_suppressions(source),
         parents=_build_parents(tree),
     )
@@ -189,22 +247,192 @@ def lint_file(path: str | Path, *, rules: Sequence[type[Rule]] | None = None) ->
     return lint_source(p.read_text(encoding="utf-8"), str(p), rules=rules)
 
 
+def _walk_sorted(directory: Path) -> Iterator[Path]:
+    """Yield ``.py`` files under ``directory`` in sorted-entry order.
+
+    ``iterdir`` order is filesystem-dependent (inode order on ext4,
+    creation order elsewhere); sorting each directory's entries by name
+    makes traversal — and therefore finding order and the lint cache's
+    file list — identical across OSes.  ``__pycache__`` and dot-dirs
+    never contain linted sources.
+    """
+    for entry in sorted(directory.iterdir(), key=lambda p: p.name):
+        if entry.name.startswith(".") or entry.name == "__pycache__":
+            continue
+        if entry.is_dir():
+            yield from _walk_sorted(entry)
+        elif entry.is_file() and entry.suffix == ".py":
+            yield entry
+
+
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     """Expand files/directories into a sorted, de-duplicated ``.py`` list.
 
     Missing paths raise ``FileNotFoundError`` — a CI gate that silently
-    lints nothing is worse than one that fails loudly.
+    lints nothing is worse than one that fails loudly.  The result is
+    sorted by full path string so it lines up with sorted findings.
     """
     seen: set[Path] = set()
+    ordered: list[Path] = []
     for entry in paths:
         p = Path(entry)
         if p.is_dir():
-            seen.update(p.rglob("*.py"))
+            candidates: Iterable[Path] = _walk_sorted(p)
         elif p.is_file():
-            seen.add(p)
+            candidates = (p,)
         else:
             raise FileNotFoundError(f"no such file or directory: {p}")
-    return sorted(seen)
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return sorted(ordered, key=str)
+
+
+# ---------------------------------------------------------------------------
+# Whole-program orchestration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintRun:
+    """What one :func:`lint_project` run did, beyond the findings."""
+
+    findings: tuple[Finding, ...]
+    files: int
+    linted: int
+    cache_hits: int
+    cache_misses: int
+    graph_modules: int
+
+
+#: Spawn workers re-import this module; the initializer parks the shared
+#: read-only state here (the RL008-sanctioned ``_POOL_STATE`` pattern).
+_POOL_STATE: dict[str, object] = {}
+
+
+def _pool_init(graph: ProjectGraph, rule_ids: tuple[str, ...] | None) -> None:
+    import repro.analysis  # noqa: F401  (registers the rule catalog)
+
+    _POOL_STATE["graph"] = graph
+    _POOL_STATE["rule_ids"] = rule_ids
+
+
+def _pool_lint(task: tuple[str, str]) -> list[Finding]:
+    path, source = task
+    graph = _POOL_STATE.get("graph")
+    rule_ids = _POOL_STATE.get("rule_ids")
+    if not isinstance(graph, ProjectGraph):  # pragma: no cover - init contract
+        raise RuntimeError("pool worker used before _pool_init")
+    rules = resolve_rules(rule_ids if isinstance(rule_ids, tuple) else None)
+    return lint_source(source, path, rules=rules, project=graph)
+
+
+def _deps_hash(graph: ProjectGraph, name: str, hashes: dict[str, str]) -> str:
+    """Hash of a module's direct project dependencies' content hashes."""
+    h = blake2b(digest_size=16)
+    for dep in graph.project_imports(name):
+        info = graph.modules.get(dep)
+        if info is None:
+            continue
+        h.update(dep.encode("utf-8"))
+        h.update(hashes.get(info.path, "").encode("utf-8"))
+    return h.hexdigest()
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[type[Rule]] | None = None,
+    jobs: int = 1,
+    cache: "LintCache | None" = None,
+    only: Iterable[str | Path] | None = None,
+) -> LintRun:
+    """Lint ``paths`` as one program: shared graph, cache, optional pool.
+
+    ``only`` narrows which files are *linted and reported* (the
+    ``--changed`` path) while the import graph still spans the whole
+    tree — cross-file resolution must not degrade just because the diff
+    is small.  With a ``cache``, unchanged files inside the scope are
+    served from it; everything linted fresh is stored back.  Findings
+    are identical for any ``jobs`` value and any cache state.
+    """
+    from repro.analysis.cache import content_hash
+
+    files = iter_python_files(paths)
+    sources: dict[str, str] = {}
+    hashes: dict[str, str] = {}
+    for p in files:
+        text = p.read_text(encoding="utf-8")
+        sources[str(p)] = text
+        hashes[str(p)] = content_hash(text)
+
+    # module summaries: reuse cached ones for unchanged files
+    summaries: dict[str, ModuleInfo] = {}
+    for path, source in sources.items():
+        cached = cache.module_summary(path, hashes[path]) if cache is not None else None
+        summaries[path] = cached if cached is not None else module_info(path, source)
+    graph = ProjectGraph(summaries.values())
+
+    # the scope is matched on resolved paths: ``--changed`` hands in
+    # repo-relative git paths while ``paths`` may be relative or absolute
+    scope: set[str] | None = None
+    if only is not None:
+        scope = {str(Path(p).resolve()) for p in only}
+
+    deps: dict[str, str] = {
+        path: _deps_hash(graph, summaries[path].name, hashes) for path in sources
+    }
+
+    results: dict[str, list[Finding]] = {}
+    hits = 0
+    misses: list[str] = []
+    for path in sources:
+        if scope is not None and str(Path(path).resolve()) not in scope:
+            continue
+        cached_findings = (
+            cache.findings_for(path, hashes[path], deps[path]) if cache is not None else None
+        )
+        if cached_findings is not None:
+            results[path] = cached_findings
+            hits += 1
+        else:
+            misses.append(path)
+
+    if misses and jobs > 1:
+        rule_ids = None if rules is None else tuple(cls.id for cls in rules)
+        tasks = [(path, sources[path]) for path in misses]
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=get_context("spawn"),
+            initializer=_pool_init,
+            initargs=(graph, rule_ids),
+        ) as pool:
+            for path, found in zip(misses, pool.map(_pool_lint, tasks)):
+                results[path] = found
+    else:
+        for path in misses:
+            results[path] = lint_source(sources[path], path, rules=rules, project=graph)
+
+    if cache is not None:
+        for path in sources:
+            cache.store_summary(path, hashes[path], summaries[path])
+        for path in misses:
+            cache.store_findings(path, hashes[path], deps[path], results[path])
+        cache.prune(sources.keys())
+        cache.save()
+
+    findings: list[Finding] = []
+    for path in sorted(results, key=str):
+        findings.extend(results[path])
+    return LintRun(
+        findings=tuple(sorted(findings)),
+        files=len(files),
+        linted=len(misses),
+        cache_hits=hits,
+        cache_misses=len(misses),
+        graph_modules=len(graph.modules),
+    )
 
 
 def lint_paths(
@@ -212,8 +440,9 @@ def lint_paths(
     *,
     rules: Sequence[type[Rule]] | None = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings in path order."""
-    findings: list[Finding] = []
-    for p in iter_python_files(paths):
-        findings.extend(lint_file(p, rules=rules))
-    return findings
+    """Lint every ``.py`` file under ``paths``; findings in path order.
+
+    Convenience wrapper over :func:`lint_project` (serial, no cache) so
+    even the simple entry point gets whole-program context.
+    """
+    return list(lint_project(paths, rules=rules).findings)

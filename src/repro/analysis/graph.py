@@ -1,0 +1,494 @@
+"""Whole-program module/import graph and project symbol table.
+
+The per-file walk in :mod:`repro.analysis.engine` sees one tree at a
+time; the cross-file rules (RL012 salt-flow, RL013 spawn-capture) need
+to answer questions no single tree can:
+
+* *what does this name actually refer to?* — ``from repro.engine import
+  FoldCache`` binds a name that the engine **facade** re-exports from
+  ``repro.engine.foldcache``; resolving the chain is what lets RL012
+  recognise a cache constructor no matter which door it came through;
+* *who subclasses the caches?* — ``SolverCache(FoldCache)`` must inherit
+  the salting contract, so the rule needs the subclass closure;
+* *what depends on what?* — the incremental lint cache invalidates a
+  file when a **direct project dependency** changes, so the graph is
+  also the cache's invalidation oracle.
+
+Each file is condensed into a :class:`ModuleInfo` summary (imports,
+name bindings, top-level defs, class bases, ``__all__``).  Summaries
+are plain data and JSON-round-trippable on purpose: the lint cache
+persists them per content hash, so an incremental run re-parses only
+changed files and rebuilds the graph from cached summaries for the
+rest.  Graph *construction* from summaries is cheap (dict wiring);
+parsing is the cost the cache removes.
+
+Module naming is anchored the same way the engine's ``_module_parts``
+anchors rule scopes: a path containing a ``repro`` directory is named
+from there (``src/repro/engine/solver.py`` → ``repro.engine.solver``);
+the repo's ``tests``/``benchmarks``/``scripts`` trees anchor at those
+directory names; anything else falls back to the bare stem (or to a
+caller-supplied ``root`` for fixture trees).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "ModuleInfo",
+    "ProjectGraph",
+    "build_graph",
+    "module_info",
+    "module_name_for",
+]
+
+_ANCHORS: tuple[str, ...] = ("repro", "tests", "benchmarks", "scripts")
+
+
+def module_name_for(path: str | Path, root: str | Path | None = None) -> str:
+    """Dotted module name for ``path``, anchored at a known tree root.
+
+    ``root`` widens the anchor set for synthetic fixture trees: any path
+    under ``root`` is named relative to it.
+    """
+    p = Path(path)
+    parts = list(p.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in _ANCHORS:
+        if anchor in parts:
+            return ".".join(parts[parts.index(anchor) :])
+    if root is not None:
+        try:
+            rel = p.with_suffix("").relative_to(Path(root))
+        except ValueError:
+            pass
+        else:
+            rparts = list(rel.parts)
+            if rparts and rparts[-1] == "__init__":
+                rparts = rparts[:-1]
+            if rparts:
+                return ".".join(rparts)
+    return p.stem if p.stem != "__init__" else p.parent.name
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One file condensed to what the graph needs — plain, serialisable data.
+
+    ``bindings`` maps each module-scope name bound by an import to its
+    origin: ``(local, module, symbol)`` where ``symbol is None`` means the
+    name is the module itself (``import repro.engine`` / ``from repro
+    import engine``).  ``defs`` are module-scope definitions with a kind
+    tag (``"class"``/``"function"``/``"assign"``); ``bases`` records each
+    class's base-name expressions verbatim for later resolution against
+    the graph.
+    """
+
+    name: str
+    path: str
+    is_package: bool
+    imports: tuple[str, ...]
+    bindings: tuple[tuple[str, str, str | None], ...]
+    defs: tuple[tuple[str, str], ...]
+    bases: tuple[tuple[str, tuple[str, ...]], ...]
+    exports: tuple[str, ...] | None = None
+    parse_error: bool = False
+
+    @property
+    def binding_map(self) -> dict[str, tuple[str, str | None]]:
+        return {local: (mod, sym) for local, mod, sym in self.bindings}
+
+    @property
+    def def_map(self) -> dict[str, str]:
+        return dict(self.defs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form, inverse of :meth:`from_dict` (for the lint cache)."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "is_package": self.is_package,
+            "imports": list(self.imports),
+            "bindings": [list(b) for b in self.bindings],
+            "defs": [list(d) for d in self.defs],
+            "bases": [[cls, list(bases)] for cls, bases in self.bases],
+            "exports": None if self.exports is None else list(self.exports),
+            "parse_error": self.parse_error,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "ModuleInfo":
+        return ModuleInfo(
+            name=str(payload["name"]),
+            path=str(payload["path"]),
+            is_package=bool(payload["is_package"]),
+            imports=tuple(str(m) for m in payload["imports"]),
+            bindings=tuple(
+                (str(b[0]), str(b[1]), None if b[2] is None else str(b[2]))
+                for b in payload["bindings"]
+            ),
+            defs=tuple((str(d[0]), str(d[1])) for d in payload["defs"]),
+            bases=tuple(
+                (str(cls), tuple(str(b) for b in bases)) for cls, bases in payload["bases"]
+            ),
+            exports=(
+                None
+                if payload.get("exports") is None
+                else tuple(str(e) for e in payload["exports"])
+            ),
+            parse_error=bool(payload.get("parse_error", False)),
+        )
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """``a.b.C`` for a dotted base class expression, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve_relative(module: str | None, level: int, package: str) -> str:
+    """Absolute module for a (possibly relative) ``from`` import."""
+    if level == 0:
+        return module or ""
+    base = package.split(".") if package else []
+    up = level - 1
+    if up:
+        base = base[: -up] if up < len(base) else []
+    tail = module.split(".") if module else []
+    return ".".join(base + tail)
+
+
+def _module_scope(body: Iterable[ast.stmt]) -> Iterable[ast.stmt]:
+    """Module-scope statements, descending into If/Try/With but not defs."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _module_scope(stmt.body)
+            yield from _module_scope(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _module_scope(stmt.body)
+            for handler in stmt.handlers:
+                yield from _module_scope(handler.body)
+            yield from _module_scope(stmt.orelse)
+            yield from _module_scope(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            yield from _module_scope(stmt.body)
+
+
+def _literal_strings(expr: ast.expr) -> tuple[str, ...] | None:
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        out: list[str] = []
+        for elt in expr.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return tuple(out)
+    return None
+
+
+def module_info(
+    path: str | Path,
+    source: str | None = None,
+    *,
+    root: str | Path | None = None,
+) -> ModuleInfo:
+    """Summarise one file for the graph; parse failures yield an empty stub."""
+    p = Path(path)
+    if source is None:
+        source = p.read_text(encoding="utf-8")
+    name = module_name_for(p, root)
+    is_package = p.stem == "__init__"
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError:
+        return ModuleInfo(
+            name=name,
+            path=str(p),
+            is_package=is_package,
+            imports=(),
+            bindings=(),
+            defs=(),
+            bases=(),
+            parse_error=True,
+        )
+    package = name if is_package else ".".join(name.split(".")[:-1])
+
+    imports: list[str] = []
+    seen_imports: set[str] = set()
+    bindings: list[tuple[str, str, str | None]] = []
+    defs: list[tuple[str, str]] = []
+    bases: list[tuple[str, tuple[str, ...]]] = []
+    exports: tuple[str, ...] | None = None
+
+    def add_import(mod: str) -> None:
+        if mod and mod not in seen_imports:
+            seen_imports.add(mod)
+            imports.append(mod)
+
+    # import *edges* count wherever they appear (function-local imports
+    # still create a dependency); name *bindings* only at module scope.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add_import(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            add_import(_resolve_relative(node.module, node.level, package))
+
+    for stmt in _module_scope(tree.body):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname is not None:
+                    bindings.append((alias.asname, alias.name, None))
+                else:
+                    top = alias.name.split(".")[0]
+                    bindings.append((top, top, None))
+        elif isinstance(stmt, ast.ImportFrom):
+            mod = _resolve_relative(stmt.module, stmt.level, package)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bindings.append((alias.asname or alias.name, mod, alias.name))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.append((stmt.name, "function"))
+        elif isinstance(stmt, ast.ClassDef):
+            defs.append((stmt.name, "class"))
+            named = tuple(b for b in (_base_name(e) for e in stmt.bases) if b is not None)
+            bases.append((stmt.name, named))
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if target.id == "__all__":
+                        exports = _literal_strings(stmt.value)
+                    else:
+                        defs.append((target.id, "assign"))
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            defs.append((stmt.target.id, "assign"))
+
+    return ModuleInfo(
+        name=name,
+        path=str(p),
+        is_package=is_package,
+        imports=tuple(imports),
+        bindings=tuple(bindings),
+        defs=tuple(defs),
+        bases=tuple(bases),
+        exports=exports,
+    )
+
+
+class ProjectGraph:
+    """The project's modules wired together: imports, symbols, classes.
+
+    Construction is pure dict wiring over :class:`ModuleInfo` summaries;
+    all the interesting work happens in the resolution queries, each of
+    which is deterministic (sorted outputs) so findings built on them
+    replay bit-exactly.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        for info in modules:
+            self.modules[info.name] = info
+        self._by_path: dict[str, str] = {info.path: name for name, info in self.modules.items()}
+        self._importers: dict[str, set[str]] | None = None
+        self._subclass_index: dict[str, set[str]] | None = None
+
+    # ------------------------------------------------------------- lookups
+    def module_for_path(self, path: str | Path) -> ModuleInfo | None:
+        return self.modules.get(self._by_path.get(str(path), ""))
+
+    def project_imports(self, name: str) -> tuple[str, ...]:
+        """Modules of *this project* that ``name`` depends on directly."""
+        info = self.modules.get(name)
+        if info is None:
+            return ()
+        deps: set[str] = set()
+        for mod in info.imports:
+            if mod in self.modules and mod != name:
+                deps.add(mod)
+        for _local, mod, sym in info.bindings:
+            if sym is not None and f"{mod}.{sym}" in self.modules:
+                deps.add(f"{mod}.{sym}")
+        deps.discard(name)
+        return tuple(sorted(deps))
+
+    def importers_of(self, name: str) -> tuple[str, ...]:
+        """Modules that directly import ``name`` (reverse edges)."""
+        if self._importers is None:
+            rev: dict[str, set[str]] = {}
+            for mod in self.modules:
+                for dep in self.project_imports(mod):
+                    rev.setdefault(dep, set()).add(mod)
+            self._importers = rev
+        return tuple(sorted(self._importers.get(name, set())))
+
+    # ---------------------------------------------------------- resolution
+    def resolve(self, module: str, name: str) -> tuple[str, str | None] | None:
+        """Where ``name`` (as visible in ``module``) is actually defined.
+
+        Follows re-export chains through facades — ``FoldCache`` seen via
+        ``from repro.engine import FoldCache`` resolves to
+        ``("repro.engine.foldcache", "FoldCache")``.  Returns ``(module,
+        None)`` when the name is itself a module, the best-known origin
+        for names that leave the project, and ``None`` for unknowns.
+        Cyclic re-exports terminate via a visited set.
+        """
+        seen: set[tuple[str, str]] = set()
+        cur_mod, cur_name = module, name
+        while True:
+            if (cur_mod, cur_name) in seen:
+                return None
+            seen.add((cur_mod, cur_name))
+            info = self.modules.get(cur_mod)
+            if info is None:
+                return (cur_mod, cur_name)  # left the project: best-known origin
+            if cur_name in info.def_map:
+                return (cur_mod, cur_name)
+            bound = info.binding_map.get(cur_name)
+            if bound is not None:
+                next_mod, next_sym = bound
+                if next_sym is None:
+                    return (next_mod, None)
+                if f"{next_mod}.{next_sym}" in self.modules:
+                    return (f"{next_mod}.{next_sym}", None)
+                cur_mod, cur_name = next_mod, next_sym
+                continue
+            if info.is_package and f"{cur_mod}.{cur_name}" in self.modules:
+                return (f"{cur_mod}.{cur_name}", None)
+            return None
+
+    def resolve_dotted(self, module: str, dotted: str) -> tuple[str, str | None] | None:
+        """Resolve ``a.b.C`` as seen from ``module`` (attribute chains)."""
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return self.resolve(module, parts[0])
+        head = self.resolve(module, parts[0])
+        if head is None or head[1] is not None:
+            return None  # rooted at a non-module name: not resolvable statically
+        mod = head[0]
+        for part in parts[1:-1]:
+            if f"{mod}.{part}" in self.modules:
+                mod = f"{mod}.{part}"
+            else:
+                return None
+        return self.resolve(mod, parts[-1])
+
+    # ------------------------------------------------------------- classes
+    def _classes(self) -> dict[str, set[str]]:
+        """base dotted-name -> directly derived class dotted-names."""
+        if self._subclass_index is None:
+            index: dict[str, set[str]] = {}
+            for info in self.modules.values():
+                for cls, base_names in info.bases:
+                    derived = f"{info.name}.{cls}"
+                    for base in base_names:
+                        resolved = self.resolve_dotted(info.name, base)
+                        if resolved is None or resolved[1] is None:
+                            continue
+                        index.setdefault(f"{resolved[0]}.{resolved[1]}", set()).add(derived)
+            self._subclass_index = index
+        return self._subclass_index
+
+    def subclasses_of(self, dotted: str) -> tuple[str, ...]:
+        """Transitive subclass closure of a fully-dotted class, inclusive."""
+        index = self._classes()
+        out: set[str] = {dotted}
+        frontier = [dotted]
+        while frontier:
+            base = frontier.pop()
+            for derived in index.get(base, set()):
+                if derived not in out:
+                    out.add(derived)
+                    frontier.append(derived)
+        return tuple(sorted(out))
+
+    # -------------------------------------------------------------- cycles
+    def import_cycles(self) -> tuple[tuple[str, ...], ...]:
+        """Strongly connected import components of size > 1 (or self-loops).
+
+        Iterative Tarjan so deep import chains cannot hit the recursion
+        limit; components and their members come back sorted.
+        """
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        sccs: list[tuple[str, ...]] = []
+        adjacency = {mod: self.project_imports(mod) for mod in self.modules}
+
+        for start in sorted(self.modules):
+            if start in index:
+                continue
+            work: list[tuple[str, int]] = [(start, 0)]
+            while work:
+                node, edge_i = work[-1]
+                if edge_i == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                for i in range(edge_i, len(adjacency[node])):
+                    dep = adjacency[node][i]
+                    if dep not in index:
+                        work[-1] = (node, i + 1)
+                        work.append((dep, 0))
+                        advanced = True
+                        break
+                    if dep in on_stack:
+                        low[node] = min(low[node], index[dep])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in adjacency[node]:
+                        sccs.append(tuple(sorted(component)))
+        return tuple(sorted(sccs))
+
+
+def build_graph(
+    sources: Mapping[str, str] | Iterable[str | Path],
+    *,
+    root: str | Path | None = None,
+    summaries: Mapping[str, ModuleInfo] | None = None,
+) -> ProjectGraph:
+    """Build the graph from ``{path: source}`` (or paths read from disk).
+
+    ``summaries`` short-circuits parsing: entries keyed by path are used
+    verbatim — this is the incremental path, where the lint cache hands
+    back :class:`ModuleInfo` for every unchanged file.
+    """
+    infos: list[ModuleInfo] = []
+    if isinstance(sources, Mapping):
+        items: list[tuple[str, str | None]] = [(p, s) for p, s in sources.items()]
+    else:
+        items = [(str(p), None) for p in sources]
+    for path, source in items:
+        if summaries is not None and path in summaries:
+            infos.append(summaries[path])
+        else:
+            infos.append(module_info(path, source, root=root))
+    return ProjectGraph(infos)

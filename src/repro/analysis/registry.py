@@ -33,9 +33,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.analysis.engine import FileContext
 
-__all__ = ["Rule", "register_rule", "get_rule", "rule_ids", "resolve_rules"]
+__all__ = [
+    "ALL_CATEGORIES",
+    "CATEGORIES",
+    "Rule",
+    "register_rule",
+    "get_rule",
+    "rule_ids",
+    "resolve_rules",
+]
 
 _RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+#: The file categories a linted path can fall into (see
+#: :func:`repro.analysis.engine.path_category`): ``library`` is shipped
+#: code (``src/`` and anything not under the other trees), the rest are
+#: the repo's tests, benchmarks, and operational scripts.
+CATEGORIES: tuple[str, ...] = ("library", "tests", "benchmarks", "scripts")
+
+#: Convenience: the rule applies everywhere (the default).
+ALL_CATEGORIES: frozenset[str] = frozenset(CATEGORIES)
 
 
 class Rule:
@@ -51,6 +68,11 @@ class Rule:
     contract: ClassVar[str] = ""
     #: AST node classes dispatched to :meth:`check`.
     node_types: ClassVar[tuple[type, ...]] = ()
+    #: File categories the rule applies to.  Tests probe internals and
+    #: construct counterexamples on purpose, so contracts about *shipped*
+    #: code scope themselves to ``{"library"}`` (or library + the
+    #: operational trees) instead of firing on the probes.
+    domains: ClassVar[frozenset[str]] = ALL_CATEGORIES
 
     def start_file(self, ctx: "FileContext") -> None:
         """Called once before any node of the file is dispatched."""
@@ -75,6 +97,8 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
         raise ValueError(f"rule id {cls.id!r} must match RLxxx")
     if not cls.name or not cls.contract:
         raise ValueError(f"rule {cls.id} must declare a name and a contract")
+    if not cls.domains or not cls.domains <= ALL_CATEGORIES:
+        raise ValueError(f"rule {cls.id} domains must be a non-empty subset of {CATEGORIES}")
     if cls.id in _REGISTRY:
         raise ValueError(f"rule {cls.id} is already registered")
     _REGISTRY[cls.id] = cls

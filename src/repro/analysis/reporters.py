@@ -1,20 +1,23 @@
-"""Render findings for humans (text) and for machines (JSON).
+"""Render findings for humans (text) and for machines (JSON, SARIF).
 
 Reporters are pure functions from a finding list to a string: no I/O,
 no exit codes — the CLI owns both.  That keeps them trivially testable
 and means the JSON shape (``{"findings": [...], "count": N}``) is the
 stable machine interface for CI annotations or editor integrations.
+SARIF 2.1.0 (``render_sarif``) is what GitHub code scanning ingests, so
+the CI lint job uploads findings as inline PR annotations.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.analysis.findings import Finding
+from repro.analysis.registry import get_rule, rule_ids
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -39,5 +42,65 @@ def render_json(findings: Sequence[Finding]) -> str:
     payload = {
         "findings": [f.to_dict() for f in findings],
         "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 for GitHub code scanning.
+
+    One run, one driver (``repro-lint``); the rule catalog ships in the
+    driver block (id, name, contract) so annotations link back to the
+    contract text, and each finding becomes a ``result`` with a physical
+    location.  Paths are emitted as given — the CLI lints from the repo
+    root, which is exactly the uriBaseId GitHub expects.
+    """
+    rules_meta: list[dict[str, Any]] = []
+    for rid in rule_ids():
+        cls = get_rule(rid)
+        rules_meta.append(
+            {
+                "id": rid,
+                "name": cls.name,
+                "shortDescription": {"text": cls.contract},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: list[dict[str, Any]] = [
+        {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload: dict[str, Any] = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,4 +1,4 @@
-"""The eleven project-contract rules (RL001–RL011).
+"""The syntactic project-contract rules (RL001–RL011).
 
 Each rule encodes an invariant the repo's correctness or operability
 story depends on — none of them is a style preference, and none is
@@ -22,10 +22,22 @@ RL011  flight-integrity      decision events go through the flight-recorder
                              facade, never hand-built ``FlightEvent`` objects
 =====  ====================  ==================================================
 
-All checks are syntactic (stdlib :mod:`ast`, no imports of the linted
+The whole-program *flow* rules (RL012–RL014) live in
+:mod:`repro.analysis.flowrules`; they build on the import graph and the
+taint dataflow rather than on single-node syntax.
+
+All checks are static (stdlib :mod:`ast`, no imports of the linted
 code), so the linter can run on a broken checkout and never executes
 what it checks.  Where a rule needs a judgement call the *stricter*
 reading wins and the inline suppression comment is the escape hatch.
+
+Every rule declares the file ``domains`` it patrols (see
+:data:`repro.analysis.registry.CATEGORIES`).  Tests probe internals and
+construct counterexamples on purpose — a test that feeds a bad metric
+name to the registry, or imports the pinned kernel to golden-pin it, is
+doing its job — so contracts about shipped code scope themselves to the
+library (plus, where it makes sense, benchmarks and scripts) instead of
+firing on the probes.
 """
 
 from __future__ import annotations
@@ -62,6 +74,34 @@ def _dotted_name(node: ast.expr) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+# Shared pool-detection helpers: RL008 (syntactic worker checks) and
+# RL013 (dataflow capture checks) must agree on what counts as a pool.
+POOL_CTORS: frozenset[str] = frozenset({"ProcessPoolExecutor", "Pool"})
+SUBMIT_METHODS: frozenset[str] = frozenset(
+    {"map", "submit", "apply_async", "apply", "imap", "imap_unordered", "starmap"}
+)
+
+
+def is_pool_ctor(node: ast.expr) -> bool:
+    """True when ``node`` constructs a process pool."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted_name(node.func)
+    return dotted is not None and dotted.split(".")[-1] in POOL_CTORS
+
+
+def collect_pool_names(tree: ast.Module) -> set[str]:
+    """Names bound to pool instances (``pool = ...`` / ``with ... as pool``)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and is_pool_ctor(node.value):
+            names.update(t.id for t in node.targets if isinstance(t, ast.Name))
+        elif isinstance(node, ast.withitem) and is_pool_ctor(node.context_expr):
+            if isinstance(node.optional_vars, ast.Name):
+                names.add(node.optional_vars.id)
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +266,8 @@ class EngineFacadeRule(Rule):
     name = "engine-facade"
     contract = "outside repro/engine, import only what repro.engine re-exports"
     node_types = (ast.Import, ast.ImportFrom)
+    # tests exercise engine internals directly (white-box pins)
+    domains = frozenset({"library", "benchmarks", "scripts"})
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
         if ctx.in_subpackage("engine"):
@@ -342,6 +384,8 @@ class PromNamingRule(Rule):
     name = "prom-naming"
     contract = "metric families are repro_-namespaced with unit suffixes"
     node_types = (ast.Call,)
+    # tests feed bad names to the registry on purpose (rejection pins)
+    domains = frozenset({"library", "benchmarks", "scripts"})
 
     _METHOD_KINDS: ClassVar[dict[str, str]] = {
         "counter": "counter", "gauge": "gauge", "histogram": "histogram",
@@ -440,6 +484,8 @@ class SpanContextManagerRule(Rule):
     name = "span-context-manager"
     contract = "tracer spans are opened only as with-statement contexts"
     node_types = (ast.Call,)
+    # tests hold spans open deliberately to probe the misuse paths
+    domains = frozenset({"library", "benchmarks", "scripts"})
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
         if not isinstance(node, ast.Call):
@@ -478,6 +524,8 @@ class AssertValidationRule(Rule):
     name = "no-assert-validation"
     contract = "src/ raises explicit errors; no assert, no mutable defaults"
     node_types = (ast.Assert, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+    # assert IS the assertion mechanism in tests and benchmark spot-checks
+    domains = frozenset({"library", "scripts"})
 
     _MUTABLE_CTORS: ClassVar[frozenset[str]] = frozenset({"dict", "list", "set"})
 
@@ -529,17 +577,6 @@ class PoolWorkerRule(Rule):
     name = "picklable-pool-worker"
     contract = "pool workers are module-level functions that rebind no globals"
     node_types = ()
-
-    _POOL_CTORS: ClassVar[frozenset[str]] = frozenset({"ProcessPoolExecutor", "Pool"})
-    _SUBMIT_METHODS: ClassVar[frozenset[str]] = frozenset(
-        {"map", "submit", "apply_async", "apply", "imap", "imap_unordered", "starmap"}
-    )
-
-    def _is_pool_ctor(self, node: ast.expr) -> bool:
-        if not isinstance(node, ast.Call):
-            return False
-        dotted = _dotted_name(node.func)
-        return dotted is not None and dotted.split(".")[-1] in self._POOL_CTORS
 
     def _check_worker(
         self,
@@ -603,30 +640,22 @@ class PoolWorkerRule(Rule):
             elif isinstance(stmt, ast.ImportFrom):
                 imported.update(a.asname or a.name for a in stmt.names)
 
-        pool_names: set[str] = set()
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Assign) and self._is_pool_ctor(node.value):
-                pool_names.update(
-                    t.id for t in node.targets if isinstance(t, ast.Name)
-                )
-            elif isinstance(node, ast.withitem) and self._is_pool_ctor(node.context_expr):
-                if isinstance(node.optional_vars, ast.Name):
-                    pool_names.add(node.optional_vars.id)
+        pool_names = collect_pool_names(ctx.tree)
 
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            if self._is_pool_ctor(node):
+            if is_pool_ctor(node):
                 for kw in node.keywords:
                     if kw.arg == "initializer":
                         self._check_worker(kw.value, ctx, module_defs, imported)
                 continue
             func = node.func
-            if not (isinstance(func, ast.Attribute) and func.attr in self._SUBMIT_METHODS):
+            if not (isinstance(func, ast.Attribute) and func.attr in SUBMIT_METHODS):
                 continue
             receiver_is_pool = (
                 isinstance(func.value, ast.Name) and func.value.id in pool_names
-            ) or self._is_pool_ctor(func.value)
+            ) or is_pool_ctor(func.value)
             if receiver_is_pool and node.args:
                 self._check_worker(node.args[0], ctx, module_defs, imported)
 
@@ -654,6 +683,8 @@ class KernelRegistryRule(Rule):
     name = "kernel-registry"
     contract = "outside repro/core, convolve via the kernel registry"
     node_types = (ast.Import, ast.ImportFrom)
+    # golden tests pin the reference kernel by importing it directly
+    domains = frozenset({"library", "benchmarks", "scripts"})
 
     _SOURCES: ClassVar[frozenset[str]] = frozenset(
         {"repro.core", "repro.core.minplus", "repro.core.kernels"}
@@ -710,6 +741,8 @@ class PolicyIntegrityRule(Rule):
     name = "policy-integrity"
     contract = "outside repro/core, cost curves are built via the policy API"
     node_types = (ast.Import, ast.ImportFrom)
+    # tests build raw curves to pin the constructors themselves
+    domains = frozenset({"library", "benchmarks", "scripts"})
 
     _BANNED: ClassVar[frozenset[str]] = frozenset(
         {"miss_count_costs", "weighted_miss_costs", "qos_costs", "constrained_costs"}
@@ -771,6 +804,8 @@ class FlightIntegrityRule(Rule):
     name = "flight-integrity"
     contract = "outside repro/obs, flight events are emitted, never hand-built"
     node_types = (ast.Import, ast.ImportFrom, ast.Call)
+    # tests forge events to pin the validator's rejections
+    domains = frozenset({"library", "benchmarks", "scripts"})
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
         if ctx.in_subpackage("obs"):

@@ -41,6 +41,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -211,11 +212,36 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_files() -> list[str]:
+    """Paths git considers modified or untracked, relative to the cwd.
+
+    Raises ``RuntimeError`` when git is unavailable or the cwd is not a
+    work tree — ``--changed`` silently linting everything (or nothing)
+    would defeat its purpose.
+    """
+    import subprocess
+
+    out: list[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(f"--changed needs git: {' '.join(cmd)} failed") from exc
+        out.extend(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return out
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
+        DEFAULT_CACHE_PATH,
+        LintCache,
         get_rule,
-        lint_paths,
+        lint_project,
         render_json,
+        render_sarif,
         render_text,
         resolve_rules,
         rule_ids,
@@ -235,13 +261,43 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    only: list[Path] | None = None
+    if args.changed:
+        try:
+            changed = {Path(p).resolve() for p in _changed_files()}
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        only = sorted(p for p in changed if p.suffix == ".py")
+
+    cache = None
+    if args.cache is not None:
+        from repro.analysis import catalog_fingerprint
+
+        rids = [cls.id for cls in selected] if selected is not None else list(rule_ids())
+        cache_path = Path(args.cache if args.cache else DEFAULT_CACHE_PATH)
+        cache = LintCache.load(cache_path, catalog_fingerprint(rids))
     try:
-        findings = lint_paths(args.paths, rules=selected)
+        run = lint_project(
+            args.paths, rules=selected, jobs=args.jobs, cache=cache, only=only
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    findings = list(run.findings)
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     print(render(findings))
+    if args.stats:
+        print(
+            f"files {run.files}  linted {run.linted}  cache hits {run.cache_hits}  "
+            f"misses {run.cache_misses}  graph modules {run.graph_modules}",
+            file=sys.stderr,
+        )
     return 1 if findings else 0
 
 
@@ -848,14 +904,24 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
-        "lint", help="check the project contracts (repro-lint, rules RL001-RL011)"
+        "lint", help="check the project contracts (repro-lint, rules RL001-RL014)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--select", default=None,
                    help="comma-separated rule ids to run (default: all)")
-    p.add_argument("--format", choices=("text", "json"), default="text",
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
                    help="report format")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="lint files in N worker processes (default: 1)")
+    p.add_argument("--changed", action="store_true",
+                   help="only report files git sees as modified/untracked "
+                        "(the import graph still spans all paths)")
+    p.add_argument("--cache", nargs="?", const="", default=None, metavar="PATH",
+                   help="reuse an incremental lint cache "
+                        "(default path: .repro-lint-cache.json)")
+    p.add_argument("--stats", action="store_true",
+                   help="print cache/graph statistics to stderr")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=_cmd_lint)

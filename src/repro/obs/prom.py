@@ -77,10 +77,14 @@ def _format_value(v: float) -> str:
     return repr(f)
 
 
-def _format_labels(labels: Mapping[str, str]) -> str:
-    if not labels:
+def _format_labels(pairs: Sequence[tuple[str, str]]) -> str:
+    """Render label pairs *in the order given* — the family's declared
+    ``labelnames`` order is the canonical one, so callers pass an
+    explicit sequence rather than a dict whose insertion order would
+    carry the meaning implicitly."""
+    if not pairs:
         return ""
-    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -143,7 +147,7 @@ class _Metric:
             f"# TYPE {self.name} {self.TYPE}",
         ]
         for key, value in self._samples():
-            labels = dict(zip(self.labelnames, key))
+            labels = list(zip(self.labelnames, key))
             lines.append(f"{self.name}{_format_labels(labels)} {_format_value(value)}")
         return "\n".join(lines)
 
@@ -273,8 +277,13 @@ class Registry:
         return tuple(self._metrics)
 
     def render(self) -> str:
-        """The full exposition page (text format 0.0.4, trailing newline)."""
-        blocks = [m.render() for m in self._metrics.values()]
+        """The full exposition page (text format 0.0.4, trailing newline).
+
+        Families render in sorted-name order: scrapers don't care, but
+        equal registries must expose byte-identical pages regardless of
+        the order code paths happened to register their metrics in.
+        """
+        blocks = [m.render() for _name, m in sorted(self._metrics.items())]
         return "\n".join(blocks) + "\n" if blocks else ""
 
 

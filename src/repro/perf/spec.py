@@ -38,6 +38,7 @@ AREAS: tuple[str, ...] = (
     "ablation",
     "validation",
     "policy",
+    "analysis",
 )
 
 #: The recognized tiers, cheapest first.

@@ -47,7 +47,7 @@ class TraceStats:
             f"phases       {self.n_phases}",
             f"convexity    {self.convexity_violations} material violations",
             "miss ratios  "
-            + "  ".join(f"mr({c})={v:.4f}" for c, v in self.miss_ratio_samples.items()),
+            + "  ".join(f"mr({c})={v:.4f}" for c, v in sorted(self.miss_ratio_samples.items())),
         ]
         return "\n".join(lines)
 

@@ -1,0 +1,237 @@
+"""Taint propagation in the intraprocedural dataflow lattice.
+
+Each test parses a snippet, runs :class:`ModuleDataflow`, and asks for
+the taint of a marked expression — the same query surface the flow
+rules use.
+"""
+
+import ast
+from textwrap import dedent
+
+from repro.analysis import ModuleDataflow
+from repro.analysis.dataflow import NONDET, SALT, UNORDERED, UNPICKLABLE
+
+
+def taint_of_return(source, func="probe"):
+    """Taint of the value returned by ``func`` in ``source``."""
+    tree = ast.parse(dedent(source))
+    df = ModuleDataflow(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == func:
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    return df.taint_of(stmt.value)
+    raise AssertionError(f"no return found in {func}")
+
+
+# -------------------------------------------------------------------- SALT
+def test_salt_flows_from_fingerprint_calls_through_tuples():
+    taint = taint_of_return(
+        """
+        def probe(policy, curve):
+            fp = policy_fingerprint(policy)
+            key = (curve, fp)
+            return key
+        """
+    )
+    assert SALT in taint
+
+
+def test_salt_flows_from_salt_named_values():
+    taint = taint_of_return(
+        """
+        def probe(solver, curve):
+            return (curve, solver.policy_salt)
+        """
+    )
+    assert SALT in taint
+
+
+def test_plain_literals_carry_no_salt():
+    assert taint_of_return(
+        """
+        def probe(curve):
+            return (curve, b"")
+        """
+    ) == frozenset()
+
+
+# ------------------------------------------------------------------ NONDET
+def test_wall_clock_and_entropy_are_nondet():
+    for expr in ("time.time()", "os.urandom(8)", "uuid.uuid4()"):
+        taint = taint_of_return(
+            f"""
+            def probe():
+                stamp = {expr}
+                return stamp
+            """
+        )
+        assert NONDET in taint, expr
+
+
+def test_nondet_survives_arithmetic_and_formatting():
+    taint = taint_of_return(
+        """
+        def probe():
+            t0 = time.time()
+            return f"run-{t0 * 1000:.0f}"
+        """
+    )
+    assert NONDET in taint
+
+
+def test_seeded_rng_is_deterministic():
+    taint = taint_of_return(
+        """
+        def probe():
+            rng = np.random.default_rng(42)
+            return rng
+        """
+    )
+    assert NONDET not in taint
+
+
+# ------------------------------------------------------------- UNPICKLABLE
+def test_lambdas_generators_and_handles_are_unpicklable():
+    for expr in ("lambda x: x", "(x for x in items)", "open('f.txt')", "Lock()"):
+        taint = taint_of_return(
+            f"""
+            def probe(items):
+                thing = {expr}
+                return thing
+            """
+        )
+        assert UNPICKLABLE in taint, expr
+
+
+def test_nested_functions_are_unpicklable():
+    taint = taint_of_return(
+        """
+        def probe():
+            def inner():
+                return 1
+            return inner
+        """
+    )
+    assert UNPICKLABLE in taint
+
+
+def test_materializers_launder_unpicklable():
+    # tuple(genexp) is a plain tuple: it pickles fine
+    taint = taint_of_return(
+        """
+        def probe(rules):
+            ids = tuple(r.id for r in rules)
+            return ids
+        """
+    )
+    assert UNPICKLABLE not in taint
+
+
+# --------------------------------------------------------------- UNORDERED
+def test_sets_and_dict_views_are_unordered():
+    for expr in ("{1, 2, 3}", "set(items)", "d.keys()", "d.items()", "frozenset(items)"):
+        taint = taint_of_return(
+            f"""
+            def probe(items, d):
+                value = {expr}
+                return value
+            """
+        )
+        assert UNORDERED in taint, expr
+
+
+def test_sorted_launders_unordered():
+    taint = taint_of_return(
+        """
+        def probe(d):
+            return tuple(sorted(d.items()))
+        """
+    )
+    assert UNORDERED not in taint
+
+
+def test_unordered_propagates_through_materializers():
+    # tuple() keeps the order the set handed it: still unordered
+    taint = taint_of_return(
+        """
+        def probe(items):
+            return tuple(set(items))
+        """
+    )
+    assert UNORDERED in taint
+
+
+def test_loop_targets_drop_the_sequence_order_taint():
+    # each element of d.items() is a fine value; only the *sequence*
+    # order is unstable
+    taint = taint_of_return(
+        """
+        def probe(d):
+            out = []
+            for k, v in d.items():
+                out.append((k, v))
+                pair = (k, v)
+                return pair
+        """
+    )
+    assert UNORDERED not in taint
+
+
+def test_comprehension_over_a_set_is_unordered():
+    taint = taint_of_return(
+        """
+        def probe(items):
+            squares = [x * x for x in set(items)]
+            return squares
+        """
+    )
+    assert UNORDERED in taint
+
+
+# ------------------------------------------------------------ control flow
+def test_if_branches_join_taints():
+    taint = taint_of_return(
+        """
+        def probe(flag):
+            if flag:
+                value = time.time()
+            else:
+                value = 0.0
+            return value
+        """
+    )
+    assert NONDET in taint
+
+
+def test_loop_reaches_fixpoint_for_carried_taint():
+    taint = taint_of_return(
+        """
+        def probe(n):
+            acc = 0.0
+            for _ in range(n):
+                acc = acc + time.time()
+            return acc
+        """
+    )
+    assert NONDET in taint
+
+
+def test_class_attribute_ctors_seed_method_scopes():
+    tree = ast.parse(
+        dedent(
+            """
+            class Holder:
+                def __init__(self):
+                    self.memo = FoldCache()
+
+                def use(self):
+                    return self.memo
+            """
+        )
+    )
+    df = ModuleDataflow(tree)
+    ret = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.Return) and n.value is not None
+    )
+    assert df.ctor_of(ret.value) == "FoldCache"

@@ -13,6 +13,7 @@ from repro.analysis import (
     lint_paths,
     lint_source,
     render_json,
+    render_sarif,
     render_text,
     resolve_rules,
     rule_ids,
@@ -32,6 +33,9 @@ CATALOG = (
     "RL009",
     "RL010",
     "RL011",
+    "RL012",
+    "RL013",
+    "RL014",
 )
 
 
@@ -164,6 +168,20 @@ def test_render_json_shape():
     assert json.loads(render_json([])) == {"count": 0, "findings": []}
 
 
+def test_render_sarif_shape():
+    doc = json.loads(render_sarif([_finding()]))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(CATALOG)
+    result = run["results"][0]
+    assert result["ruleId"] == "RL002"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "a.py"
+    assert loc["region"] == {"startLine": 3, "startColumn": 5}
+    assert json.loads(render_sarif([]))["runs"][0]["results"] == []
+
+
 # ---------------------------------------------------------------------- CLI
 def test_cli_lint_clean_exits_zero(tmp_path, capsys):
     f = tmp_path / "clean.py"
@@ -209,3 +227,22 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rid in CATALOG:
         assert rid in out
+
+
+def test_cli_lint_sarif_format(tmp_path, capsys):
+    f = tmp_path / "dirty.py"
+    f.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(f), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"][0]["ruleId"] == "RL002"
+
+
+def test_cli_lint_cache_and_jobs(tmp_path, capsys):
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(f), "--cache", str(cache), "--stats"]) == 0
+    assert cache.is_file()
+    assert main(["lint", str(f), "--cache", str(cache), "--jobs", "2", "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "cache hits 1" in err

@@ -1,0 +1,186 @@
+"""The import graph on a synthetic fixture tree.
+
+The tree exercises every resolution feature the flow rules lean on:
+facade re-exports (two hops), relative imports, submodule imports,
+subclass closure across files, import cycles, and re-export cycles that
+must terminate rather than spin.
+"""
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import ModuleInfo, ProjectGraph, build_graph, module_info
+from repro.analysis.graph import module_name_for
+
+SOURCES = {
+    "proj/app/__init__.py": """
+        from app.core import Base, Mid
+        from app.util import helper as util_helper
+
+        __all__ = ["Base", "Mid", "util_helper"]
+    """,
+    "proj/app/core.py": """
+        class Base:
+            pass
+
+
+        class Mid(Base):
+            pass
+    """,
+    "proj/app/util.py": """
+        def helper():
+            return 1
+    """,
+    "proj/app/sub/__init__.py": "",
+    "proj/app/sub/deep.py": """
+        from ..core import Mid
+        from . import sibling
+
+
+        class Leaf(Mid):
+            pass
+    """,
+    "proj/app/sub/sibling.py": "VALUE = 3\n",
+    "proj/app/uses.py": """
+        import app.core
+        from app import Base
+    """,
+    "proj/app/cyc_a.py": "from app.cyc_b import beta\nalpha = 1\n",
+    "proj/app/cyc_b.py": "from app.cyc_a import alpha\nbeta = 2\n",
+    "proj/app/loop_x.py": "from app.loop_y import thing\n",
+    "proj/app/loop_y.py": "from app.loop_x import thing\n",
+}
+
+
+@pytest.fixture(scope="module")
+def graph() -> ProjectGraph:
+    return build_graph({p: dedent(s) for p, s in SOURCES.items()}, root="proj")
+
+
+# ------------------------------------------------------------ module naming
+def test_module_name_anchors_at_known_roots():
+    assert module_name_for("src/repro/engine/solver.py") == "repro.engine.solver"
+    assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+    assert module_name_for("tests/test_dp.py") == "tests.test_dp"
+
+
+def test_module_name_falls_back_to_root_then_stem():
+    assert module_name_for("proj/app/core.py", root="proj") == "app.core"
+    assert module_name_for("proj/app/__init__.py", root="proj") == "app"
+    assert module_name_for("elsewhere/lone.py") == "lone"
+
+
+# ------------------------------------------------------------- ModuleInfo
+def test_module_info_summarises_imports_defs_and_exports():
+    info = module_info(
+        "proj/app/__init__.py", dedent(SOURCES["proj/app/__init__.py"]), root="proj"
+    )
+    assert info.name == "app" and info.is_package
+    assert info.exports == ("Base", "Mid", "util_helper")
+    assert info.binding_map["Base"] == ("app.core", "Base")
+    assert info.binding_map["util_helper"] == ("app.util", "helper")
+    assert set(info.imports) == {"app.core", "app.util"}
+
+
+def test_module_info_records_relative_imports_against_the_package():
+    info = module_info(
+        "proj/app/sub/deep.py", dedent(SOURCES["proj/app/sub/deep.py"]), root="proj"
+    )
+    assert info.binding_map["Mid"] == ("app.core", "Mid")
+    assert info.binding_map["sibling"] == ("app.sub", "sibling")
+    assert info.def_map == {"Leaf": "class"}
+    assert info.bases == (("Leaf", ("Mid",)),)
+
+
+def test_module_info_json_round_trip():
+    info = module_info(
+        "proj/app/sub/deep.py", dedent(SOURCES["proj/app/sub/deep.py"]), root="proj"
+    )
+    assert ModuleInfo.from_dict(json.loads(json.dumps(info.to_dict()))) == info
+
+
+def test_parse_failure_yields_stub_not_crash():
+    info = module_info("proj/app/broken.py", "def broken(:\n", root="proj")
+    assert info.parse_error
+    assert info.imports == () and info.defs == ()
+
+
+# --------------------------------------------------------------- resolution
+def test_resolve_follows_facade_re_exports(graph):
+    # app.uses sees Base through the app facade, two hops from the def
+    assert graph.resolve("app.uses", "Base") == ("app.core", "Base")
+    # aliased re-export: util_helper is really app.util.helper
+    assert graph.resolve("app", "util_helper") == ("app.util", "helper")
+
+
+def test_resolve_relative_import_binding(graph):
+    assert graph.resolve("app.sub.deep", "Mid") == ("app.core", "Mid")
+    # `from . import sibling` binds the submodule itself
+    assert graph.resolve("app.sub.deep", "sibling") == ("app.sub.sibling", None)
+
+
+def test_resolve_dotted_walks_plain_imports(graph):
+    assert graph.resolve_dotted("app.uses", "app.core.Mid") == ("app.core", "Mid")
+
+
+def test_resolve_terminates_on_re_export_cycles(graph):
+    assert graph.resolve("app.loop_x", "thing") is None
+
+
+def test_resolve_external_names_return_best_known_origin():
+    g = build_graph({"proj/ext.py": "from numpy import cos\n"}, root="proj")
+    assert g.resolve("ext", "cos") == ("numpy", "cos")
+
+
+# -------------------------------------------------------------------- edges
+def test_project_imports_include_submodule_bindings(graph):
+    # the `from . import sibling` edge counts both the package and the
+    # bound submodule
+    assert graph.project_imports("app.sub.deep") == (
+        "app.core",
+        "app.sub",
+        "app.sub.sibling",
+    )
+    assert graph.project_imports("app") == ("app.core", "app.util")
+
+
+def test_importers_of_reverse_edges(graph):
+    assert "app" in graph.importers_of("app.core")
+    assert "app.uses" in graph.importers_of("app.core")
+    assert graph.importers_of("app.uses") == ()
+
+
+def test_module_for_path(graph):
+    assert graph.module_for_path("proj/app/core.py").name == "app.core"
+    assert graph.module_for_path("proj/app/missing.py") is None
+
+
+# ------------------------------------------------------------------ classes
+def test_subclasses_of_is_a_transitive_closure_across_files(graph):
+    assert graph.subclasses_of("app.core.Base") == (
+        "app.core.Base",
+        "app.core.Mid",
+        "app.sub.deep.Leaf",
+    )
+    assert graph.subclasses_of("app.core.Mid") == ("app.core.Mid", "app.sub.deep.Leaf")
+
+
+# ------------------------------------------------------------------- cycles
+def test_import_cycles_reports_each_scc_sorted(graph):
+    assert graph.import_cycles() == (
+        ("app.cyc_a", "app.cyc_b"),
+        ("app.loop_x", "app.loop_y"),
+    )
+
+
+def test_acyclic_tree_has_no_cycles():
+    g = build_graph(
+        {
+            "proj/one.py": "from two import x\n",
+            "proj/two.py": "x = 1\n",
+        },
+        root="proj",
+    )
+    assert g.import_cycles() == ()

@@ -1,9 +1,12 @@
-"""The dogfooding gate: the repo's own src tree satisfies every contract.
+"""The dogfooding gate: the repo's own tree satisfies every contract.
 
 This is the test that makes repro-lint a *ratchet*: any future change
 that times with the wall clock, bypasses the engine facade, mints an
-off-convention metric name, or validates with ``assert`` fails the
-suite, not just a CI side job.
+off-convention metric name, feeds unsorted iteration into a fingerprint,
+or ships an unsalted cache lookup fails the suite, not just a CI side
+job.  Since ISSUE 10 the gate covers all four trees — ``src``,
+``benchmarks``, ``scripts`` and ``tests`` — under the full catalog;
+per-rule domain scoping replaces the old ``--select`` carve-outs.
 """
 
 import subprocess
@@ -13,16 +16,17 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import lint_paths, render_text, rule_ids
+from repro.analysis import lint_project, render_text, rule_ids
 from repro.cli import main
 
 REPO = Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
+TREES = [REPO / "src", REPO / "benchmarks", REPO / "scripts", REPO / "tests"]
 
 
-def test_src_tree_is_contract_clean():
-    findings = lint_paths([SRC])
-    assert findings == [], "\n" + render_text(findings)
+def test_whole_tree_is_contract_clean():
+    run = lint_project(TREES)
+    assert list(run.findings) == [], "\n" + render_text(list(run.findings))
+    assert run.files == run.linted == run.graph_modules
 
 
 def _has_suppression_comment(path):
@@ -33,23 +37,25 @@ def _has_suppression_comment(path):
     return False
 
 
-def test_src_tree_has_no_blanket_suppressions():
+def test_tree_has_no_blanket_suppressions():
     """The escape hatch exists but the shipped tree must not lean on it.
 
     Comments only: docstrings *documenting* the marker (the analysis
     package's own) are fine and must not count.
     """
-    offenders = [p for p in SRC.rglob("*.py") if _has_suppression_comment(p)]
+    offenders = [
+        p for tree in TREES for p in tree.rglob("*.py") if _has_suppression_comment(p)
+    ]
     assert offenders == []
 
 
 def test_cli_self_check_exits_zero(capsys):
-    assert main(["lint", str(SRC)]) == 0
+    assert main(["lint"] + [str(t) for t in TREES]) == 0
     assert "no findings" in capsys.readouterr().out
 
 
-def test_all_eleven_rules_are_active():
-    assert len(rule_ids()) == 11
+def test_all_fourteen_rules_are_active():
+    assert len(rule_ids()) == 14
 
 
 def test_mypy_strict_passes_on_typed_core():
